@@ -1,0 +1,120 @@
+//! Shared configuration knobs for the baseline FTLs.
+
+/// Tunables shared by the baseline FTLs.
+///
+/// The defaults reproduce the paper's experimental setup (Section IV-A):
+/// the CMT holds about 3 % of all page mappings, LeaFTL's model cache gets
+/// the same byte budget, LeaFTL's data buffer holds 2048 pages and its
+/// learned segments use an error bound of γ = 4.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct BaselineConfig {
+    /// Fraction of all page mappings the CMT can hold (paper: 3 %).
+    pub cmt_ratio: f64,
+    /// How many consecutive mappings TPFTL prefetches into the CMT on a miss.
+    pub prefetch_len: u32,
+    /// Number of erased data blocks below which GC is triggered. `0` selects
+    /// an automatic value (one block per chip).
+    pub gc_watermark: usize,
+    /// LeaFTL's write-buffer capacity in pages (paper: 2048).
+    pub buffer_pages: usize,
+    /// LeaFTL's learned-segment error bound γ.
+    pub gamma: f64,
+}
+
+impl Default for BaselineConfig {
+    fn default() -> Self {
+        BaselineConfig {
+            cmt_ratio: 0.03,
+            prefetch_len: 64,
+            gc_watermark: 0,
+            buffer_pages: 2048,
+            gamma: 4.0,
+        }
+    }
+}
+
+impl BaselineConfig {
+    /// Returns a copy with a different CMT capacity ratio.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `ratio` is not in `(0, 1]`... zero is allowed to model a
+    /// cache-less FTL, so the accepted range is `[0, 1]`.
+    pub fn with_cmt_ratio(mut self, ratio: f64) -> Self {
+        assert!((0.0..=1.0).contains(&ratio), "cmt_ratio must be in [0,1]");
+        self.cmt_ratio = ratio;
+        self
+    }
+
+    /// Returns a copy with a different prefetch length.
+    pub fn with_prefetch_len(mut self, len: u32) -> Self {
+        self.prefetch_len = len.max(1);
+        self
+    }
+
+    /// Returns a copy with a different GC watermark.
+    pub fn with_gc_watermark(mut self, blocks: usize) -> Self {
+        self.gc_watermark = blocks;
+        self
+    }
+
+    /// Returns a copy with a different LeaFTL buffer size.
+    pub fn with_buffer_pages(mut self, pages: usize) -> Self {
+        self.buffer_pages = pages.max(1);
+        self
+    }
+
+    /// Returns a copy with a different LeaFTL error bound.
+    pub fn with_gamma(mut self, gamma: f64) -> Self {
+        assert!(gamma.is_finite() && gamma >= 0.0, "gamma must be >= 0");
+        self.gamma = gamma;
+        self
+    }
+
+    /// The CMT capacity in mapping entries for a device with `logical_pages`.
+    pub fn cmt_entries(&self, logical_pages: u64) -> usize {
+        ((logical_pages as f64) * self.cmt_ratio).round() as usize
+    }
+
+    /// The effective GC watermark for a device with `total_chips` chips.
+    pub fn effective_gc_watermark(&self, total_chips: u64) -> usize {
+        if self.gc_watermark == 0 {
+            total_chips as usize
+        } else {
+            self.gc_watermark
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn defaults_match_paper() {
+        let c = BaselineConfig::default();
+        assert!((c.cmt_ratio - 0.03).abs() < 1e-9);
+        assert_eq!(c.buffer_pages, 2048);
+        assert!((c.gamma - 4.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn cmt_entries_scale_with_logical_pages() {
+        let c = BaselineConfig::default();
+        assert_eq!(c.cmt_entries(100_000), 3000);
+        assert_eq!(c.with_cmt_ratio(0.5).cmt_entries(100_000), 50_000);
+    }
+
+    #[test]
+    fn watermark_auto_uses_chip_count() {
+        let c = BaselineConfig::default();
+        assert_eq!(c.effective_gc_watermark(16), 16);
+        assert_eq!(c.with_gc_watermark(5).effective_gc_watermark(16), 5);
+    }
+
+    #[test]
+    #[should_panic(expected = "cmt_ratio")]
+    fn bad_cmt_ratio_rejected() {
+        BaselineConfig::default().with_cmt_ratio(1.5);
+    }
+}

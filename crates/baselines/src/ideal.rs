@@ -1,0 +1,161 @@
+//! The ideal FTL: a full page-level mapping table held entirely in DRAM.
+
+use ftl_base::{DynamicDataPool, Ftl, FtlCore, FtlStats, Lpn, ReadClass};
+use ssd_sim::{FlashDevice, SimTime, SsdConfig};
+
+use crate::config::BaselineConfig;
+use crate::util::gc_until_headroom;
+
+/// The performance upper bound used as "ideal" in the paper's figures.
+///
+/// The full LPN→PPN mapping table is assumed to fit in the SSD's DRAM, so
+/// address translation never touches flash: every host read is exactly one
+/// flash read and host writes never produce translation-page traffic.
+/// Garbage collection still runs (the physics of flash do not go away) but
+/// also never writes translation pages.
+#[derive(Debug, Clone)]
+pub struct IdealFtl {
+    core: FtlCore,
+    pool: DynamicDataPool,
+}
+
+impl IdealFtl {
+    /// Creates an ideal FTL over a fresh device.
+    pub fn new(config: SsdConfig, baseline: BaselineConfig) -> Self {
+        let core = FtlCore::new(config);
+        let pool = DynamicDataPool::new(
+            &core.partition,
+            config.geometry.pages_per_block,
+            baseline.effective_gc_watermark(config.geometry.total_chips()),
+        );
+        IdealFtl { core, pool }
+    }
+
+    fn collect_garbage(&mut self, now: SimTime) -> SimTime {
+        // The ideal FTL keeps its whole mapping in DRAM, so GC never charges
+        // translation-page traffic.
+        gc_until_headroom(&mut self.core, &mut self.pool, now, |_core, _outcome, t| t)
+    }
+}
+
+impl Ftl for IdealFtl {
+    fn name(&self) -> &'static str {
+        "ideal"
+    }
+
+    fn read(&mut self, lpn: Lpn, pages: u32, now: SimTime) -> SimTime {
+        let mut done = now;
+        for l in lpn..lpn + u64::from(pages) {
+            if l >= self.core.logical_pages() {
+                break;
+            }
+            self.core.stats.host_read_pages += 1;
+            let Some(ppn) = self.core.mapping.get(l) else {
+                self.core.stats.unmapped_reads += 1;
+                continue;
+            };
+            self.core.stats.record_read_class(ReadClass::CmtHit);
+            let t = self.core.read_data(ppn, now);
+            done = done.max(t);
+        }
+        done
+    }
+
+    fn write(&mut self, lpn: Lpn, pages: u32, now: SimTime) -> SimTime {
+        let mut barrier = now;
+        let mut done = now;
+        for l in lpn..lpn + u64::from(pages) {
+            if l >= self.core.logical_pages() {
+                break;
+            }
+            self.core.stats.host_write_pages += 1;
+            barrier = self.collect_garbage(barrier);
+            let ppn = self
+                .pool
+                .allocate(&self.core.dev)
+                .expect("GC must leave allocatable space");
+            let t = self.core.program_data(l, ppn, barrier);
+            done = done.max(t);
+        }
+        done
+    }
+
+    fn stats(&self) -> &FtlStats {
+        &self.core.stats
+    }
+
+    fn reset_stats(&mut self) {
+        self.core.stats = FtlStats::new();
+    }
+
+    fn logical_pages(&self) -> u64 {
+        self.core.logical_pages()
+    }
+
+    fn device(&self) -> &FlashDevice {
+        &self.core.dev
+    }
+
+    fn device_mut(&mut self) -> &mut FlashDevice {
+        &mut self.core.dev
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn ftl() -> IdealFtl {
+        IdealFtl::new(SsdConfig::tiny(), BaselineConfig::default().with_gc_watermark(2))
+    }
+
+    #[test]
+    fn every_read_is_single() {
+        let mut f = ftl();
+        let t = f.write(0, 8, SimTime::ZERO);
+        let t = f.read(0, 8, t);
+        assert!(t > SimTime::ZERO);
+        let s = f.stats();
+        assert_eq!(s.host_read_pages, 8);
+        assert_eq!(s.single_reads, 8);
+        assert_eq!(s.double_reads, 0);
+        assert_eq!(s.triple_reads, 0);
+        assert_eq!(s.translation_reads, 0);
+        assert_eq!(s.translation_writes, 0);
+        assert!((s.cmt_hit_ratio() - 1.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn overwrite_churns_without_translation_traffic() {
+        let mut f = ftl();
+        let span = f.logical_pages() / 2;
+        let mut t = SimTime::ZERO;
+        for round in 0..4 {
+            for l in (0..span).step_by(4) {
+                t = f.write(l + round % 2, 4, t);
+            }
+        }
+        let s = f.stats();
+        assert!(s.gc_count > 0, "churn must trigger GC");
+        assert_eq!(s.translation_writes, 0);
+        assert!(s.write_amplification() >= 1.0);
+    }
+
+    #[test]
+    fn reads_of_unwritten_pages_cost_nothing() {
+        let mut f = ftl();
+        let t = f.read(10, 4, SimTime::ZERO);
+        assert_eq!(t, SimTime::ZERO);
+        assert_eq!(f.device().stats().reads, 0);
+        assert_eq!(f.stats().host_read_pages, 4);
+    }
+
+    #[test]
+    fn out_of_range_requests_are_clamped() {
+        let mut f = ftl();
+        let last = f.logical_pages() - 1;
+        let t = f.write(last, 8, SimTime::ZERO);
+        assert!(t > SimTime::ZERO);
+        assert_eq!(f.stats().host_write_pages, 1);
+    }
+}

@@ -1,0 +1,47 @@
+//! # baselines
+//!
+//! The four baseline FTLs the LearnedFTL paper compares against:
+//!
+//! * [`IdealFtl`] — the full page-level mapping held entirely in DRAM. Every
+//!   read is a single flash read; there is no translation traffic. The paper
+//!   uses it as the performance upper bound ("ideal").
+//! * [`Dftl`] — demand-based page-level FTL (Gupta et al., ASPLOS'09): an
+//!   entry-granular LRU cached mapping table backed by on-flash translation
+//!   pages; misses cost an extra flash read (the double read).
+//! * [`Tpftl`] — translation-page-level FTL (Zhou et al., EuroSys'15): a
+//!   two-level CMT with spatial-locality prefetching and per-node batched
+//!   write-back.
+//! * [`LeaFtl`] — the learned-index FTL (Sun et al., ASPLOS'23): a write
+//!   buffer, per-translation-page log-structured learned segments, a model
+//!   cache and OOB error intervals; mispredictions and model-cache misses
+//!   produce the double and triple reads analysed in the paper's Section II.
+//!
+//! All four implement [`ftl_base::Ftl`] and are driven by the same harness as
+//! `learnedftl::LearnedFtl`.
+//!
+//! ```
+//! use baselines::{BaselineConfig, Dftl};
+//! use ftl_base::Ftl;
+//! use ssd_sim::{SimTime, SsdConfig};
+//!
+//! let mut ftl = Dftl::new(SsdConfig::tiny(), BaselineConfig::default());
+//! let t = ftl.write(0, 4, SimTime::ZERO);
+//! let t = ftl.read(0, 4, t);
+//! assert!(t > SimTime::ZERO);
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod config;
+mod dftl;
+mod ideal;
+mod leaftl;
+mod tpftl;
+mod util;
+
+pub use config::BaselineConfig;
+pub use dftl::Dftl;
+pub use ideal::IdealFtl;
+pub use leaftl::LeaFtl;
+pub use tpftl::Tpftl;

@@ -1,0 +1,34 @@
+//! Criterion microbenchmarks for the PPN ⇄ VPPN codec (paper § III-C): the
+//! conversion sits on LearnedFTL's read path, so it must be cheap.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use ssd_sim::{ppn_to_vppn, vppn_to_ppn, Geometry, PhysAddr};
+
+fn bench_codec(c: &mut Criterion) {
+    let g = Geometry::new(8, 8, 1, 256, 512, 4096);
+    let total = g.total_pages();
+    let mut ppn = 12_345u64;
+    c.bench_function("ppn_to_vppn", |b| {
+        b.iter(|| {
+            ppn = (ppn * 2_654_435_761) % total;
+            ppn_to_vppn(ppn, &g)
+        })
+    });
+    let mut vppn = 54_321u64;
+    c.bench_function("vppn_to_ppn", |b| {
+        b.iter(|| {
+            vppn = (vppn * 2_654_435_761) % total;
+            vppn_to_ppn(vppn, &g)
+        })
+    });
+    let mut x = 999u64;
+    c.bench_function("phys_addr_decompose", |b| {
+        b.iter(|| {
+            x = (x * 2_654_435_761) % total;
+            PhysAddr::from_ppn(x, &g)
+        })
+    });
+}
+
+criterion_group!(benches, bench_codec);
+criterion_main!(benches);

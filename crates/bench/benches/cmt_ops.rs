@@ -1,0 +1,53 @@
+//! Criterion microbenchmarks for the cached-mapping-table structures that sit
+//! on every FTL's read path.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use ftl_base::{EntryCmt, PageNodeCmt};
+
+fn bench_entry_cmt(c: &mut Criterion) {
+    let mut cmt = EntryCmt::new(4096);
+    for lpn in 0..4096u64 {
+        cmt.insert_clean(lpn, lpn * 7);
+    }
+    let mut probe = 1u64;
+    c.bench_function("entry_cmt_lookup_hit", |b| {
+        b.iter(|| {
+            probe = (probe * 2_654_435_761) % 4096;
+            cmt.lookup(probe)
+        })
+    });
+    let mut next = 10_000u64;
+    c.bench_function("entry_cmt_insert_evict", |b| {
+        b.iter(|| {
+            next += 1;
+            cmt.insert_clean(next, next)
+        })
+    });
+}
+
+fn bench_page_node_cmt(c: &mut Criterion) {
+    let mut cmt = PageNodeCmt::new(4096);
+    for tpn in 0..8usize {
+        let batch: Vec<(u32, u64, bool)> =
+            (0..512u32).map(|off| (off, u64::from(off) * 3, false)).collect();
+        cmt.insert_batch(tpn, &batch);
+    }
+    let mut probe = 1u64;
+    c.bench_function("page_node_cmt_lookup", |b| {
+        b.iter(|| {
+            probe = (probe * 2_654_435_761) % 4096;
+            cmt.lookup((probe / 512) as usize, (probe % 512) as u32)
+        })
+    });
+    c.bench_function("page_node_cmt_insert_batch_64", |b| {
+        let batch: Vec<(u32, u64, bool)> = (0..64u32).map(|off| (off, u64::from(off), true)).collect();
+        let mut tpn = 100usize;
+        b.iter(|| {
+            tpn += 1;
+            cmt.insert_batch(tpn % 64, &batch)
+        })
+    });
+}
+
+criterion_group!(benches, bench_entry_cmt, bench_page_node_cmt);
+criterion_main!(benches);

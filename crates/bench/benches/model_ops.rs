@@ -1,0 +1,79 @@
+//! Criterion microbenchmarks backing Fig. 15: the cost of sorting one GTD
+//! entry's mappings, training its in-place-update model, updating it in place
+//! from a sequential run, and making one prediction.
+
+use criterion::{criterion_group, criterion_main, BatchSize, Criterion};
+use learned_index::Point;
+use learnedftl::InPlaceModel;
+use rand::rngs::StdRng;
+use rand::{seq::SliceRandom, Rng, SeedableRng};
+
+fn entry_points() -> Vec<Point> {
+    // 512 LPNs mapped onto a few VPPN runs, as left behind by group GC.
+    (0..512u64)
+        .map(|i| Point::new(i, 2_000_000 + i + (i / 128) * 40_000))
+        .collect()
+}
+
+fn bench_sorting(c: &mut Criterion) {
+    let mut rng = StdRng::seed_from_u64(1);
+    let mut shuffled = entry_points();
+    shuffled.shuffle(&mut rng);
+    c.bench_function("gc_sort_512_mappings", |b| {
+        b.iter_batched(
+            || shuffled.clone(),
+            |mut points| {
+                points.sort_unstable_by_key(|p| p.key);
+                points
+            },
+            BatchSize::SmallInput,
+        )
+    });
+}
+
+fn bench_training(c: &mut Criterion) {
+    let points = entry_points();
+    c.bench_function("train_in_place_model_512", |b| {
+        b.iter(|| {
+            let mut model = InPlaceModel::new(0, 512, 8);
+            model.train(&points);
+            model
+        })
+    });
+}
+
+fn bench_sequential_init(c: &mut Criterion) {
+    let run: Vec<Point> = (100..228u64).map(|i| Point::new(i, 9_000 + i)).collect();
+    c.bench_function("sequential_init_128_pages", |b| {
+        b.iter_batched(
+            || InPlaceModel::new(0, 512, 8),
+            |mut model| {
+                model.sequential_init(&run);
+                model
+            },
+            BatchSize::SmallInput,
+        )
+    });
+}
+
+fn bench_prediction(c: &mut Criterion) {
+    let points = entry_points();
+    let mut model = InPlaceModel::new(0, 512, 8);
+    model.train(&points);
+    let mut rng = StdRng::seed_from_u64(2);
+    c.bench_function("predict_one_lpn", |b| {
+        b.iter(|| {
+            let lpn = rng.gen_range(0..512);
+            model.predict(lpn)
+        })
+    });
+}
+
+criterion_group!(
+    benches,
+    bench_sorting,
+    bench_training,
+    bench_sequential_init,
+    bench_prediction
+);
+criterion_main!(benches);

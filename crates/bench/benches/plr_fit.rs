@@ -1,0 +1,44 @@
+//! Criterion microbenchmarks for the greedy piecewise linear regression used
+//! by both LeaFTL (γ-bounded approximate segments) and LearnedFTL (exact
+//! pieces).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use learned_index::{GreedyPlr, Point};
+
+fn linear_points(n: u64) -> Vec<Point> {
+    (0..n).map(|i| Point::new(i, 10_000 + i)).collect()
+}
+
+fn noisy_points(n: u64) -> Vec<Point> {
+    // Deterministic jitter so segment counts are stable across runs.
+    (0..n)
+        .map(|i| Point::new(i, 10_000 + i * 2 + (i * 2_654_435_761 % 7)))
+        .collect()
+}
+
+fn bench_fit_sizes(c: &mut Criterion) {
+    let mut group = c.benchmark_group("plr_fit_linear");
+    for &n in &[128u64, 512, 2048] {
+        let points = linear_points(n);
+        group.bench_with_input(BenchmarkId::from_parameter(n), &points, |b, pts| {
+            b.iter(|| GreedyPlr::new(0.5).fit(pts))
+        });
+    }
+    group.finish();
+}
+
+fn bench_fit_gammas(c: &mut Criterion) {
+    let points = noisy_points(512);
+    let mut group = c.benchmark_group("plr_fit_gamma");
+    for &gamma in &[0.5f64, 4.0, 16.0] {
+        group.bench_with_input(
+            BenchmarkId::from_parameter(gamma),
+            &points,
+            |b, pts| b.iter(|| GreedyPlr::new(gamma).fit(pts)),
+        );
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_fit_sizes, bench_fit_gammas);
+criterion_main!(benches);

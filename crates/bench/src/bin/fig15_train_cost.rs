@@ -1,0 +1,73 @@
+//! Figure 15: the computational cost of the extra operations LearnedFTL adds —
+//! sorting one GTD entry's LPNs, training its model, and one prediction.
+//!
+//! Paper's finding: on an ARM Cortex-A72, sorting + training one GTD entry
+//! costs on the order of 50 µs and one prediction costs ~0.65 µs, i.e. the
+//! equivalent of a few flash reads per GC and a negligible cost per read.
+
+use std::time::Instant;
+
+use bench::{print_header, Scale};
+use learned_index::Point;
+use learnedftl::InPlaceModel;
+use rand::rngs::StdRng;
+use rand::{seq::SliceRandom, Rng, SeedableRng};
+
+fn measure<R>(iterations: u32, mut f: impl FnMut() -> R) -> f64 {
+    let start = Instant::now();
+    for _ in 0..iterations {
+        std::hint::black_box(f());
+    }
+    start.elapsed().as_secs_f64() * 1e6 / f64::from(iterations)
+}
+
+fn main() {
+    let scale = Scale::from_env();
+    print_header(
+        "Fig. 15 — cost of sorting / training / prediction per GTD entry",
+        "sorting+training cost tens of microseconds per entry; a prediction costs well under a microsecond",
+        scale,
+    );
+    let mut rng = StdRng::seed_from_u64(42);
+    let iterations = 2_000;
+
+    // One GTD entry: 512 LPNs mapped to VPPNs that form a handful of runs, as
+    // left behind by group GC.
+    let mut points: Vec<Point> = (0..512u64)
+        .map(|i| Point::new(i, 1_000_000 + i + (i / 128) * 50_000))
+        .collect();
+
+    let sort_us = measure(iterations, || {
+        let mut shuffled = points.clone();
+        shuffled.shuffle(&mut rng);
+        shuffled.sort_unstable_by_key(|p| p.key);
+        shuffled
+    });
+
+    points.sort_by_key(|p| p.key);
+    let train_us = measure(iterations, || {
+        let mut model = InPlaceModel::new(0, 512, 8);
+        model.train(&points);
+        model
+    });
+
+    let mut model = InPlaceModel::new(0, 512, 8);
+    model.train(&points);
+    let predict_us = measure(200_000, || {
+        let lpn = rng.gen_range(0..512);
+        model.predict(lpn)
+    });
+
+    println!("operation    measured (us)   paper (ARM A72)");
+    println!("---------------------------------------------");
+    println!("sorting      {sort_us:>10.2}      ~50 us (sort+train combined)");
+    println!("training     {train_us:>10.2}");
+    println!("prediction   {predict_us:>10.3}      ~0.65 us");
+    println!();
+    println!(
+        "shape check: sorting+training = {:.1} us per entry (paper: tens of microseconds, \
+         i.e. roughly one flash read of 40 us), prediction = {:.3} us (paper: sub-microsecond)",
+        sort_us + train_us,
+        predict_us
+    );
+}

@@ -1,0 +1,138 @@
+//! # bench
+//!
+//! Shared plumbing for the figure-reproduction binaries (`src/bin/figXX_*.rs`)
+//! and the Criterion microbenchmarks (`benches/`).
+//!
+//! Every binary reproduces one table or figure of the LearnedFTL paper: it
+//! runs the corresponding experiment through [`harness::experiments`], prints
+//! the measured series next to what the paper reports, and states the shape
+//! criterion (who should win, roughly by how much). The binaries honour one
+//! environment variable:
+//!
+//! * `LEARNEDFTL_SCALE=quick|standard|paper` — selects the device size and
+//!   experiment scale. `standard` (the default) uses the scaled-down device
+//!   described in DESIGN.md; `paper` uses the full 32 GiB geometry (slow);
+//!   `quick` is a smoke-test size used by CI.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+use harness::experiments::ExperimentScale;
+use metrics::Table;
+use ssd_sim::SsdConfig;
+
+/// The experiment size selected via `LEARNEDFTL_SCALE`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Scale {
+    /// Smoke-test size (tiny device, few thousand requests).
+    Quick,
+    /// The default scaled-down reproduction (≈ 768 MiB device).
+    Standard,
+    /// The paper's full 32 GiB geometry (slow; hours for the full suite).
+    Paper,
+}
+
+impl Scale {
+    /// Reads the scale from the `LEARNEDFTL_SCALE` environment variable.
+    pub fn from_env() -> Scale {
+        match std::env::var("LEARNEDFTL_SCALE")
+            .unwrap_or_default()
+            .to_lowercase()
+            .as_str()
+        {
+            "quick" => Scale::Quick,
+            "paper" => Scale::Paper,
+            _ => Scale::Standard,
+        }
+    }
+
+    /// The device configuration for this scale.
+    pub fn device(self) -> SsdConfig {
+        match self {
+            Scale::Quick => SsdConfig::tiny(),
+            Scale::Standard => SsdConfig::small(),
+            Scale::Paper => SsdConfig::paper(),
+        }
+    }
+
+    /// The experiment scale (warm-up volume, request counts) for this scale.
+    pub fn experiment(self) -> ExperimentScale {
+        match self {
+            Scale::Quick => ExperimentScale::quick(),
+            Scale::Standard => ExperimentScale::standard(),
+            Scale::Paper => ExperimentScale {
+                warmup_io_pages: 128,
+                warmup_overwrites: 6,
+                ops_per_stream: 20_000,
+                single_stream_ops: 1_000_000,
+            },
+        }
+    }
+
+    /// Number of FIO threads: the paper uses 64; the quick scale uses fewer so
+    /// the tiny device is not overwhelmed.
+    pub fn fio_threads(self) -> usize {
+        match self {
+            Scale::Quick => 4,
+            _ => 64,
+        }
+    }
+
+    /// Human-readable description printed in every experiment header.
+    pub fn describe(self) -> String {
+        let dev = self.device();
+        format!(
+            "scale={:?} device={} logical={} MiB threads={}",
+            self,
+            dev.geometry,
+            dev.logical_bytes() / (1024 * 1024),
+            self.fio_threads()
+        )
+    }
+}
+
+/// Prints the standard experiment header.
+pub fn print_header(figure: &str, claim: &str, scale: Scale) {
+    println!("================================================================");
+    println!("{figure}");
+    println!("Paper's claim: {claim}");
+    println!("{}", scale.describe());
+    println!("================================================================");
+}
+
+/// Prints a table followed by a short shape-check verdict line.
+pub fn print_table_with_verdict(table: &Table, verdict: &str) {
+    println!("{}", table.render());
+    println!("shape check: {verdict}");
+    println!();
+}
+
+/// Formats a ratio as `x.xx×`.
+pub fn times(value: f64) -> String {
+    format!("{value:.2}x")
+}
+
+/// Formats a fraction as a percentage.
+pub fn percent(value: f64) -> String {
+    format!("{:.1}%", value * 100.0)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn scale_selection_defaults_to_standard() {
+        std::env::remove_var("LEARNEDFTL_SCALE");
+        assert_eq!(Scale::from_env(), Scale::Standard);
+        assert_eq!(Scale::Quick.device(), SsdConfig::tiny());
+        assert_eq!(Scale::Paper.device(), SsdConfig::paper());
+        assert!(Scale::Standard.describe().contains("scale=Standard"));
+    }
+
+    #[test]
+    fn formatting_helpers() {
+        assert_eq!(times(1.5), "1.50x");
+        assert_eq!(percent(0.555), "55.5%");
+    }
+}

@@ -1,0 +1,160 @@
+//! LearnedFTL configuration.
+
+/// Tunables for [`crate::LearnedFtl`].
+///
+/// Defaults reproduce the paper's setup (Section IV-A): the CMT holds 1.5 %
+/// of all page mappings (half of the baselines' 3 %, because the in-memory
+/// models consume the other half of the DRAM budget), each in-place-update
+/// model has at most 8 linear pieces, and GTD entries are grouped so that one
+/// group's allocation unit spans one block on every chip.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct LearnedFtlConfig {
+    /// Fraction of all page mappings the CMT can hold (paper: 1.5 %).
+    pub cmt_ratio: f64,
+    /// Maximum number of linear pieces per in-place-update model (paper: 8).
+    pub max_pieces: usize,
+    /// Number of GTD entries per allocation group. `0` selects the value that
+    /// makes one group allocation equal one block row across all chips
+    /// (64 for the paper's geometry).
+    pub entries_per_group: usize,
+    /// How many consecutive mappings to prefetch into the CMT on a miss
+    /// (inherited from TPFTL).
+    pub prefetch_len: u32,
+    /// Number of free block rows kept in reserve before GC triggers.
+    pub reserve_rows: usize,
+    /// Maximum block rows a group may own before GC is forced on it.
+    pub max_rows_per_group: usize,
+    /// Maximum pages a hot group may borrow from cold groups before GC is
+    /// forced on it (opportunistic cross-group allocation threshold),
+    /// expressed as a fraction of one block row.
+    pub borrow_fraction: f64,
+    /// Minimum length (in pages) of a sequential write run before sequential
+    /// initialisation updates the model in place.
+    pub seq_init_min_run: u32,
+    /// Whether the wall-clock cost of sorting and model training during GC is
+    /// charged to the simulated timeline (Fig. 18a compares both settings).
+    pub charge_training_time: bool,
+    /// Whether predictions are bypassed and the in-memory mapping is used
+    /// directly whenever the bitmap allows it ("ideal LearnedFTL", Fig. 18b).
+    pub ideal_prediction: bool,
+}
+
+impl Default for LearnedFtlConfig {
+    fn default() -> Self {
+        LearnedFtlConfig {
+            cmt_ratio: 0.015,
+            max_pieces: 8,
+            entries_per_group: 0,
+            prefetch_len: 64,
+            reserve_rows: 2,
+            max_rows_per_group: 3,
+            borrow_fraction: 0.5,
+            seq_init_min_run: 4,
+            charge_training_time: true,
+            ideal_prediction: false,
+        }
+    }
+}
+
+impl LearnedFtlConfig {
+    /// Returns a copy with a different CMT ratio.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `ratio` is not in `[0, 1]`.
+    pub fn with_cmt_ratio(mut self, ratio: f64) -> Self {
+        assert!((0.0..=1.0).contains(&ratio), "cmt_ratio must be in [0,1]");
+        self.cmt_ratio = ratio;
+        self
+    }
+
+    /// Returns a copy with a different maximum piece count.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `pieces` is zero.
+    pub fn with_max_pieces(mut self, pieces: usize) -> Self {
+        assert!(pieces > 0, "a model needs at least one piece");
+        self.max_pieces = pieces;
+        self
+    }
+
+    /// Returns a copy with an explicit group size (GTD entries per group).
+    pub fn with_entries_per_group(mut self, entries: usize) -> Self {
+        self.entries_per_group = entries;
+        self
+    }
+
+    /// Returns a copy with training/sorting time charged (or not) to the
+    /// simulated timeline.
+    pub fn with_charge_training_time(mut self, charge: bool) -> Self {
+        self.charge_training_time = charge;
+        self
+    }
+
+    /// Returns a copy configured as the "ideal LearnedFTL" of Fig. 18b.
+    pub fn with_ideal_prediction(mut self, ideal: bool) -> Self {
+        self.ideal_prediction = ideal;
+        self
+    }
+
+    /// The CMT capacity in mapping entries for a device with `logical_pages`.
+    pub fn cmt_entries(&self, logical_pages: u64) -> usize {
+        ((logical_pages as f64) * self.cmt_ratio).round() as usize
+    }
+
+    /// The effective group size: either the explicit setting or the value
+    /// that makes one group allocation span exactly one block on every chip.
+    pub fn effective_entries_per_group(
+        &self,
+        total_chips: u64,
+        pages_per_block: u32,
+        mappings_per_page: u32,
+    ) -> usize {
+        if self.entries_per_group > 0 {
+            return self.entries_per_group;
+        }
+        let pages_per_row = total_chips * u64::from(pages_per_block);
+        (pages_per_row / u64::from(mappings_per_page)).max(1) as usize
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn defaults_match_paper() {
+        let c = LearnedFtlConfig::default();
+        assert!((c.cmt_ratio - 0.015).abs() < 1e-9);
+        assert_eq!(c.max_pieces, 8);
+        assert!(c.charge_training_time);
+    }
+
+    #[test]
+    fn paper_geometry_gives_64_entries_per_group() {
+        let c = LearnedFtlConfig::default();
+        // 64 chips, 512 pages/block, 512 mappings/translation page (paper).
+        assert_eq!(c.effective_entries_per_group(64, 512, 512), 64);
+        // Scaled-down config: 16 chips, 128 pages/block.
+        assert_eq!(c.effective_entries_per_group(16, 128, 512), 4);
+        // Explicit override wins.
+        assert_eq!(
+            c.with_entries_per_group(7)
+                .effective_entries_per_group(64, 512, 512),
+            7
+        );
+    }
+
+    #[test]
+    fn cmt_entries_half_of_baseline() {
+        let c = LearnedFtlConfig::default();
+        assert_eq!(c.cmt_entries(100_000), 1500);
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one piece")]
+    fn zero_pieces_rejected() {
+        LearnedFtlConfig::default().with_max_pieces(0);
+    }
+}

@@ -1,0 +1,47 @@
+//! # learnedftl
+//!
+//! A from-scratch Rust implementation of **LearnedFTL** (Wang et al.,
+//! HPCA 2024): a learning-based page-level flash translation layer that
+//! reduces the address-translation-induced *double reads* of flash SSDs.
+//!
+//! LearnedFTL keeps TPFTL's demand-based cached mapping table for workloads
+//! with locality and adds, for random accesses, one tiny learned model per
+//! GTD entry — small enough (128 bytes) that **every** model stays in DRAM:
+//!
+//! * [`InPlaceModel`] — the in-place-update piecewise linear model with its
+//!   bitmap filter (paper § III-B); the bitmap guarantees that a prediction is
+//!   only used when it is exact, so there is never a misprediction penalty,
+//! * virtual PPNs (provided by [`ssd_sim::ppn_to_vppn`]) make the physically
+//!   scattered pages of parallel writes look contiguous to the models
+//!   (paper § III-C),
+//! * [`GroupAllocator`] — group-based allocation with opportunistic
+//!   cross-group borrowing (paper § III-D), which lets garbage collection
+//!   gather a whole GTD entry group into one VPPN-contiguous block row,
+//! * [`LearnedFtl`] — the full FTL: CMT → model → double-read fallback on
+//!   reads; group allocation, sequential initialisation and training-via-GC
+//!   on writes (paper § III-E).
+//!
+//! ```
+//! use ftl_base::Ftl;
+//! use learnedftl::{LearnedFtl, LearnedFtlConfig};
+//! use ssd_sim::{SimTime, SsdConfig};
+//!
+//! let mut ftl = LearnedFtl::new(SsdConfig::tiny(), LearnedFtlConfig::default());
+//! let t = ftl.write(0, 8, SimTime::ZERO);
+//! let t = ftl.read(0, 8, t);
+//! assert!(t > SimTime::ZERO);
+//! assert!(ftl.stats().double_reads == 0);
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod config;
+mod ftl;
+mod group;
+mod model;
+
+pub use config::LearnedFtlConfig;
+pub use ftl::LearnedFtl;
+pub use group::{GcRequest, GroupAllocator, GroupSlot};
+pub use model::InPlaceModel;

@@ -1,0 +1,259 @@
+//! Data-page allocation: the dynamic (least-busy chip) allocation strategy
+//! used by DFTL, TPFTL and LeaFTL, plus greedy victim selection for GC.
+
+use std::collections::VecDeque;
+
+use crate::partition::BlockPartition;
+use ssd_sim::{FlashDevice, Ppn, SimTime};
+
+/// Per-chip state of the dynamic data-page allocator.
+#[derive(Debug, Clone)]
+struct ChipState {
+    /// Erased data blocks available on this chip (flat block indices).
+    free: VecDeque<u64>,
+    /// The block currently being filled, plus its write cursor.
+    active: Option<(u64, u32)>,
+    /// Blocks that have been fully programmed (may contain invalid pages).
+    used: Vec<u64>,
+}
+
+/// The dynamic allocation strategy: each write is steered to the least-busy
+/// chip (ties broken by free space), which maximises parallelism but scatters
+/// consecutive LPNs across the device — exactly the behaviour that makes
+/// learned-index training hard (paper Challenge #2) and that the paper's
+/// group-based allocation replaces for LearnedFTL.
+#[derive(Debug, Clone)]
+pub struct DynamicDataPool {
+    chips: Vec<ChipState>,
+    pages_per_block: u32,
+    gc_low_watermark: usize,
+}
+
+/// A single page relocation performed by garbage collection.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct GcMove {
+    /// The logical page that was moved.
+    pub lpn: u64,
+    /// Its previous physical location.
+    pub old_ppn: Ppn,
+    /// Its new physical location.
+    pub new_ppn: Ppn,
+}
+
+impl DynamicDataPool {
+    /// Creates the pool over the data region of `partition`.
+    ///
+    /// `gc_low_watermark` is the number of erased data blocks below which
+    /// [`DynamicDataPool::needs_gc`] reports true; the paper's baselines use
+    /// a small fixed headroom.
+    pub fn new(partition: &BlockPartition, pages_per_block: u32, gc_low_watermark: usize) -> Self {
+        let chips = (0..partition.total_chips())
+            .map(|chip| ChipState {
+                free: partition.data_blocks_on_chip(chip).collect(),
+                active: None,
+                used: Vec::new(),
+            })
+            .collect();
+        DynamicDataPool {
+            chips,
+            pages_per_block,
+            gc_low_watermark,
+        }
+    }
+
+    /// Total number of erased data blocks across all chips.
+    pub fn free_block_count(&self) -> usize {
+        self.chips.iter().map(|c| c.free.len()).sum()
+    }
+
+    /// Total free (allocatable) pages, counting partially filled active blocks.
+    pub fn free_page_count(&self) -> u64 {
+        self.chips
+            .iter()
+            .map(|c| {
+                let active_free = c
+                    .active
+                    .map(|(_, cursor)| u64::from(self.pages_per_block - cursor))
+                    .unwrap_or(0);
+                c.free.len() as u64 * u64::from(self.pages_per_block) + active_free
+            })
+            .sum()
+    }
+
+    /// Whether garbage collection should run before accepting more writes.
+    pub fn needs_gc(&self) -> bool {
+        self.free_block_count() <= self.gc_low_watermark
+    }
+
+    /// Allocates the next data page, steering to the least-busy chip.
+    /// Returns `None` when every chip is out of space (the caller must GC).
+    pub fn allocate(&mut self, dev: &FlashDevice) -> Option<Ppn> {
+        let busy = dev.busy_until_per_chip();
+        // Order candidate chips by (busy_until, -free_pages).
+        let mut order: Vec<usize> = (0..self.chips.len()).collect();
+        order.sort_by_key(|&i| {
+            let c = &self.chips[i];
+            let free_pages = c.free.len() as u64 * u64::from(self.pages_per_block)
+                + c.active
+                    .map(|(_, cur)| u64::from(self.pages_per_block - cur))
+                    .unwrap_or(0);
+            (busy.get(i).copied().unwrap_or(SimTime::ZERO), u64::MAX - free_pages)
+        });
+        for idx in order {
+            if let Some(ppn) = self.allocate_on_chip(idx, dev) {
+                return Some(ppn);
+            }
+        }
+        None
+    }
+
+    /// Allocates the next data page on a specific chip (used by LeaFTL's
+    /// buffer flush, which round-robins channels to obtain VPPN-contiguous
+    /// placements). Returns `None` if the chip is out of space.
+    pub fn allocate_on_chip(&mut self, chip: usize, dev: &FlashDevice) -> Option<Ppn> {
+        let pages_per_block = self.pages_per_block;
+        let state = &mut self.chips[chip];
+        loop {
+            match state.active {
+                Some((block, cursor)) if cursor < pages_per_block => {
+                    state.active = Some((block, cursor + 1));
+                    return Some(dev.first_ppn_of_flat_block(block) + u64::from(cursor));
+                }
+                Some((block, _)) => {
+                    state.used.push(block);
+                    state.active = None;
+                }
+                None => match state.free.pop_front() {
+                    Some(block) => state.active = Some((block, 0)),
+                    None => return None,
+                },
+            }
+        }
+    }
+
+    /// Number of chips managed by the pool.
+    pub fn chip_count(&self) -> usize {
+        self.chips.len()
+    }
+
+    /// Picks the GC victim: the fully used data block with the fewest valid
+    /// pages. Returns `None` if there is no used block yet.
+    pub fn pick_victim(&self, dev: &FlashDevice) -> Option<u64> {
+        self.chips
+            .iter()
+            .flat_map(|c| c.used.iter().copied())
+            .min_by_key(|&blk| {
+                dev.block_info(blk)
+                    .map(|b| b.valid_pages())
+                    .unwrap_or(u32::MAX)
+            })
+    }
+
+    /// Removes `block` from the used list and returns it to the free list
+    /// (call after erasing it).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the block is not currently tracked as used.
+    pub fn release_block(&mut self, block: u64) {
+        for chip in &mut self.chips {
+            if let Some(pos) = chip.used.iter().position(|&b| b == block) {
+                chip.used.swap_remove(pos);
+                chip.free.push_back(block);
+                return;
+            }
+        }
+        panic!("release_block: block {block} was not in the used list");
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ssd_sim::{OobData, SsdConfig};
+
+    fn setup() -> (FlashDevice, DynamicDataPool) {
+        let cfg = SsdConfig::tiny();
+        let dev = FlashDevice::new(cfg);
+        let part = BlockPartition::for_config(&cfg, 512);
+        let pool = DynamicDataPool::new(&part, cfg.geometry.pages_per_block, 2);
+        (dev, pool)
+    }
+
+    #[test]
+    fn allocation_spreads_across_chips_when_idle() {
+        let (dev, mut pool) = setup();
+        // With all chips idle, consecutive allocations should not all land on
+        // one chip (ties are broken by free space, which decreases as a chip
+        // is used).
+        let mut chips_hit = std::collections::HashSet::new();
+        for _ in 0..8 {
+            let ppn = pool.allocate(&dev).unwrap();
+            let g = *dev.geometry();
+            chips_hit.insert(ssd_sim::PhysAddr::from_ppn(ppn, &g).chip_index(&g));
+        }
+        assert!(chips_hit.len() > 1, "allocations must use multiple chips");
+    }
+
+    #[test]
+    fn allocate_walks_block_in_order() {
+        let (mut dev, mut pool) = setup();
+        // Pin allocation to chip 0 and check PPNs are the in-order pages of a
+        // data block.
+        let first = pool.allocate_on_chip(0, &dev).unwrap();
+        let second = pool.allocate_on_chip(0, &dev).unwrap();
+        assert_eq!(second, first + 1);
+        // The device accepts programming them in that order.
+        dev.program_page(first, OobData::mapped(1), SimTime::ZERO).unwrap();
+        dev.program_page(second, OobData::mapped(2), SimTime::ZERO).unwrap();
+    }
+
+    #[test]
+    fn pool_exhaustion_returns_none_and_needs_gc() {
+        let cfg = SsdConfig::tiny();
+        let dev = FlashDevice::new(cfg);
+        let part = BlockPartition::for_config(&cfg, 512);
+        let mut pool = DynamicDataPool::new(&part, cfg.geometry.pages_per_block, 2);
+        let capacity = part.data_page_count();
+        for i in 0..capacity {
+            assert!(pool.allocate(&dev).is_some(), "allocation {i} failed early");
+        }
+        assert!(pool.allocate(&dev).is_none());
+        assert!(pool.needs_gc());
+        assert_eq!(pool.free_page_count(), 0);
+    }
+
+    #[test]
+    fn victim_selection_prefers_most_invalid() {
+        let (mut dev, mut pool) = setup();
+        let ppb = dev.geometry().pages_per_block;
+        // Fill two blocks worth of pages on chip 0.
+        let mut ppns = Vec::new();
+        for _ in 0..(2 * ppb) {
+            let ppn = pool.allocate_on_chip(0, &dev).unwrap();
+            dev.program_page(ppn, OobData::mapped(ppn), SimTime::ZERO).unwrap();
+            ppns.push(ppn);
+        }
+        // Invalidate most of the first block.
+        for &ppn in ppns.iter().take(ppb as usize - 2) {
+            dev.invalidate_page(ppn).unwrap();
+        }
+        let victim = pool.pick_victim(&dev).unwrap();
+        assert_eq!(victim, dev.flat_block_of_ppn(ppns[0]));
+        // Releasing after erase puts it back on the free list.
+        for &ppn in ppns.iter().take(ppb as usize) {
+            dev.invalidate_page(ppn).ok();
+        }
+        dev.erase_block(victim, SimTime::ZERO).unwrap();
+        let before = pool.free_block_count();
+        pool.release_block(victim);
+        assert_eq!(pool.free_block_count(), before + 1);
+    }
+
+    #[test]
+    #[should_panic(expected = "not in the used list")]
+    fn releasing_unknown_block_panics() {
+        let (_dev, mut pool) = setup();
+        pool.release_block(0);
+    }
+}

@@ -1,0 +1,422 @@
+//! Cached Mapping Table (CMT) variants.
+//!
+//! * [`EntryCmt`] — the entry-granular LRU cache used by DFTL: each cached
+//!   item is a single LPN→PPN mapping.
+//! * [`PageNodeCmt`] — the two-level CMT used by TPFTL (and reused by
+//!   LearnedFTL): mappings are grouped into per-translation-page nodes, the
+//!   LRU order is maintained at node granularity, and evicting a node flushes
+//!   all of its dirty mappings with a single translation-page write.
+
+use std::collections::HashMap;
+
+use crate::lru::LruCache;
+use crate::request::Lpn;
+use ssd_sim::Ppn;
+
+/// One cached mapping.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct CmtEntry {
+    /// The cached physical location.
+    pub ppn: Ppn,
+    /// Whether the cached mapping is newer than the flash copy.
+    pub dirty: bool,
+}
+
+/// DFTL's entry-granular cached mapping table.
+///
+/// ```
+/// use ftl_base::EntryCmt;
+/// let mut cmt = EntryCmt::new(2);
+/// cmt.insert_clean(1, 100);
+/// assert_eq!(cmt.lookup(1), Some(100));
+/// cmt.insert_dirty(2, 200);
+/// let evicted = cmt.insert_clean(3, 300);          // evicts LPN 1 or 2
+/// assert!(evicted.is_some());
+/// ```
+#[derive(Debug, Clone)]
+pub struct EntryCmt {
+    cache: LruCache<Lpn, CmtEntry>,
+}
+
+impl EntryCmt {
+    /// Creates a CMT holding at most `capacity` mappings.
+    pub fn new(capacity: usize) -> Self {
+        EntryCmt {
+            cache: LruCache::new(capacity),
+        }
+    }
+
+    /// Maximum number of cached mappings.
+    pub fn capacity(&self) -> usize {
+        self.cache.capacity()
+    }
+
+    /// Current number of cached mappings.
+    pub fn len(&self) -> usize {
+        self.cache.len()
+    }
+
+    /// Whether the CMT is empty.
+    pub fn is_empty(&self) -> bool {
+        self.cache.is_empty()
+    }
+
+    /// Looks up a mapping, refreshing its recency.
+    pub fn lookup(&mut self, lpn: Lpn) -> Option<Ppn> {
+        self.cache.get(&lpn).map(|e| e.ppn)
+    }
+
+    /// Whether a mapping is cached, without touching recency.
+    pub fn contains(&self, lpn: Lpn) -> bool {
+        self.cache.contains(&lpn)
+    }
+
+    /// Inserts a clean mapping (loaded from a translation page). Returns the
+    /// evicted entry, if any.
+    pub fn insert_clean(&mut self, lpn: Lpn, ppn: Ppn) -> Option<(Lpn, CmtEntry)> {
+        self.cache.insert(lpn, CmtEntry { ppn, dirty: false })
+    }
+
+    /// Inserts or updates a dirty mapping (produced by a host write). Returns
+    /// the evicted entry, if any.
+    pub fn insert_dirty(&mut self, lpn: Lpn, ppn: Ppn) -> Option<(Lpn, CmtEntry)> {
+        self.cache.insert(lpn, CmtEntry { ppn, dirty: true })
+    }
+
+    /// Updates the PPN of a cached mapping if present (marking it dirty),
+    /// returning whether it was cached.
+    pub fn update_if_cached(&mut self, lpn: Lpn, ppn: Ppn) -> bool {
+        if let Some(entry) = self.cache.peek_mut(&lpn) {
+            entry.ppn = ppn;
+            entry.dirty = true;
+            true
+        } else {
+            false
+        }
+    }
+
+    /// Overwrites the PPN of a cached mapping without changing its dirty bit
+    /// (used when GC relocates a page: the flash copy is updated separately).
+    pub fn refresh_if_cached(&mut self, lpn: Lpn, ppn: Ppn) {
+        if let Some(entry) = self.cache.peek_mut(&lpn) {
+            entry.ppn = ppn;
+        }
+    }
+
+    /// Removes a mapping.
+    pub fn remove(&mut self, lpn: Lpn) -> Option<CmtEntry> {
+        self.cache.remove(&lpn)
+    }
+
+    /// Collects and cleans every dirty mapping in the half-open LPN range.
+    /// DFTL uses this to batch-flush all dirty mappings that share the
+    /// evicted entry's translation page.
+    pub fn take_dirty_in_range(&mut self, start: Lpn, end: Lpn) -> Vec<(Lpn, Ppn)> {
+        let lpns: Vec<Lpn> = self
+            .cache
+            .iter()
+            .filter(|(lpn, e)| (start..end).contains(*lpn) && e.dirty)
+            .map(|(lpn, _)| *lpn)
+            .collect();
+        let mut out = Vec::with_capacity(lpns.len());
+        for lpn in lpns {
+            if let Some(entry) = self.cache.peek_mut(&lpn) {
+                entry.dirty = false;
+                out.push((lpn, entry.ppn));
+            }
+        }
+        out
+    }
+}
+
+/// A per-translation-page node of the two-level CMT.
+pub type TransNode = HashMap<u32, CmtEntry>;
+
+/// TPFTL's two-level cached mapping table.
+///
+/// Nodes are keyed by translation-page number (GTD entry index); the LRU
+/// order is per node, and capacity is counted in *mappings*, so evicting one
+/// node can free many mappings at once and its dirty mappings can be written
+/// back with a single translation-page update (the batching that gives TPFTL
+/// its low write overhead).
+#[derive(Debug, Clone)]
+pub struct PageNodeCmt {
+    nodes: LruCache<usize, TransNode>,
+    capacity_entries: usize,
+    total_entries: usize,
+}
+
+impl PageNodeCmt {
+    /// Creates a CMT holding at most `capacity_entries` mappings.
+    pub fn new(capacity_entries: usize) -> Self {
+        PageNodeCmt {
+            // Node count can never exceed the entry count, so the inner LRU
+            // never evicts on its own; evictions are driven by entry budget.
+            nodes: LruCache::new(capacity_entries.max(1)),
+            capacity_entries,
+            total_entries: 0,
+        }
+    }
+
+    /// Maximum number of cached mappings.
+    pub fn capacity(&self) -> usize {
+        self.capacity_entries
+    }
+
+    /// Current number of cached mappings.
+    pub fn len(&self) -> usize {
+        self.total_entries
+    }
+
+    /// Whether the CMT is empty.
+    pub fn is_empty(&self) -> bool {
+        self.total_entries == 0
+    }
+
+    /// Number of cached translation-page nodes.
+    pub fn node_count(&self) -> usize {
+        self.nodes.len()
+    }
+
+    /// Looks up the mapping for (`tpn`, `offset`), refreshing the node's
+    /// recency.
+    pub fn lookup(&mut self, tpn: usize, offset: u32) -> Option<Ppn> {
+        self.nodes.get(&tpn).and_then(|n| n.get(&offset)).map(|e| e.ppn)
+    }
+
+    /// Whether the mapping for (`tpn`, `offset`) is cached.
+    pub fn contains(&self, tpn: usize, offset: u32) -> bool {
+        self.nodes
+            .peek(&tpn)
+            .map(|n| n.contains_key(&offset))
+            .unwrap_or(false)
+    }
+
+    /// Inserts a batch of mappings into the node for `tpn`; mappings are
+    /// `(offset, ppn, dirty)` triples. Returns the evicted nodes (as
+    /// `(tpn, node)` pairs) that had to be dropped to respect capacity.
+    pub fn insert_batch(
+        &mut self,
+        tpn: usize,
+        mappings: &[(u32, Ppn, bool)],
+    ) -> Vec<(usize, TransNode)> {
+        if self.capacity_entries == 0 {
+            return Vec::new();
+        }
+        if !self.nodes.contains(&tpn) {
+            if let Some((etpn, enode)) = self.nodes.insert(tpn, TransNode::new()) {
+                // Should not happen (capacity in nodes >= capacity in entries)
+                // but handle it defensively as an eviction.
+                self.total_entries -= enode.len();
+                let mut evicted = vec![(etpn, enode)];
+                evicted.extend(self.insert_into_existing(tpn, mappings));
+                return evicted;
+            }
+        }
+        self.insert_into_existing(tpn, mappings)
+    }
+
+    fn insert_into_existing(
+        &mut self,
+        tpn: usize,
+        mappings: &[(u32, Ppn, bool)],
+    ) -> Vec<(usize, TransNode)> {
+        if let Some(node) = self.nodes.get_mut(&tpn) {
+            for &(offset, ppn, dirty) in mappings {
+                let previous = node.insert(offset, CmtEntry { ppn, dirty });
+                if previous.is_none() {
+                    self.total_entries += 1;
+                }
+            }
+        }
+        let mut evicted = Vec::new();
+        while self.total_entries > self.capacity_entries {
+            // Evict the least-recently-used node that is not the one we just
+            // touched, unless it is the only node.
+            let lru = match self.nodes.lru_key().copied() {
+                Some(k) => k,
+                None => break,
+            };
+            if lru == tpn && self.nodes.len() == 1 {
+                // The active node alone exceeds capacity: trim it by dropping
+                // arbitrary clean entries first, then dirty ones.
+                if let Some(node) = self.nodes.peek_mut(&tpn) {
+                    let excess = self.total_entries - self.capacity_entries;
+                    let mut removed = 0;
+                    let keys: Vec<u32> = node.keys().copied().collect();
+                    for key in keys {
+                        if removed >= excess {
+                            break;
+                        }
+                        node.remove(&key);
+                        removed += 1;
+                    }
+                    self.total_entries -= removed;
+                }
+                break;
+            }
+            let victim_key = if lru == tpn {
+                // Skip the just-touched node: evict the next LRU instead by
+                // temporarily touching it to the front.
+                self.nodes.get(&tpn);
+                match self.nodes.lru_key().copied() {
+                    Some(k) => k,
+                    None => break,
+                }
+            } else {
+                lru
+            };
+            if let Some(node) = self.nodes.remove(&victim_key) {
+                self.total_entries -= node.len();
+                evicted.push((victim_key, node));
+            }
+        }
+        evicted
+    }
+
+    /// Updates the mapping for (`tpn`, `offset`) if cached, marking it dirty.
+    /// Returns whether it was cached.
+    pub fn update_if_cached(&mut self, tpn: usize, offset: u32, ppn: Ppn) -> bool {
+        if let Some(node) = self.nodes.peek_mut(&tpn) {
+            if let Some(entry) = node.get_mut(&offset) {
+                entry.ppn = ppn;
+                entry.dirty = true;
+                return true;
+            }
+        }
+        false
+    }
+
+    /// Overwrites the PPN for (`tpn`, `offset`) if cached without changing the
+    /// dirty bit (GC relocation refresh).
+    pub fn refresh_if_cached(&mut self, tpn: usize, offset: u32, ppn: Ppn) {
+        if let Some(node) = self.nodes.peek_mut(&tpn) {
+            if let Some(entry) = node.get_mut(&offset) {
+                entry.ppn = ppn;
+            }
+        }
+    }
+}
+
+/// Returns the dirty `(offset, ppn)` pairs of an evicted node.
+pub fn dirty_mappings(node: &TransNode) -> Vec<(u32, Ppn)> {
+    node.iter()
+        .filter(|(_, e)| e.dirty)
+        .map(|(&off, e)| (off, e.ppn))
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn entry_cmt_basic_flow() {
+        let mut cmt = EntryCmt::new(3);
+        cmt.insert_clean(10, 100);
+        cmt.insert_dirty(11, 110);
+        assert_eq!(cmt.lookup(10), Some(100));
+        assert_eq!(cmt.lookup(99), None);
+        assert!(cmt.update_if_cached(10, 101));
+        assert!(!cmt.update_if_cached(99, 0));
+        assert_eq!(cmt.lookup(10), Some(101));
+        assert_eq!(cmt.len(), 2);
+    }
+
+    #[test]
+    fn entry_cmt_dirty_batch_flush() {
+        let mut cmt = EntryCmt::new(10);
+        cmt.insert_dirty(0, 5);
+        cmt.insert_dirty(1, 6);
+        cmt.insert_clean(2, 7);
+        cmt.insert_dirty(600, 8);
+        let flushed = {
+            let mut f = cmt.take_dirty_in_range(0, 512);
+            f.sort_unstable();
+            f
+        };
+        assert_eq!(flushed, vec![(0, 5), (1, 6)]);
+        // A second flush finds nothing dirty in that range.
+        assert!(cmt.take_dirty_in_range(0, 512).is_empty());
+        // The out-of-range dirty entry is untouched.
+        assert_eq!(cmt.take_dirty_in_range(512, 1024), vec![(600, 8)]);
+    }
+
+    #[test]
+    fn entry_cmt_eviction_when_full() {
+        let mut cmt = EntryCmt::new(2);
+        cmt.insert_clean(1, 10);
+        cmt.insert_clean(2, 20);
+        cmt.lookup(1);
+        let evicted = cmt.insert_clean(3, 30).unwrap();
+        assert_eq!(evicted.0, 2);
+        assert_eq!(cmt.len(), 2);
+    }
+
+    #[test]
+    fn page_node_cmt_groups_by_translation_page() {
+        let mut cmt = PageNodeCmt::new(100);
+        cmt.insert_batch(0, &[(0, 100, false), (1, 101, false)]);
+        cmt.insert_batch(3, &[(9, 900, true)]);
+        assert_eq!(cmt.lookup(0, 1), Some(101));
+        assert_eq!(cmt.lookup(3, 9), Some(900));
+        assert_eq!(cmt.lookup(3, 10), None);
+        assert_eq!(cmt.node_count(), 2);
+        assert_eq!(cmt.len(), 3);
+    }
+
+    #[test]
+    fn page_node_cmt_evicts_whole_nodes() {
+        let mut cmt = PageNodeCmt::new(4);
+        cmt.insert_batch(0, &[(0, 1, false), (1, 2, false), (2, 3, false)]);
+        // Touch node 0 so it is MRU, then overflow with node 1.
+        cmt.lookup(0, 0);
+        let evicted = cmt.insert_batch(1, &[(0, 10, true), (1, 11, false)]);
+        assert_eq!(evicted.len(), 1);
+        assert_eq!(evicted[0].0, 0, "the older node must be evicted");
+        assert!(cmt.len() <= 4);
+        assert_eq!(cmt.lookup(1, 0), Some(10));
+        assert_eq!(cmt.lookup(0, 0), None);
+        let dirty = dirty_mappings(&evicted[0].1);
+        assert!(dirty.is_empty(), "node 0 had no dirty mappings");
+    }
+
+    #[test]
+    fn page_node_cmt_single_huge_node_is_trimmed() {
+        let mut cmt = PageNodeCmt::new(4);
+        let mappings: Vec<(u32, Ppn, bool)> = (0..10).map(|i| (i, u64::from(i), false)).collect();
+        let evicted = cmt.insert_batch(0, &mappings);
+        assert!(evicted.is_empty());
+        assert!(cmt.len() <= 4, "node must be trimmed to capacity");
+    }
+
+    #[test]
+    fn page_node_cmt_update_and_refresh() {
+        let mut cmt = PageNodeCmt::new(10);
+        cmt.insert_batch(2, &[(5, 55, false)]);
+        assert!(cmt.update_if_cached(2, 5, 56));
+        assert!(!cmt.update_if_cached(2, 6, 57));
+        assert_eq!(cmt.lookup(2, 5), Some(56));
+        cmt.refresh_if_cached(2, 5, 60);
+        assert_eq!(cmt.lookup(2, 5), Some(60));
+    }
+
+    #[test]
+    fn dirty_mappings_extracts_only_dirty() {
+        let mut node = TransNode::new();
+        node.insert(1, CmtEntry { ppn: 10, dirty: true });
+        node.insert(2, CmtEntry { ppn: 20, dirty: false });
+        let mut dirty = dirty_mappings(&node);
+        dirty.sort_unstable();
+        assert_eq!(dirty, vec![(1, 10)]);
+    }
+
+    #[test]
+    fn zero_capacity_page_node_cmt_caches_nothing() {
+        let mut cmt = PageNodeCmt::new(0);
+        let evicted = cmt.insert_batch(0, &[(0, 1, false)]);
+        assert!(evicted.is_empty());
+        assert_eq!(cmt.len(), 0);
+        assert_eq!(cmt.lookup(0, 0), None);
+    }
+}

@@ -1,0 +1,335 @@
+//! The shared FTL engine: device + mapping table + GTD + translation store.
+
+use std::collections::BTreeSet;
+
+use crate::alloc::{DynamicDataPool, GcMove};
+use crate::gtd::Gtd;
+use crate::mapping::MappingTable;
+use crate::partition::BlockPartition;
+use crate::request::Lpn;
+use crate::stats::FtlStats;
+use crate::transpage::TransPageStore;
+use ssd_sim::{FlashDevice, OobData, PageState, Ppn, SimTime, SsdConfig};
+
+/// Number of bytes per mapping entry in a translation page (LPN→PPN, 8 B).
+pub const MAPPING_ENTRY_BYTES: u32 = 8;
+
+/// The pieces every page-level FTL in this workspace shares: the simulated
+/// device, the authoritative mapping table, the GTD, the on-flash translation
+/// page store and the statistics counters.
+///
+/// Policy — which mappings are cached, how pages are allocated, when GC runs
+/// and whether learned models are consulted — lives in the concrete FTL
+/// implementations (`baselines` and `learnedftl` crates). `FtlCore` only
+/// provides correct, accounted mechanisms.
+#[derive(Debug, Clone)]
+pub struct FtlCore {
+    /// The simulated flash device.
+    pub dev: FlashDevice,
+    /// The authoritative LPN→PPN table (the logical content of all
+    /// translation pages).
+    pub mapping: MappingTable,
+    /// The Global Translation Directory.
+    pub gtd: Gtd,
+    /// The on-flash translation page store.
+    pub trans: TransPageStore,
+    /// FTL-level statistics.
+    pub stats: FtlStats,
+    /// The data/translation block partition.
+    pub partition: BlockPartition,
+    logical_pages: u64,
+}
+
+impl FtlCore {
+    /// Creates the shared engine for a device configuration.
+    pub fn new(config: SsdConfig) -> Self {
+        let mappings_per_page = config.geometry.page_size / MAPPING_ENTRY_BYTES;
+        let partition = BlockPartition::for_config(&config, mappings_per_page);
+        let logical_pages = config.logical_pages();
+        FtlCore {
+            dev: FlashDevice::new(config),
+            mapping: MappingTable::new(logical_pages),
+            gtd: Gtd::new(logical_pages, mappings_per_page),
+            trans: TransPageStore::new(&partition),
+            stats: FtlStats::new(),
+            partition,
+            logical_pages,
+        }
+    }
+
+    /// Number of logical pages exposed to the host.
+    pub fn logical_pages(&self) -> u64 {
+        self.logical_pages
+    }
+
+    /// Number of mappings per translation page.
+    pub fn mappings_per_page(&self) -> u32 {
+        self.gtd.mappings_per_page()
+    }
+
+    /// The GTD entry (translation page number) responsible for `lpn`.
+    pub fn entry_of_lpn(&self, lpn: Lpn) -> usize {
+        self.gtd.entry_of_lpn(lpn)
+    }
+
+    /// The offset of `lpn` within its translation page.
+    pub fn offset_of_lpn(&self, lpn: Lpn) -> u32 {
+        self.gtd.offset_of_lpn(lpn)
+    }
+
+    /// Reads the data page at `ppn`, charging the flash read. Returns the
+    /// completion time.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the page is not readable (free or out of range); callers
+    /// only pass PPNs obtained from the mapping table.
+    pub fn read_data(&mut self, ppn: Ppn, now: SimTime) -> SimTime {
+        self.dev
+            .read_page(ppn, now)
+            .expect("mapped data page must be readable")
+    }
+
+    /// Reads the translation page covering GTD entry `tpn`. Returns the
+    /// completion time (equal to `now` if the page was never written).
+    pub fn read_translation(&mut self, tpn: usize, now: SimTime) -> SimTime {
+        self.trans
+            .read_page(tpn, &self.gtd, &mut self.dev, &mut self.stats, now)
+    }
+
+    /// Writes a fresh copy of the translation page covering GTD entry `tpn`.
+    /// Returns the completion time.
+    pub fn write_translation(&mut self, tpn: usize, now: SimTime) -> SimTime {
+        self.trans
+            .write_page(tpn, &mut self.gtd, &mut self.dev, &mut self.stats, now)
+    }
+
+    /// Performs a read-modify-write of every translation page in `entries`
+    /// (one flash read plus one flash program each), as DFTL-style FTLs do
+    /// when flushing dirty mappings or after GC. Returns the completion time.
+    pub fn flush_translation_entries(
+        &mut self,
+        entries: &BTreeSet<usize>,
+        now: SimTime,
+    ) -> SimTime {
+        let mut t = now;
+        for &tpn in entries {
+            let read_done = self.read_translation(tpn, t);
+            t = self.write_translation(tpn, read_done);
+        }
+        t
+    }
+
+    /// Programs host data for `lpn` into the already-allocated page `ppn`,
+    /// invalidating the previous location and updating the mapping table.
+    /// Returns the completion time.
+    ///
+    /// The caller is responsible for having allocated `ppn` from a data block
+    /// pool. Host-page accounting (`host_write_pages`) is also the caller's
+    /// job; this method counts the physical program (`data_page_writes`).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the page cannot be programmed (allocation bug).
+    pub fn program_data(&mut self, lpn: Lpn, ppn: Ppn, now: SimTime) -> SimTime {
+        let done = self
+            .dev
+            .program_page(ppn, OobData::mapped(lpn), now)
+            .expect("allocated data page must be programmable");
+        if let Some(old) = self.mapping.update(lpn, ppn) {
+            self.dev
+                .invalidate_page(old)
+                .expect("previous mapping must point to an existing page");
+        }
+        self.stats.data_page_writes += 1;
+        done
+    }
+
+    /// Relocates a valid data page during GC: reads it, programs it at
+    /// `new_ppn`, invalidates the old copy and updates the mapping table.
+    /// Returns the completion time.
+    pub fn relocate_data(&mut self, lpn: Lpn, old_ppn: Ppn, new_ppn: Ppn, now: SimTime) -> SimTime {
+        let read_done = self
+            .dev
+            .read_page(old_ppn, now)
+            .expect("valid page must be readable");
+        self.stats.gc_page_reads += 1;
+        let done = self
+            .dev
+            .program_page(new_ppn, OobData::mapped(lpn), read_done)
+            .expect("GC destination page must be programmable");
+        self.dev
+            .invalidate_page(old_ppn)
+            .expect("old page must exist");
+        self.mapping.update(lpn, new_ppn);
+        self.stats.gc_page_writes += 1;
+        done
+    }
+}
+
+/// The result of collecting one victim block with the greedy GC policy.
+#[derive(Debug, Clone)]
+pub struct GcOutcome {
+    /// Every page relocation performed.
+    pub moves: Vec<GcMove>,
+    /// The GTD entries whose mappings changed (the caller decides whether and
+    /// when to flush them to translation pages).
+    pub dirty_entries: BTreeSet<usize>,
+    /// Simulated completion time of the whole collection.
+    pub done: SimTime,
+    /// The victim block that was erased.
+    pub victim: u64,
+}
+
+/// Runs one round of greedy garbage collection over a [`DynamicDataPool`]:
+/// picks the used block with the fewest valid pages, relocates its valid
+/// pages to freshly allocated pages, erases it and returns it to the pool.
+///
+/// Returns `None` if there is no used block to collect.
+pub fn run_greedy_gc(
+    core: &mut FtlCore,
+    pool: &mut DynamicDataPool,
+    now: SimTime,
+) -> Option<GcOutcome> {
+    let victim = pool.pick_victim(&core.dev)?;
+    // Refuse to start a collection that could not finish: relocating the
+    // victim's valid pages needs at least that many free page slots elsewhere.
+    let victim_valid = u64::from(
+        core.dev
+            .block_info(victim)
+            .map(|b| b.valid_pages())
+            .unwrap_or(0),
+    );
+    if pool.free_page_count() < victim_valid + 1 {
+        return None;
+    }
+    core.stats.record_gc(now);
+    let mut moves = Vec::new();
+    let mut dirty_entries = BTreeSet::new();
+    let mut t = now;
+    let first = core.dev.first_ppn_of_flat_block(victim);
+    let pages = u64::from(core.dev.geometry().pages_per_block);
+    for old_ppn in first..first + pages {
+        if core.dev.page_state(old_ppn).expect("ppn in range") != PageState::Valid {
+            continue;
+        }
+        let lpn = core
+            .dev
+            .oob(old_ppn)
+            .expect("ppn in range")
+            .lpn
+            .expect("valid data page must carry its LPN in OOB");
+        let new_ppn = pool
+            .allocate(&core.dev)
+            .expect("GC must have headroom to relocate valid pages");
+        t = core.relocate_data(lpn, old_ppn, new_ppn, t);
+        dirty_entries.insert(core.entry_of_lpn(lpn));
+        moves.push(GcMove {
+            lpn,
+            old_ppn,
+            new_ppn,
+        });
+    }
+    let erased = core
+        .dev
+        .erase_block(victim, t)
+        .expect("victim has no valid pages left");
+    core.stats.blocks_erased += 1;
+    pool.release_block(victim);
+    core.stats.gc_flash_time += erased - now;
+    Some(GcOutcome {
+        moves,
+        dirty_entries,
+        done: erased,
+        victim,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn core_and_pool() -> (FtlCore, DynamicDataPool) {
+        let cfg = SsdConfig::tiny();
+        let core = FtlCore::new(cfg);
+        let pool = DynamicDataPool::new(&core.partition, cfg.geometry.pages_per_block, 2);
+        (core, pool)
+    }
+
+    #[test]
+    fn program_data_updates_mapping_and_invalidates_old() {
+        let (mut core, mut pool) = core_and_pool();
+        let p1 = pool.allocate(&core.dev).unwrap();
+        core.program_data(7, p1, SimTime::ZERO);
+        assert_eq!(core.mapping.get(7), Some(p1));
+        let p2 = pool.allocate(&core.dev).unwrap();
+        core.program_data(7, p2, SimTime::ZERO);
+        assert_eq!(core.mapping.get(7), Some(p2));
+        assert_eq!(core.dev.page_state(p1).unwrap(), PageState::Invalid);
+        assert_eq!(core.stats.data_page_writes, 2);
+    }
+
+    #[test]
+    fn translation_round_trip_counts() {
+        let (mut core, _) = core_and_pool();
+        let t = core.write_translation(0, SimTime::ZERO);
+        assert!(t > SimTime::ZERO);
+        let t2 = core.read_translation(0, t);
+        assert!(t2 > t);
+        assert_eq!(core.stats.translation_writes, 1);
+        assert_eq!(core.stats.translation_reads, 1);
+    }
+
+    #[test]
+    fn flush_translation_entries_rmw_each_entry() {
+        let (mut core, _) = core_and_pool();
+        // Seed entries 0 and 1 so the flush has something to read.
+        core.write_translation(0, SimTime::ZERO);
+        core.write_translation(1, SimTime::ZERO);
+        let before_reads = core.stats.translation_reads;
+        let before_writes = core.stats.translation_writes;
+        let entries: BTreeSet<usize> = [0usize, 1].into_iter().collect();
+        core.flush_translation_entries(&entries, SimTime::ZERO);
+        assert_eq!(core.stats.translation_reads - before_reads, 2);
+        assert_eq!(core.stats.translation_writes - before_writes, 2);
+    }
+
+    #[test]
+    fn greedy_gc_relocates_and_frees_a_block() {
+        let (mut core, mut pool) = core_and_pool();
+        let ppb = core.dev.geometry().pages_per_block as u64;
+        // Write enough pages to fill several blocks, overwriting half the
+        // LPNs so invalid pages accumulate.
+        let lpns = ppb * 4;
+        let mut t = SimTime::ZERO;
+        for round in 0..3u64 {
+            for lpn in 0..lpns {
+                if round > 0 && lpn % 2 == 0 {
+                    continue;
+                }
+                let ppn = pool.allocate(&core.dev).expect("space available");
+                t = core.program_data(lpn, ppn, t);
+            }
+        }
+        let free_before = pool.free_block_count();
+        let outcome = run_greedy_gc(&mut core, &mut pool, t).expect("victim exists");
+        assert!(pool.free_block_count() >= free_before, "block returned to pool");
+        assert_eq!(core.stats.gc_count, 1);
+        assert!(core.stats.blocks_erased >= 1);
+        // Every relocated LPN still maps to a valid page holding it.
+        for mv in &outcome.moves {
+            assert_eq!(core.mapping.get(mv.lpn), Some(mv.new_ppn));
+            assert_eq!(core.dev.page_state(mv.new_ppn).unwrap(), PageState::Valid);
+            assert_eq!(core.dev.oob(mv.new_ppn).unwrap().lpn, Some(mv.lpn));
+        }
+        // The victim block is erased.
+        let first = core.dev.first_ppn_of_flat_block(outcome.victim);
+        assert_eq!(core.dev.page_state(first).unwrap(), PageState::Free);
+    }
+
+    #[test]
+    fn greedy_gc_without_used_blocks_is_none() {
+        let (mut core, mut pool) = core_and_pool();
+        assert!(run_greedy_gc(&mut core, &mut pool, SimTime::ZERO).is_none());
+    }
+}

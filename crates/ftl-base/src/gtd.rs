@@ -1,0 +1,133 @@
+//! The Global Translation Directory (GTD).
+
+use crate::request::Lpn;
+use ssd_sim::Ppn;
+
+/// The Global Translation Directory: for every translation page (a flash page
+/// holding a contiguous slice of the LPN→PPN mapping table), the GTD records
+/// where that translation page currently lives in flash.
+///
+/// With 4 KiB pages and 8-byte mapping entries each translation page covers
+/// 512 LPNs, which is also the LPN range of one LearnedFTL in-place-update
+/// model (the paper attaches exactly one model to each GTD entry).
+///
+/// ```
+/// use ftl_base::Gtd;
+/// let gtd = Gtd::new(10_000, 512);
+/// assert_eq!(gtd.entries(), 20);           // ceil(10000 / 512)
+/// assert_eq!(gtd.entry_of_lpn(1023), 1);
+/// assert_eq!(gtd.offset_of_lpn(1023), 511);
+/// assert_eq!(gtd.lpn_range(1), (512, 1024));
+/// ```
+#[derive(Debug, Clone)]
+pub struct Gtd {
+    locations: Vec<Option<Ppn>>,
+    mappings_per_page: u32,
+    logical_pages: u64,
+}
+
+impl Gtd {
+    /// Creates a directory for `logical_pages` LPNs with `mappings_per_page`
+    /// mappings per translation page.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `mappings_per_page` is zero.
+    pub fn new(logical_pages: u64, mappings_per_page: u32) -> Self {
+        assert!(mappings_per_page > 0, "mappings_per_page must be non-zero");
+        let entries = logical_pages.div_ceil(u64::from(mappings_per_page)) as usize;
+        Gtd {
+            locations: vec![None; entries],
+            mappings_per_page,
+            logical_pages,
+        }
+    }
+
+    /// Number of GTD entries (translation pages).
+    pub fn entries(&self) -> usize {
+        self.locations.len()
+    }
+
+    /// Number of mappings covered by each translation page.
+    pub fn mappings_per_page(&self) -> u32 {
+        self.mappings_per_page
+    }
+
+    /// Number of logical pages covered by the directory.
+    pub fn logical_pages(&self) -> u64 {
+        self.logical_pages
+    }
+
+    /// The GTD entry (translation page number) responsible for `lpn`.
+    pub fn entry_of_lpn(&self, lpn: Lpn) -> usize {
+        (lpn / u64::from(self.mappings_per_page)) as usize
+    }
+
+    /// The offset of `lpn` within its translation page.
+    pub fn offset_of_lpn(&self, lpn: Lpn) -> u32 {
+        (lpn % u64::from(self.mappings_per_page)) as u32
+    }
+
+    /// The half-open LPN range `[start, end)` covered by GTD entry `entry`.
+    pub fn lpn_range(&self, entry: usize) -> (Lpn, Lpn) {
+        let start = entry as u64 * u64::from(self.mappings_per_page);
+        let end = (start + u64::from(self.mappings_per_page)).min(self.logical_pages);
+        (start, end)
+    }
+
+    /// The flash location of the translation page for `entry`, if it has ever
+    /// been written.
+    pub fn location(&self, entry: usize) -> Option<Ppn> {
+        self.locations.get(entry).copied().flatten()
+    }
+
+    /// Records that translation page `entry` now lives at `ppn`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `entry` is out of range.
+    pub fn set_location(&mut self, entry: usize, ppn: Ppn) {
+        self.locations[entry] = Some(ppn);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn entry_and_offset_math() {
+        let gtd = Gtd::new(4096, 512);
+        assert_eq!(gtd.entries(), 8);
+        assert_eq!(gtd.entry_of_lpn(0), 0);
+        assert_eq!(gtd.entry_of_lpn(511), 0);
+        assert_eq!(gtd.entry_of_lpn(512), 1);
+        assert_eq!(gtd.offset_of_lpn(512), 0);
+        assert_eq!(gtd.offset_of_lpn(1000), 488);
+    }
+
+    #[test]
+    fn ragged_last_entry() {
+        let gtd = Gtd::new(1000, 512);
+        assert_eq!(gtd.entries(), 2);
+        assert_eq!(gtd.lpn_range(0), (0, 512));
+        assert_eq!(gtd.lpn_range(1), (512, 1000));
+    }
+
+    #[test]
+    fn locations_start_unset() {
+        let mut gtd = Gtd::new(1024, 512);
+        assert_eq!(gtd.location(0), None);
+        gtd.set_location(0, 777);
+        assert_eq!(gtd.location(0), Some(777));
+        assert_eq!(gtd.location(1), None);
+        assert_eq!(gtd.location(99), None, "out of range is None, not panic");
+    }
+
+    #[test]
+    fn paper_sized_gtd() {
+        // 32 GiB / 4 KiB = 8 Mi logical pages => 16384 GTD entries (paper IV-A).
+        let gtd = Gtd::new(8 * 1024 * 1024, 512);
+        assert_eq!(gtd.entries(), 16384);
+    }
+}

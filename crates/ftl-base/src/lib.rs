@@ -1,0 +1,104 @@
+//! # ftl-base
+//!
+//! Shared machinery for page-level flash translation layers (FTLs).
+//!
+//! The LearnedFTL paper compares five FTL designs (DFTL, TPFTL, LeaFTL,
+//! LearnedFTL and an ideal full-map FTL). They all share the same mechanisms —
+//! a cached mapping table, a global translation directory, on-flash
+//! translation pages, data-page allocation, greedy garbage collection and
+//! double-read accounting — and differ only in policy. This crate provides
+//! those mechanisms:
+//!
+//! * [`Ftl`] — the trait every FTL implements; the experiment harness drives
+//!   FTLs exclusively through it,
+//! * [`FtlCore`] — device + mapping table + GTD + translation-page store,
+//! * [`EntryCmt`] / [`PageNodeCmt`] — the DFTL-style and TPFTL-style cached
+//!   mapping tables,
+//! * [`DynamicDataPool`] + [`run_greedy_gc`] — dynamic (least-busy-chip) page
+//!   allocation and greedy victim collection,
+//! * [`FtlStats`] — hit ratios, single/double/triple read counts, write
+//!   amplification and GC accounting,
+//! * [`LruCache`] — the underlying recency structure.
+//!
+//! ```
+//! use ftl_base::{Ftl, HostRequest};
+//! use ssd_sim::SimTime;
+//!
+//! fn run_one<F: Ftl>(ftl: &mut F) {
+//!     let done = ftl.submit(HostRequest::write(0, 1), SimTime::ZERO);
+//!     let done = ftl.submit(HostRequest::read(0, 1), done);
+//!     assert!(done > SimTime::ZERO);
+//! }
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod alloc;
+mod cmt;
+mod core;
+mod gtd;
+mod lru;
+mod mapping;
+mod partition;
+mod request;
+mod stats;
+mod transpage;
+
+pub use crate::core::{run_greedy_gc, FtlCore, GcOutcome, MAPPING_ENTRY_BYTES};
+pub use alloc::{DynamicDataPool, GcMove};
+pub use cmt::{dirty_mappings, CmtEntry, EntryCmt, PageNodeCmt, TransNode};
+pub use gtd::Gtd;
+pub use lru::LruCache;
+pub use mapping::MappingTable;
+pub use partition::BlockPartition;
+pub use request::{HostOp, HostRequest, Lpn, ReadClass};
+pub use stats::FtlStats;
+pub use transpage::TransPageStore;
+
+use ssd_sim::{FlashDevice, SimTime};
+
+/// The interface every flash translation layer exposes to the experiment
+/// harness.
+///
+/// An FTL owns its simulated device. The harness submits host requests with
+/// an issue time and receives the simulated completion time back; everything
+/// else (latency percentiles, throughput, hit ratios) is derived from those
+/// two timestamps plus [`Ftl::stats`] and the device counters.
+pub trait Ftl {
+    /// A short, human-readable name ("DFTL", "LearnedFTL", ...).
+    fn name(&self) -> &'static str;
+
+    /// Handles a host read of consecutive logical pages issued at `now`.
+    /// Returns the simulated completion time.
+    fn read(&mut self, lpn: Lpn, pages: u32, now: SimTime) -> SimTime;
+
+    /// Handles a host write of consecutive logical pages issued at `now`.
+    /// Returns the simulated completion time.
+    fn write(&mut self, lpn: Lpn, pages: u32, now: SimTime) -> SimTime;
+
+    /// Submits a request, dispatching on its operation kind.
+    fn submit(&mut self, req: HostRequest, now: SimTime) -> SimTime {
+        match req.op {
+            HostOp::Read => self.read(req.lpn, req.pages, now),
+            HostOp::Write => self.write(req.lpn, req.pages, now),
+        }
+    }
+
+    /// FTL-level statistics accumulated so far.
+    fn stats(&self) -> &FtlStats;
+
+    /// Resets the FTL-level statistics (device counters are reset separately
+    /// via [`Ftl::device_mut`]).
+    fn reset_stats(&mut self);
+
+    /// The number of logical pages this FTL exposes.
+    fn logical_pages(&self) -> u64;
+
+    /// Shared access to the simulated device.
+    fn device(&self) -> &FlashDevice;
+
+    /// Mutable access to the simulated device (used by the harness to reset
+    /// device statistics between experiment phases).
+    fn device_mut(&mut self) -> &mut FlashDevice;
+}

@@ -1,0 +1,111 @@
+//! The authoritative logical-to-physical mapping table.
+
+use crate::request::Lpn;
+use ssd_sim::Ppn;
+
+/// The full LPN → PPN mapping table.
+///
+/// Conceptually this is the content of all translation pages stored in flash;
+/// FTLs never read it "for free" on the host path — they must account for the
+/// translation-page flash reads/writes — but GC, recovery and correctness
+/// checks need an authoritative copy, exactly like a trace-driven FTL
+/// simulator keeps one.
+#[derive(Debug, Clone)]
+pub struct MappingTable {
+    map: Vec<Option<Ppn>>,
+}
+
+impl MappingTable {
+    /// Creates an empty table for `logical_pages` LPNs.
+    pub fn new(logical_pages: u64) -> Self {
+        MappingTable {
+            map: vec![None; logical_pages as usize],
+        }
+    }
+
+    /// Number of logical pages covered.
+    pub fn logical_pages(&self) -> u64 {
+        self.map.len() as u64
+    }
+
+    /// The current physical location of `lpn`, if it has ever been written.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `lpn` is out of range.
+    pub fn get(&self, lpn: Lpn) -> Option<Ppn> {
+        self.map[lpn as usize]
+    }
+
+    /// Updates the mapping of `lpn`, returning the previous location.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `lpn` is out of range.
+    pub fn update(&mut self, lpn: Lpn, ppn: Ppn) -> Option<Ppn> {
+        std::mem::replace(&mut self.map[lpn as usize], Some(ppn))
+    }
+
+    /// Removes the mapping of `lpn` (e.g. after a trim), returning it.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `lpn` is out of range.
+    pub fn remove(&mut self, lpn: Lpn) -> Option<Ppn> {
+        self.map[lpn as usize].take()
+    }
+
+    /// Number of LPNs that currently have a mapping.
+    pub fn mapped_count(&self) -> u64 {
+        self.map.iter().filter(|m| m.is_some()).count() as u64
+    }
+
+    /// Iterates over `(lpn, ppn)` pairs in the half-open LPN range.
+    pub fn range(&self, start: Lpn, end: Lpn) -> impl Iterator<Item = (Lpn, Ppn)> + '_ {
+        let end = end.min(self.map.len() as u64);
+        (start..end).filter_map(move |lpn| self.map[lpn as usize].map(|ppn| (lpn, ppn)))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn update_returns_previous() {
+        let mut mt = MappingTable::new(100);
+        assert_eq!(mt.get(5), None);
+        assert_eq!(mt.update(5, 1000), None);
+        assert_eq!(mt.update(5, 2000), Some(1000));
+        assert_eq!(mt.get(5), Some(2000));
+        assert_eq!(mt.mapped_count(), 1);
+    }
+
+    #[test]
+    fn remove_clears_mapping() {
+        let mut mt = MappingTable::new(10);
+        mt.update(3, 30);
+        assert_eq!(mt.remove(3), Some(30));
+        assert_eq!(mt.get(3), None);
+        assert_eq!(mt.remove(3), None);
+    }
+
+    #[test]
+    fn range_iterates_only_mapped() {
+        let mut mt = MappingTable::new(20);
+        mt.update(2, 200);
+        mt.update(5, 500);
+        mt.update(15, 1500);
+        let pairs: Vec<_> = mt.range(0, 10).collect();
+        assert_eq!(pairs, vec![(2, 200), (5, 500)]);
+        // Range end is clamped to the table size.
+        let pairs: Vec<_> = mt.range(10, 100).collect();
+        assert_eq!(pairs, vec![(15, 1500)]);
+    }
+
+    #[test]
+    #[should_panic]
+    fn out_of_range_get_panics() {
+        MappingTable::new(5).get(5);
+    }
+}

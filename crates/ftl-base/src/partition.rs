@@ -1,0 +1,177 @@
+//! Splitting the device's blocks between host data and translation pages.
+
+use ssd_sim::SsdConfig;
+
+/// A static partition of the device's blocks into a data region and a
+/// translation-page region.
+///
+/// Translation pages (the on-flash mapping table) live in a dedicated set of
+/// blocks so their churn can be cleaned independently of host data. The
+/// translation region is sized at roughly twice the number of translation
+/// pages needed to map the logical space (so cleaning always finds a victim
+/// with invalid pages) and is spread across all chips: the top `t` block
+/// indices of every chip are reserved, the rest hold host data.
+///
+/// ```
+/// use ftl_base::BlockPartition;
+/// use ssd_sim::SsdConfig;
+/// let part = BlockPartition::for_config(&SsdConfig::tiny(), 512);
+/// assert!(part.data_block_count() > 0);
+/// assert!(part.translation_block_count() >= 2);
+/// assert_eq!(
+///     part.data_block_count() + part.translation_block_count(),
+///     SsdConfig::tiny().geometry.total_blocks()
+/// );
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct BlockPartition {
+    blocks_per_chip: u64,
+    trans_blocks_per_chip: u64,
+    total_chips: u64,
+    pages_per_block: u64,
+}
+
+impl BlockPartition {
+    /// Computes the partition for a device configuration, given how many
+    /// mappings fit in one translation page.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the geometry is too small to hold both regions.
+    pub fn for_config(config: &SsdConfig, mappings_per_page: u32) -> Self {
+        let g = config.geometry;
+        let logical_pages = config.logical_pages();
+        let translation_pages_needed = logical_pages.div_ceil(u64::from(mappings_per_page));
+        // 2x over-provisioning for the translation region plus two spare
+        // blocks so cleaning always has both a victim and a destination.
+        let trans_pages_budget = translation_pages_needed * 2;
+        let trans_blocks_total =
+            trans_pages_budget.div_ceil(u64::from(g.pages_per_block)) + 2;
+        let total_chips = g.total_chips();
+        let trans_blocks_per_chip = trans_blocks_total.div_ceil(total_chips).max(1);
+        let blocks_per_chip = g.blocks_per_chip();
+        assert!(
+            trans_blocks_per_chip < blocks_per_chip,
+            "geometry too small: {trans_blocks_per_chip} translation blocks per chip \
+             requested but each chip only has {blocks_per_chip} blocks"
+        );
+        BlockPartition {
+            blocks_per_chip,
+            trans_blocks_per_chip,
+            total_chips,
+            pages_per_block: u64::from(g.pages_per_block),
+        }
+    }
+
+    /// Number of chips in the device.
+    pub fn total_chips(&self) -> u64 {
+        self.total_chips
+    }
+
+    /// Number of data blocks available per chip.
+    pub fn data_blocks_per_chip(&self) -> u64 {
+        self.blocks_per_chip - self.trans_blocks_per_chip
+    }
+
+    /// Number of translation blocks reserved per chip.
+    pub fn translation_blocks_per_chip(&self) -> u64 {
+        self.trans_blocks_per_chip
+    }
+
+    /// Total number of data blocks in the device.
+    pub fn data_block_count(&self) -> u64 {
+        self.data_blocks_per_chip() * self.total_chips
+    }
+
+    /// Total number of translation blocks in the device.
+    pub fn translation_block_count(&self) -> u64 {
+        self.trans_blocks_per_chip * self.total_chips
+    }
+
+    /// Total number of data pages in the device.
+    pub fn data_page_count(&self) -> u64 {
+        self.data_block_count() * self.pages_per_block
+    }
+
+    /// Whether the flat block index belongs to the translation region.
+    pub fn is_translation_block(&self, flat_block: u64) -> bool {
+        let local = flat_block % self.blocks_per_chip;
+        local >= self.data_blocks_per_chip()
+    }
+
+    /// Iterates over the flat indices of every data block on `chip`.
+    pub fn data_blocks_on_chip(&self, chip: u64) -> impl Iterator<Item = u64> + '_ {
+        let base = chip * self.blocks_per_chip;
+        (0..self.data_blocks_per_chip()).map(move |i| base + i)
+    }
+
+    /// Iterates over the flat indices of every translation block on `chip`.
+    pub fn translation_blocks_on_chip(&self, chip: u64) -> impl Iterator<Item = u64> + '_ {
+        let base = chip * self.blocks_per_chip + self.data_blocks_per_chip();
+        (0..self.trans_blocks_per_chip).map(move |i| base + i)
+    }
+
+    /// Iterates over every translation block in the device.
+    pub fn translation_blocks(&self) -> impl Iterator<Item = u64> + '_ {
+        (0..self.total_chips).flat_map(move |chip| self.translation_blocks_on_chip(chip))
+    }
+
+    /// Iterates over every data block in the device.
+    pub fn data_blocks(&self) -> impl Iterator<Item = u64> + '_ {
+        (0..self.total_chips).flat_map(move |chip| self.data_blocks_on_chip(chip))
+    }
+
+    /// The chip (flat index) that owns a flat block index.
+    pub fn chip_of_block(&self, flat_block: u64) -> u64 {
+        flat_block / self.blocks_per_chip
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn regions_are_disjoint_and_cover_device() {
+        let cfg = SsdConfig::tiny();
+        let part = BlockPartition::for_config(&cfg, 512);
+        let total = cfg.geometry.total_blocks();
+        let data: std::collections::HashSet<u64> = part.data_blocks().collect();
+        let trans: std::collections::HashSet<u64> = part.translation_blocks().collect();
+        assert_eq!(data.len() as u64 + trans.len() as u64, total);
+        assert!(data.is_disjoint(&trans));
+        for b in 0..total {
+            assert_eq!(part.is_translation_block(b), trans.contains(&b));
+        }
+    }
+
+    #[test]
+    fn translation_region_fits_twice_the_mapping_table() {
+        let cfg = SsdConfig::small();
+        let part = BlockPartition::for_config(&cfg, 512);
+        let needed = cfg.logical_pages().div_ceil(512);
+        let capacity = part.translation_block_count() * u64::from(cfg.geometry.pages_per_block);
+        assert!(capacity >= needed * 2, "capacity {capacity} < 2x {needed}");
+    }
+
+    #[test]
+    fn translation_blocks_spread_across_chips() {
+        let cfg = SsdConfig::small();
+        let part = BlockPartition::for_config(&cfg, 512);
+        let chips_with_trans: std::collections::HashSet<u64> = part
+            .translation_blocks()
+            .map(|b| part.chip_of_block(b))
+            .collect();
+        assert_eq!(chips_with_trans.len() as u64, cfg.geometry.total_chips());
+    }
+
+    #[test]
+    fn chip_of_block_matches_geometry() {
+        let cfg = SsdConfig::tiny();
+        let part = BlockPartition::for_config(&cfg, 512);
+        let g = cfg.geometry;
+        for b in [0u64, 1, g.blocks_per_chip(), 3 * g.blocks_per_chip() - 1] {
+            assert_eq!(part.chip_of_block(b), b / g.blocks_per_chip());
+        }
+    }
+}

@@ -1,0 +1,128 @@
+//! Host request types shared by every FTL.
+
+/// A logical page number: the host-visible page address.
+pub type Lpn = u64;
+
+/// The kind of a host I/O operation.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum HostOp {
+    /// Read `pages` logical pages starting at `lpn`.
+    Read,
+    /// Write `pages` logical pages starting at `lpn`.
+    Write,
+}
+
+/// A host I/O request covering one or more consecutive logical pages.
+///
+/// All sizes are in flash pages (4 KiB by default); the workload generators
+/// convert byte-granular I/O sizes into page counts.
+///
+/// ```
+/// use ftl_base::{HostOp, HostRequest};
+/// let req = HostRequest::read(100, 4);
+/// assert_eq!(req.op, HostOp::Read);
+/// assert_eq!(req.lpns().collect::<Vec<_>>(), vec![100, 101, 102, 103]);
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct HostRequest {
+    /// Operation kind.
+    pub op: HostOp,
+    /// First logical page touched.
+    pub lpn: Lpn,
+    /// Number of consecutive logical pages touched (≥ 1).
+    pub pages: u32,
+}
+
+impl HostRequest {
+    /// Creates a read request.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `pages` is zero.
+    pub fn read(lpn: Lpn, pages: u32) -> Self {
+        assert!(pages > 0, "a request must touch at least one page");
+        HostRequest {
+            op: HostOp::Read,
+            lpn,
+            pages,
+        }
+    }
+
+    /// Creates a write request.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `pages` is zero.
+    pub fn write(lpn: Lpn, pages: u32) -> Self {
+        assert!(pages > 0, "a request must touch at least one page");
+        HostRequest {
+            op: HostOp::Write,
+            lpn,
+            pages,
+        }
+    }
+
+    /// Iterates over every logical page touched by the request.
+    pub fn lpns(&self) -> impl Iterator<Item = Lpn> + '_ {
+        self.lpn..self.lpn + u64::from(self.pages)
+    }
+
+    /// The request size in bytes given a page size.
+    pub fn bytes(&self, page_size: u32) -> u64 {
+        u64::from(self.pages) * u64::from(page_size)
+    }
+}
+
+/// How a single logical page read was served — the paper's central metric.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum ReadClass {
+    /// The mapping was found in the cached mapping table: one flash read.
+    CmtHit,
+    /// The mapping was predicted by a learned model: one flash read.
+    ModelHit,
+    /// The read was served from an in-memory write buffer: zero flash reads.
+    BufferHit,
+    /// A translation page had to be read first: two flash reads.
+    DoubleRead,
+    /// Translation read plus a misprediction correction: three flash reads.
+    TripleRead,
+}
+
+impl ReadClass {
+    /// Number of flash read operations this class implies.
+    pub fn flash_reads(self) -> u32 {
+        match self {
+            ReadClass::BufferHit => 0,
+            ReadClass::CmtHit | ReadClass::ModelHit => 1,
+            ReadClass::DoubleRead => 2,
+            ReadClass::TripleRead => 3,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn lpn_iteration_covers_request() {
+        let req = HostRequest::write(10, 3);
+        assert_eq!(req.lpns().collect::<Vec<_>>(), vec![10, 11, 12]);
+        assert_eq!(req.bytes(4096), 3 * 4096);
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one page")]
+    fn zero_page_request_rejected() {
+        HostRequest::read(0, 0);
+    }
+
+    #[test]
+    fn read_class_flash_reads() {
+        assert_eq!(ReadClass::CmtHit.flash_reads(), 1);
+        assert_eq!(ReadClass::ModelHit.flash_reads(), 1);
+        assert_eq!(ReadClass::BufferHit.flash_reads(), 0);
+        assert_eq!(ReadClass::DoubleRead.flash_reads(), 2);
+        assert_eq!(ReadClass::TripleRead.flash_reads(), 3);
+    }
+}

@@ -1,0 +1,236 @@
+//! FTL-level statistics: hit ratios, multi-read breakdown, GC and WA accounting.
+
+use crate::request::ReadClass;
+use ssd_sim::{Duration, SimTime};
+
+/// Counters maintained by every FTL implementation.
+///
+/// These feed directly into the paper's figures: the CMT/model hit ratios
+/// (Fig. 14b, 19b), the single/double/triple read breakdown (Fig. 6b), write
+/// amplification (Fig. 14c), GC frequency (Fig. 16) and the training/sorting
+/// overhead (Fig. 15, 17, 18).
+#[derive(Debug, Clone, Default)]
+pub struct FtlStats {
+    /// Logical pages read by the host.
+    pub host_read_pages: u64,
+    /// Logical pages written by the host.
+    pub host_write_pages: u64,
+    /// Host read pages whose mapping was found in the CMT.
+    pub cmt_hits: u64,
+    /// Host read pages whose mapping was *not* found in the CMT.
+    pub cmt_misses: u64,
+    /// Host read pages served by a learned-model prediction (single read).
+    pub model_hits: u64,
+    /// Host read pages served from an in-memory write buffer.
+    pub buffer_hits: u64,
+    /// Host read pages that targeted a never-written LPN (served without any
+    /// flash access; the device returns an unwritten-pattern page).
+    pub unmapped_reads: u64,
+    /// Host read pages served with exactly one flash read.
+    pub single_reads: u64,
+    /// Host read pages that needed two flash reads.
+    pub double_reads: u64,
+    /// Host read pages that needed three flash reads.
+    pub triple_reads: u64,
+    /// Data pages programmed on behalf of the host.
+    pub data_page_writes: u64,
+    /// Data pages programmed by garbage collection (relocations).
+    pub gc_page_writes: u64,
+    /// Data pages read by garbage collection.
+    pub gc_page_reads: u64,
+    /// Translation pages programmed.
+    pub translation_writes: u64,
+    /// Translation pages read.
+    pub translation_reads: u64,
+    /// Number of garbage-collection invocations.
+    pub gc_count: u64,
+    /// Blocks erased.
+    pub blocks_erased: u64,
+    /// Simulated times at which each GC was triggered (for Fig. 16).
+    pub gc_events: Vec<SimTime>,
+    /// Simulated time spent inside GC (flash operations).
+    pub gc_flash_time: Duration,
+    /// Wall-clock time spent sorting LPNs during GC/model training.
+    pub sort_wall_time: std::time::Duration,
+    /// Wall-clock time spent fitting learned models.
+    pub train_wall_time: std::time::Duration,
+    /// Number of model training invocations (per GTD entry).
+    pub models_trained: u64,
+    /// Number of model predictions made on the read path.
+    pub model_predictions: u64,
+}
+
+impl FtlStats {
+    /// Creates zeroed statistics.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Records how one logical page read was classified.
+    pub fn record_read_class(&mut self, class: ReadClass) {
+        match class {
+            ReadClass::CmtHit => {
+                self.cmt_hits += 1;
+                self.single_reads += 1;
+            }
+            ReadClass::ModelHit => {
+                self.cmt_misses += 1;
+                self.model_hits += 1;
+                self.single_reads += 1;
+            }
+            ReadClass::BufferHit => {
+                self.buffer_hits += 1;
+            }
+            ReadClass::DoubleRead => {
+                self.cmt_misses += 1;
+                self.double_reads += 1;
+            }
+            ReadClass::TripleRead => {
+                self.cmt_misses += 1;
+                self.triple_reads += 1;
+            }
+        }
+    }
+
+    /// Fraction of host reads that hit the CMT.
+    pub fn cmt_hit_ratio(&self) -> f64 {
+        ratio(self.cmt_hits, self.host_read_pages)
+    }
+
+    /// Fraction of host reads served by an accurate model prediction.
+    pub fn model_hit_ratio(&self) -> f64 {
+        ratio(self.model_hits, self.host_read_pages)
+    }
+
+    /// Fraction of host reads served with at most one flash read
+    /// (CMT hit, model hit or buffer hit).
+    pub fn single_read_ratio(&self) -> f64 {
+        ratio(self.single_reads + self.buffer_hits, self.host_read_pages)
+    }
+
+    /// Fraction of host reads that became double reads.
+    pub fn double_read_ratio(&self) -> f64 {
+        ratio(self.double_reads, self.host_read_pages)
+    }
+
+    /// Fraction of host reads that became triple reads.
+    pub fn triple_read_ratio(&self) -> f64 {
+        ratio(self.triple_reads, self.host_read_pages)
+    }
+
+    /// Write amplification: all pages programmed (host + GC relocation +
+    /// translation) divided by host-written pages.
+    pub fn write_amplification(&self) -> f64 {
+        if self.host_write_pages == 0 {
+            return 0.0;
+        }
+        let total = self.data_page_writes + self.gc_page_writes + self.translation_writes;
+        total as f64 / self.host_write_pages as f64
+    }
+
+    /// Records one GC invocation at simulated time `at`.
+    pub fn record_gc(&mut self, at: SimTime) {
+        self.gc_count += 1;
+        self.gc_events.push(at);
+    }
+
+    /// Merges another statistics object into this one (used when an
+    /// experiment aggregates phases).
+    pub fn merge(&mut self, other: &FtlStats) {
+        self.host_read_pages += other.host_read_pages;
+        self.host_write_pages += other.host_write_pages;
+        self.cmt_hits += other.cmt_hits;
+        self.cmt_misses += other.cmt_misses;
+        self.model_hits += other.model_hits;
+        self.buffer_hits += other.buffer_hits;
+        self.unmapped_reads += other.unmapped_reads;
+        self.single_reads += other.single_reads;
+        self.double_reads += other.double_reads;
+        self.triple_reads += other.triple_reads;
+        self.data_page_writes += other.data_page_writes;
+        self.gc_page_writes += other.gc_page_writes;
+        self.gc_page_reads += other.gc_page_reads;
+        self.translation_writes += other.translation_writes;
+        self.translation_reads += other.translation_reads;
+        self.gc_count += other.gc_count;
+        self.blocks_erased += other.blocks_erased;
+        self.gc_events.extend_from_slice(&other.gc_events);
+        self.gc_flash_time += other.gc_flash_time;
+        self.sort_wall_time += other.sort_wall_time;
+        self.train_wall_time += other.train_wall_time;
+        self.models_trained += other.models_trained;
+        self.model_predictions += other.model_predictions;
+    }
+}
+
+fn ratio(num: u64, den: u64) -> f64 {
+    if den == 0 {
+        0.0
+    } else {
+        num as f64 / den as f64
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn read_class_accounting() {
+        let mut s = FtlStats::new();
+        s.host_read_pages = 10;
+        for _ in 0..4 {
+            s.record_read_class(ReadClass::CmtHit);
+        }
+        for _ in 0..2 {
+            s.record_read_class(ReadClass::ModelHit);
+        }
+        for _ in 0..3 {
+            s.record_read_class(ReadClass::DoubleRead);
+        }
+        s.record_read_class(ReadClass::TripleRead);
+        assert_eq!(s.cmt_hits, 4);
+        assert_eq!(s.model_hits, 2);
+        assert_eq!(s.single_reads, 6);
+        assert_eq!(s.double_reads, 3);
+        assert_eq!(s.triple_reads, 1);
+        assert!((s.cmt_hit_ratio() - 0.4).abs() < 1e-9);
+        assert!((s.model_hit_ratio() - 0.2).abs() < 1e-9);
+        assert!((s.single_read_ratio() - 0.6).abs() < 1e-9);
+        assert!((s.double_read_ratio() - 0.3).abs() < 1e-9);
+        assert!((s.triple_read_ratio() - 0.1).abs() < 1e-9);
+    }
+
+    #[test]
+    fn write_amplification_counts_all_programs() {
+        let mut s = FtlStats::new();
+        s.host_write_pages = 100;
+        s.data_page_writes = 100;
+        s.gc_page_writes = 30;
+        s.translation_writes = 20;
+        assert!((s.write_amplification() - 1.5).abs() < 1e-9);
+        let empty = FtlStats::new();
+        assert_eq!(empty.write_amplification(), 0.0);
+    }
+
+    #[test]
+    fn ratios_handle_zero_denominator() {
+        let s = FtlStats::new();
+        assert_eq!(s.cmt_hit_ratio(), 0.0);
+        assert_eq!(s.single_read_ratio(), 0.0);
+    }
+
+    #[test]
+    fn merge_adds_fields() {
+        let mut a = FtlStats::new();
+        a.host_read_pages = 5;
+        a.record_gc(SimTime::from_micros(1));
+        let mut b = FtlStats::new();
+        b.host_read_pages = 7;
+        b.record_gc(SimTime::from_micros(2));
+        a.merge(&b);
+        assert_eq!(a.host_read_pages, 12);
+        assert_eq!(a.gc_count, 2);
+        assert_eq!(a.gc_events.len(), 2);
+    }
+}

@@ -1,0 +1,239 @@
+//! Canned experiment routines shared by the figure-reproduction binaries and
+//! the integration tests.
+//!
+//! Every routine follows the paper's protocol: build the FTL, warm the SSD to
+//! a steady state (Section IV-B), reset the statistics, then run the measured
+//! workload through the closed-loop [`Runner`].
+
+use ssd_sim::SsdConfig;
+use workloads::{
+    warmup, FilebenchPreset, FilebenchWorkload, FioPattern, FioWorkload, RocksDbPhase,
+    RocksDbWorkload, SyntheticTrace, TraceKind,
+};
+
+use crate::kind::FtlKind;
+use crate::result::RunResult;
+use crate::runner::Runner;
+
+/// How much work each experiment does. The paper's runs write the device six
+/// times over and replay million-request traces; the scaled settings keep the
+/// same protocol at a size that finishes in seconds per (FTL, workload) pair.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ExperimentScale {
+    /// I/O size (in pages) used for the warm-up writes (paper: 128 = 512 KiB).
+    pub warmup_io_pages: u32,
+    /// How many times the device is overwritten during warm-up (paper: ~6).
+    pub warmup_overwrites: u32,
+    /// Requests issued per stream in FIO-style measured phases.
+    pub ops_per_stream: u64,
+    /// Requests issued in single-stream measured phases (RocksDB, traces).
+    pub single_stream_ops: u64,
+}
+
+impl ExperimentScale {
+    /// The scale used by the figure-reproduction binaries (minutes total).
+    pub fn standard() -> Self {
+        ExperimentScale {
+            warmup_io_pages: 128,
+            warmup_overwrites: 2,
+            ops_per_stream: 2_000,
+            single_stream_ops: 40_000,
+        }
+    }
+
+    /// A much smaller scale used by integration tests (seconds total).
+    pub fn quick() -> Self {
+        ExperimentScale {
+            warmup_io_pages: 32,
+            warmup_overwrites: 1,
+            ops_per_stream: 200,
+            single_stream_ops: 2_000,
+        }
+    }
+}
+
+/// Warm-up + FIO read phase (the protocol behind Figures 2, 3, 6, 14-read).
+///
+/// The device is first written over `scale.warmup_overwrites + 1` times with
+/// large I/Os (so LeaFTL's learned index can be built, as the paper notes),
+/// then the measured read phase runs with 4 KiB requests from `threads`
+/// closed-loop streams.
+pub fn fio_read_run(
+    kind: FtlKind,
+    pattern: FioPattern,
+    threads: usize,
+    device: SsdConfig,
+    scale: ExperimentScale,
+) -> RunResult {
+    assert!(pattern.is_read(), "use fio_write_run for write patterns");
+    let mut ftl = kind.build(device);
+    warmup::paper_warmup(
+        ftl.as_mut(),
+        scale.warmup_io_pages,
+        scale.warmup_overwrites,
+        0xFEED,
+    );
+    let mut wl = FioWorkload::new(
+        pattern,
+        ftl.logical_pages(),
+        threads,
+        1,
+        scale.ops_per_stream,
+        0xBEEF,
+    );
+    Runner::new().run(ftl.as_mut(), &mut wl)
+}
+
+/// Warm-up + FIO write phase (Figures 14-write, 16, 17, 18a).
+pub fn fio_write_run(
+    kind: FtlKind,
+    pattern: FioPattern,
+    threads: usize,
+    device: SsdConfig,
+    scale: ExperimentScale,
+) -> RunResult {
+    assert!(!pattern.is_read(), "use fio_read_run for read patterns");
+    let mut ftl = kind.build(device);
+    warmup::sequential_fill(ftl.as_mut(), scale.warmup_io_pages, 1, ssd_sim::SimTime::ZERO);
+    let mut wl = FioWorkload::new(
+        pattern,
+        ftl.logical_pages(),
+        threads,
+        1,
+        scale.ops_per_stream,
+        0xBEEF,
+    );
+    Runner::new().run(ftl.as_mut(), &mut wl)
+}
+
+/// Warm-up + Filebench phase (Figures 7 and 20).
+pub fn filebench_run(
+    kind: FtlKind,
+    preset: FilebenchPreset,
+    device: SsdConfig,
+    scale: ExperimentScale,
+) -> RunResult {
+    let mut ftl = kind.build(device);
+    warmup::sequential_fill(ftl.as_mut(), scale.warmup_io_pages, 1, ssd_sim::SimTime::ZERO);
+    let ops_per_thread = (scale.single_stream_ops / preset.threads() as u64).max(10);
+    let mut wl = FilebenchWorkload::new(preset, ftl.logical_pages(), ops_per_thread, 0xCAFE);
+    Runner::new().run(ftl.as_mut(), &mut wl)
+}
+
+/// RocksDB db_bench protocol (Figure 19): `fillseq` + `overwrite` to populate
+/// the database (80 % of the device), then the measured read phase.
+pub fn rocksdb_run(
+    kind: FtlKind,
+    phase: RocksDbPhase,
+    device: SsdConfig,
+    scale: ExperimentScale,
+) -> RunResult {
+    let mut ftl = kind.build(device);
+    let db_pages = ftl.logical_pages() * 8 / 10;
+    // fillseq until the DB footprint is written once.
+    let fill_ops = (db_pages / u64::from(RocksDbWorkload::SSTABLE_PAGES)).max(1);
+    let mut fill = RocksDbWorkload::new(RocksDbPhase::FillSeq, db_pages, fill_ops, 1);
+    Runner::with_config(crate::runner::RunnerConfig {
+        reset_stats_before_run: false,
+        start: ssd_sim::SimTime::ZERO,
+    })
+    .run(ftl.as_mut(), &mut fill);
+    // overwrite pass: compaction-shaped churn.
+    let mut over = RocksDbWorkload::new(RocksDbPhase::Overwrite, db_pages, fill_ops / 2 + 1, 2);
+    Runner::with_config(crate::runner::RunnerConfig {
+        reset_stats_before_run: false,
+        start: ssd_sim::SimTime::ZERO,
+    })
+    .run(ftl.as_mut(), &mut over);
+    // Measured phase.
+    let ops = match phase {
+        RocksDbPhase::ReadSeq => scale.single_stream_ops / 8,
+        _ => scale.single_stream_ops,
+    }
+    .max(1);
+    let mut wl = RocksDbWorkload::new(phase, db_pages, ops, 3);
+    Runner::new().run(ftl.as_mut(), &mut wl)
+}
+
+/// Trace replay (Figures 21 and 22): warm the device, then replay a synthetic
+/// trace with the Table II characteristics using `streams` closed-loop
+/// streams.
+pub fn trace_run(
+    kind: FtlKind,
+    trace: TraceKind,
+    streams: usize,
+    trace_len: u64,
+    device: SsdConfig,
+    scale: ExperimentScale,
+) -> RunResult {
+    let mut ftl = kind.build(device);
+    warmup::paper_warmup(
+        ftl.as_mut(),
+        scale.warmup_io_pages,
+        scale.warmup_overwrites,
+        0xFEED,
+    );
+    let synthetic = SyntheticTrace::generate(trace, ftl.logical_pages(), trace_len, 0xD00D);
+    let mut wl = synthetic.into_workload(streams);
+    Runner::new().run(ftl.as_mut(), &mut wl)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn fio_read_run_produces_sane_results() {
+        let r = fio_read_run(
+            FtlKind::Tpftl,
+            FioPattern::RandRead,
+            2,
+            SsdConfig::tiny(),
+            ExperimentScale::quick(),
+        );
+        assert_eq!(r.requests, 400);
+        assert_eq!(r.write_pages, 0);
+        assert!(r.mib_per_sec() > 0.0);
+        assert!(r.stats.host_read_pages > 0);
+    }
+
+    #[test]
+    fn fio_write_run_counts_writes_only() {
+        let r = fio_write_run(
+            FtlKind::Ideal,
+            FioPattern::SeqWrite,
+            2,
+            SsdConfig::tiny(),
+            ExperimentScale::quick(),
+        );
+        assert_eq!(r.read_pages, 0);
+        assert!(r.write_pages > 0);
+        assert!(r.write_amplification() >= 1.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "fio_write_run")]
+    fn read_helper_rejects_write_patterns() {
+        fio_read_run(
+            FtlKind::Ideal,
+            FioPattern::SeqWrite,
+            1,
+            SsdConfig::tiny(),
+            ExperimentScale::quick(),
+        );
+    }
+
+    #[test]
+    fn trace_run_replays_requested_length() {
+        let r = trace_run(
+            FtlKind::Ideal,
+            TraceKind::Systor17,
+            4,
+            500,
+            SsdConfig::tiny(),
+            ExperimentScale::quick(),
+        );
+        assert_eq!(r.requests, 500);
+        assert!(r.latencies.count() == 500);
+    }
+}

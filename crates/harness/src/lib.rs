@@ -1,0 +1,37 @@
+//! # harness
+//!
+//! The experiment harness that binds a workload to an FTL over the simulated
+//! device and measures what the paper's figures report.
+//!
+//! * [`FtlKind`] — the five FTL designs under comparison, buildable by name,
+//! * [`Runner`] — the closed-loop host model: N streams (FIO threads), each
+//!   issuing its next request when the previous one completes, with chip
+//!   contention emerging from the device's per-chip timelines,
+//! * [`RunResult`] — throughput, latency percentiles, hit ratios, multi-read
+//!   breakdown, write amplification, GC and energy inputs for one run,
+//! * [`experiments`] — canned warm-up + measurement routines shared by the
+//!   figure-reproduction binaries and the integration tests.
+//!
+//! ```
+//! use harness::{FtlKind, Runner};
+//! use ssd_sim::SsdConfig;
+//! use workloads::{FioPattern, FioWorkload};
+//!
+//! let mut ftl = FtlKind::LearnedFtl.build(SsdConfig::tiny());
+//! let mut workload = FioWorkload::new(FioPattern::SeqWrite, 1000, 2, 4, 50, 7);
+//! let result = Runner::new().run(ftl.as_mut(), &mut workload);
+//! assert_eq!(result.requests, 100);
+//! assert!(result.throughput().mib_per_sec() > 0.0);
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod experiments;
+mod kind;
+mod result;
+mod runner;
+
+pub use kind::FtlKind;
+pub use result::RunResult;
+pub use runner::{Runner, RunnerConfig};

@@ -1,0 +1,127 @@
+//! The measurements collected from one experiment run.
+
+use ftl_base::FtlStats;
+use metrics::{LatencyHistogram, Throughput};
+use ssd_sim::{DeviceStats, Duration};
+
+/// Everything the paper's figures need from one workload run against one FTL.
+#[derive(Debug, Clone)]
+pub struct RunResult {
+    /// The FTL's display name.
+    pub ftl_name: String,
+    /// Number of host requests completed.
+    pub requests: u64,
+    /// Host pages read during the run.
+    pub read_pages: u64,
+    /// Host pages written during the run.
+    pub write_pages: u64,
+    /// Host bytes moved during the run.
+    pub bytes: u64,
+    /// Simulated wall time the run took (first issue to last completion).
+    pub elapsed: Duration,
+    /// Per-request latency samples.
+    pub latencies: LatencyHistogram,
+    /// FTL-level statistics accumulated during the run (hit ratios, multi-read
+    /// breakdown, GC, write amplification inputs).
+    pub stats: FtlStats,
+    /// Device-level operation counts accumulated during the run (energy model
+    /// inputs).
+    pub device: DeviceStats,
+}
+
+impl RunResult {
+    /// Host-data throughput of the run.
+    pub fn throughput(&self) -> Throughput {
+        Throughput::new(self.bytes, self.elapsed)
+    }
+
+    /// Host-data throughput in MiB/s.
+    pub fn mib_per_sec(&self) -> f64 {
+        self.throughput().mib_per_sec()
+    }
+
+    /// This run's throughput normalised to a baseline run.
+    pub fn normalized_throughput(&self, baseline: &RunResult) -> f64 {
+        let base = baseline.mib_per_sec();
+        if base <= 0.0 {
+            0.0
+        } else {
+            self.mib_per_sec() / base
+        }
+    }
+
+    /// P99 request latency.
+    pub fn p99(&mut self) -> Duration {
+        self.latencies.p99()
+    }
+
+    /// P99.9 request latency.
+    pub fn p999(&mut self) -> Duration {
+        self.latencies.p999()
+    }
+
+    /// CMT hit ratio during the run.
+    pub fn cmt_hit_ratio(&self) -> f64 {
+        self.stats.cmt_hit_ratio()
+    }
+
+    /// Learned-model hit ratio during the run.
+    pub fn model_hit_ratio(&self) -> f64 {
+        self.stats.model_hit_ratio()
+    }
+
+    /// Write amplification during the run.
+    pub fn write_amplification(&self) -> f64 {
+        self.stats.write_amplification()
+    }
+
+    /// Fractions of host reads served as (single, double, triple) reads.
+    pub fn multi_read_breakdown(&self) -> (f64, f64, f64) {
+        (
+            self.stats.single_read_ratio(),
+            self.stats.double_read_ratio(),
+            self.stats.triple_read_ratio(),
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn result(bytes: u64, millis: u64) -> RunResult {
+        RunResult {
+            ftl_name: "test".to_string(),
+            requests: 10,
+            read_pages: 10,
+            write_pages: 0,
+            bytes,
+            elapsed: Duration::from_millis(millis),
+            latencies: LatencyHistogram::new(),
+            stats: FtlStats::new(),
+            device: DeviceStats::new(),
+        }
+    }
+
+    #[test]
+    fn throughput_and_normalization() {
+        let a = result(2 * 1024 * 1024, 1000);
+        let b = result(1024 * 1024, 1000);
+        assert!((a.mib_per_sec() - 2.0).abs() < 1e-9);
+        assert!((a.normalized_throughput(&b) - 2.0).abs() < 1e-9);
+        assert_eq!(a.normalized_throughput(&result(0, 1000)), 0.0);
+    }
+
+    #[test]
+    fn breakdown_comes_from_stats() {
+        let mut r = result(0, 1);
+        r.stats.host_read_pages = 10;
+        r.stats.single_reads = 5;
+        r.stats.double_reads = 3;
+        r.stats.triple_reads = 2;
+        let (s, d, t) = r.multi_read_breakdown();
+        assert!((s - 0.5).abs() < 1e-9);
+        assert!((d - 0.3).abs() < 1e-9);
+        assert!((t - 0.2).abs() < 1e-9);
+    }
+}

@@ -1,0 +1,166 @@
+//! The closed-loop host model.
+
+use std::cmp::Reverse;
+use std::collections::BinaryHeap;
+
+use ftl_base::{Ftl, HostOp};
+use metrics::LatencyHistogram;
+use ssd_sim::SimTime;
+use workloads::Workload;
+
+use crate::result::RunResult;
+
+/// Options for a measurement run.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct RunnerConfig {
+    /// Reset the FTL and device statistics before the measured run (so the
+    /// result reflects only the measured phase, not the warm-up).
+    pub reset_stats_before_run: bool,
+    /// The simulated time at which the run starts. Using the warm-up's
+    /// completion time keeps the device timelines realistic.
+    pub start: SimTime,
+}
+
+impl Default for RunnerConfig {
+    fn default() -> Self {
+        RunnerConfig {
+            reset_stats_before_run: true,
+            start: SimTime::ZERO,
+        }
+    }
+}
+
+/// Drives a [`Workload`] against an [`Ftl`] with the closed-loop model used
+/// throughout the paper's evaluation: every stream (FIO thread) issues its
+/// next request as soon as its previous request completes, and the runner
+/// always advances the stream whose previous request finished earliest.
+#[derive(Debug, Clone, Default)]
+pub struct Runner {
+    config: RunnerConfig,
+}
+
+impl Runner {
+    /// Creates a runner with default options.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Creates a runner with explicit options.
+    pub fn with_config(config: RunnerConfig) -> Self {
+        Runner { config }
+    }
+
+    /// Runs the workload to completion and collects the measurements.
+    pub fn run(&self, ftl: &mut dyn Ftl, workload: &mut dyn Workload) -> RunResult {
+        if self.config.reset_stats_before_run {
+            ftl.reset_stats();
+            ftl.device_mut().reset_stats();
+        }
+        // Never issue the first requests "in the past" of a device that is
+        // still draining warm-up traffic: that would bill warm-up queueing to
+        // the measured phase.
+        let start = self.config.start.max(ftl.device().drain_time());
+        let page_size = ftl.device().geometry().page_size;
+
+        let mut ready: BinaryHeap<Reverse<(SimTime, usize)>> = (0..workload.streams())
+            .map(|s| Reverse((start, s)))
+            .collect();
+        let mut latencies = LatencyHistogram::new();
+        let mut requests = 0u64;
+        let mut read_pages = 0u64;
+        let mut write_pages = 0u64;
+        let mut bytes = 0u64;
+        let mut last_completion = start;
+
+        while let Some(Reverse((issue, stream))) = ready.pop() {
+            let Some(req) = workload.next_request(stream) else {
+                continue; // stream exhausted; do not re-queue
+            };
+            let completion = ftl.submit(req, issue);
+            latencies.record(completion - issue);
+            requests += 1;
+            bytes += req.bytes(page_size);
+            match req.op {
+                HostOp::Read => read_pages += u64::from(req.pages),
+                HostOp::Write => write_pages += u64::from(req.pages),
+            }
+            last_completion = last_completion.max(completion);
+            ready.push(Reverse((completion, stream)));
+        }
+
+        RunResult {
+            ftl_name: ftl.name().to_string(),
+            requests,
+            read_pages,
+            write_pages,
+            bytes,
+            elapsed: last_completion - start,
+            latencies,
+            stats: ftl.stats().clone(),
+            device: *ftl.device().stats(),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::kind::FtlKind;
+    use ssd_sim::SsdConfig;
+    use workloads::{FioPattern, FioWorkload};
+
+    #[test]
+    fn runner_completes_every_request() {
+        let mut ftl = FtlKind::Ideal.build(SsdConfig::tiny());
+        let mut wl = FioWorkload::new(FioPattern::SeqWrite, 1000, 4, 2, 25, 1);
+        let result = Runner::new().run(ftl.as_mut(), &mut wl);
+        assert_eq!(result.requests, 100);
+        assert_eq!(result.write_pages, 200);
+        assert_eq!(result.read_pages, 0);
+        assert!(result.elapsed > ssd_sim::Duration::ZERO);
+        assert_eq!(result.latencies.count(), 100);
+    }
+
+    #[test]
+    fn more_streams_increase_throughput_on_reads() {
+        let run = |streams: usize| {
+            let mut ftl = FtlKind::Ideal.build(SsdConfig::tiny());
+            // Populate first.
+            let mut fill = FioWorkload::new(FioPattern::SeqWrite, 4000, 1, 8, 500, 1);
+            Runner::new().run(ftl.as_mut(), &mut fill);
+            let mut wl = FioWorkload::new(FioPattern::RandRead, 4000, streams, 1, 400 / streams as u64, 2);
+            Runner::new().run(ftl.as_mut(), &mut wl).mib_per_sec()
+        };
+        let one = run(1);
+        let four = run(4);
+        assert!(
+            four > one * 1.5,
+            "parallel streams must raise read throughput ({one} vs {four})"
+        );
+    }
+
+    #[test]
+    fn reset_before_run_isolates_the_measured_phase() {
+        let mut ftl = FtlKind::Dftl.build(SsdConfig::tiny());
+        let mut fill = FioWorkload::new(FioPattern::SeqWrite, 1000, 1, 8, 50, 1);
+        Runner::new().run(ftl.as_mut(), &mut fill);
+        let mut reads = FioWorkload::new(FioPattern::SeqRead, 400, 1, 8, 50, 1);
+        let result = Runner::new().run(ftl.as_mut(), &mut reads);
+        assert_eq!(result.stats.host_write_pages, 0, "warm-up writes must not leak");
+        assert_eq!(result.stats.host_read_pages, 400);
+    }
+
+    #[test]
+    fn keep_stats_option_accumulates() {
+        let mut ftl = FtlKind::Dftl.build(SsdConfig::tiny());
+        let mut fill = FioWorkload::new(FioPattern::SeqWrite, 400, 1, 8, 50, 1);
+        Runner::new().run(ftl.as_mut(), &mut fill);
+        let mut more = FioWorkload::new(FioPattern::SeqWrite, 400, 1, 8, 50, 1);
+        let cfg = RunnerConfig {
+            reset_stats_before_run: false,
+            start: SimTime::ZERO,
+        };
+        let result = Runner::with_config(cfg).run(ftl.as_mut(), &mut more);
+        assert_eq!(result.stats.host_write_pages, 800, "stats accumulate when not reset");
+    }
+}

@@ -1,0 +1,38 @@
+//! # learned-index
+//!
+//! Learned-index primitives shared by the LeaFTL baseline and by LearnedFTL:
+//!
+//! * [`LinearSegment`] — a single linear model `value ≈ slope · (key − first_key) + intercept`,
+//! * [`GreedyPlr`] — error-bounded greedy piecewise linear regression, the
+//!   standard one-pass algorithm used by learned indexes (PGM, LeaFTL, ...),
+//! * [`BitmapFilter`] — the per-LPN accuracy bitmap of LearnedFTL's
+//!   in-place-update model (paper Section III-B),
+//! * [`LogStructuredSegments`] — LeaFTL's log-structured learned segment table
+//!   (LSMT), used by the LeaFTL baseline (paper Section II-C).
+//!
+//! The crate is deliberately independent of SSD concepts: keys and values are
+//! plain `u64`s so the same code indexes LPN→PPN mappings, LPN→VPPN mappings
+//! or anything else.
+//!
+//! ```
+//! use learned_index::{GreedyPlr, Point};
+//!
+//! // A perfectly linear mapping fits into one segment.
+//! let pts: Vec<Point> = (0..100).map(|i| Point::new(i, 1000 + i)).collect();
+//! let segments = GreedyPlr::new(0.5).fit(&pts);
+//! assert_eq!(segments.len(), 1);
+//! assert_eq!(segments[0].predict(42), Some(1042));
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod bitmap;
+mod lsmt;
+mod plr;
+mod segment;
+
+pub use bitmap::BitmapFilter;
+pub use lsmt::{LogStructuredSegments, SegmentLookup};
+pub use plr::{GreedyPlr, Point};
+pub use segment::LinearSegment;

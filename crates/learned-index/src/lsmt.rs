@@ -1,0 +1,242 @@
+//! LeaFTL's log-structured learned segment table (LSMT).
+//!
+//! LeaFTL cannot update a learned segment in place, so newly trained segments
+//! are appended to the *top* level of a per-translation-page log-structured
+//! table. A lookup scans levels from newest to oldest and uses the first
+//! segment that covers the key. When a new segment overlaps an existing one
+//! on the same level, the older segment is pushed down to the next level
+//! (paper Section II-C). Old segments therefore accumulate, which is exactly
+//! the space-amplification problem the paper calls out.
+
+use crate::segment::LinearSegment;
+
+/// Result of looking up a key in a [`LogStructuredSegments`] table.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct SegmentLookup {
+    /// The matched segment.
+    pub segment: LinearSegment,
+    /// The level (0 = newest) the segment was found on.
+    pub level: usize,
+    /// The predicted value for the queried key.
+    pub predicted: u64,
+}
+
+/// A log-structured collection of learned segments with newest-first lookup.
+///
+/// ```
+/// use learned_index::{LinearSegment, LogStructuredSegments};
+/// let mut lsmt = LogStructuredSegments::new();
+/// lsmt.insert(LinearSegment::new(0, 1.0, 100.0, 64));
+/// // A newer segment overlapping the same range shadows the old one.
+/// lsmt.insert(LinearSegment::new(0, 1.0, 900.0, 32));
+/// assert_eq!(lsmt.lookup(10).unwrap().predicted, 910);
+/// assert_eq!(lsmt.lookup(40).unwrap().predicted, 140);
+/// assert_eq!(lsmt.level_count(), 2);
+/// ```
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct LogStructuredSegments {
+    /// `levels[0]` is the newest level.
+    levels: Vec<Vec<LinearSegment>>,
+}
+
+impl LogStructuredSegments {
+    /// Creates an empty table.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Number of levels currently in the table.
+    pub fn level_count(&self) -> usize {
+        self.levels.len()
+    }
+
+    /// Total number of segments across all levels.
+    pub fn segment_count(&self) -> usize {
+        self.levels.iter().map(Vec::len).sum()
+    }
+
+    /// Approximate memory footprint in bytes, using LeaFTL's nominal segment
+    /// size (four 2-byte fields per segment, paper Section II-C).
+    pub fn nominal_bytes(&self) -> usize {
+        self.segment_count() * 8
+    }
+
+    /// Inserts a freshly trained segment at the top level, demoting any
+    /// overlapping segments one level down.
+    pub fn insert(&mut self, segment: LinearSegment) {
+        if self.levels.is_empty() {
+            self.levels.push(Vec::new());
+        }
+        let mut demote = Vec::new();
+        {
+            let top = &mut self.levels[0];
+            let mut i = 0;
+            while i < top.len() {
+                if Self::overlaps(&top[i], &segment) {
+                    demote.push(top.remove(i));
+                } else {
+                    i += 1;
+                }
+            }
+            top.push(segment);
+            top.sort_by_key(LinearSegment::first_key);
+        }
+        for old in demote {
+            self.push_down(old, 1);
+        }
+    }
+
+    /// Looks up a key, scanning levels from newest to oldest.
+    pub fn lookup(&self, key: u64) -> Option<SegmentLookup> {
+        for (level, segs) in self.levels.iter().enumerate() {
+            if let Some(seg) = segs.iter().find(|s| s.covers(key)) {
+                return Some(SegmentLookup {
+                    segment: *seg,
+                    level,
+                    predicted: seg.predict_unchecked(key),
+                });
+            }
+        }
+        None
+    }
+
+    /// Drops every segment (used when a translation page is rebuilt).
+    pub fn clear(&mut self) {
+        self.levels.clear();
+    }
+
+    /// Removes segments that are fully shadowed by newer levels, returning how
+    /// many were dropped. This models LeaFTL's compaction.
+    pub fn compact(&mut self) -> usize {
+        let mut dropped = 0;
+        let mut covered: Vec<(u64, u64)> = Vec::new();
+        for level in &mut self.levels {
+            level.retain(|seg| {
+                let shadowed = covered
+                    .iter()
+                    .any(|&(lo, hi)| lo <= seg.first_key() && seg.last_key() <= hi);
+                if shadowed {
+                    dropped += 1;
+                    false
+                } else {
+                    true
+                }
+            });
+            for seg in level.iter() {
+                covered.push((seg.first_key(), seg.last_key()));
+            }
+        }
+        self.levels.retain(|l| !l.is_empty());
+        dropped
+    }
+
+    fn push_down(&mut self, segment: LinearSegment, level: usize) {
+        if level >= self.levels.len() {
+            self.levels.push(vec![segment]);
+            return;
+        }
+        let mut demote = Vec::new();
+        {
+            let lvl = &mut self.levels[level];
+            let mut i = 0;
+            while i < lvl.len() {
+                if Self::overlaps(&lvl[i], &segment) {
+                    demote.push(lvl.remove(i));
+                } else {
+                    i += 1;
+                }
+            }
+            lvl.push(segment);
+            lvl.sort_by_key(LinearSegment::first_key);
+        }
+        for old in demote {
+            self.push_down(old, level + 1);
+        }
+    }
+
+    fn overlaps(a: &LinearSegment, b: &LinearSegment) -> bool {
+        a.first_key() <= b.last_key() && b.first_key() <= a.last_key()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn seg(first: u64, span: u64, base: u64) -> LinearSegment {
+        LinearSegment::new(first, 1.0, base as f64, span)
+    }
+
+    #[test]
+    fn empty_lookup_is_none() {
+        assert_eq!(LogStructuredSegments::new().lookup(5), None);
+    }
+
+    #[test]
+    fn non_overlapping_segments_stay_on_one_level() {
+        let mut lsmt = LogStructuredSegments::new();
+        lsmt.insert(seg(0, 10, 100));
+        lsmt.insert(seg(10, 10, 200));
+        lsmt.insert(seg(20, 10, 300));
+        assert_eq!(lsmt.level_count(), 1);
+        assert_eq!(lsmt.segment_count(), 3);
+        assert_eq!(lsmt.lookup(15).unwrap().predicted, 205);
+    }
+
+    #[test]
+    fn newest_segment_shadows_older() {
+        let mut lsmt = LogStructuredSegments::new();
+        lsmt.insert(seg(0, 64, 1000));
+        lsmt.insert(seg(16, 16, 5000));
+        // Inside the new range the new segment wins.
+        assert_eq!(lsmt.lookup(20).unwrap().predicted, 5004);
+        assert_eq!(lsmt.lookup(20).unwrap().level, 0);
+        // Outside it the demoted old segment still answers.
+        let hit = lsmt.lookup(40).unwrap();
+        assert_eq!(hit.predicted, 1040);
+        assert_eq!(hit.level, 1);
+        assert_eq!(lsmt.level_count(), 2);
+    }
+
+    #[test]
+    fn repeated_overwrites_grow_levels() {
+        let mut lsmt = LogStructuredSegments::new();
+        for round in 0..6u64 {
+            lsmt.insert(seg(0, 32, round * 1000));
+        }
+        assert_eq!(lsmt.segment_count(), 6);
+        assert!(lsmt.level_count() >= 2, "old segments must accumulate");
+        // Newest always wins.
+        assert_eq!(lsmt.lookup(0).unwrap().predicted, 5000);
+    }
+
+    #[test]
+    fn compact_drops_fully_shadowed_segments() {
+        let mut lsmt = LogStructuredSegments::new();
+        lsmt.insert(seg(0, 32, 0));
+        lsmt.insert(seg(0, 32, 1000));
+        lsmt.insert(seg(0, 32, 2000));
+        assert_eq!(lsmt.segment_count(), 3);
+        let dropped = lsmt.compact();
+        assert_eq!(dropped, 2);
+        assert_eq!(lsmt.segment_count(), 1);
+        assert_eq!(lsmt.lookup(5).unwrap().predicted, 2005);
+    }
+
+    #[test]
+    fn clear_empties_table() {
+        let mut lsmt = LogStructuredSegments::new();
+        lsmt.insert(seg(0, 8, 0));
+        lsmt.clear();
+        assert_eq!(lsmt.segment_count(), 0);
+        assert_eq!(lsmt.lookup(3), None);
+    }
+
+    #[test]
+    fn nominal_bytes_tracks_count() {
+        let mut lsmt = LogStructuredSegments::new();
+        lsmt.insert(seg(0, 8, 0));
+        lsmt.insert(seg(8, 8, 0));
+        assert_eq!(lsmt.nominal_bytes(), 16);
+    }
+}

@@ -1,0 +1,169 @@
+//! A single linear segment of a piecewise model.
+
+/// One piece of a piecewise linear model.
+///
+/// A segment covers the key range `[first_key, last_key]` and predicts
+/// `value = round(slope · (key − first_key) + intercept)`.
+///
+/// Predictions are rounded to the nearest integer, matching the paper's
+/// "rounding mode" for PPN calculation (Section V): because the bitmap filter
+/// (or the error interval for LeaFTL) decides whether a prediction may be
+/// trusted, the arithmetic itself does not need to be exact.
+///
+/// ```
+/// use learned_index::LinearSegment;
+/// let seg = LinearSegment::new(10, 0.5, 100.0, 21);
+/// assert_eq!(seg.predict(10), Some(100));
+/// assert_eq!(seg.predict(14), Some(102));
+/// assert_eq!(seg.predict(31), None); // outside the covered range
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct LinearSegment {
+    first_key: u64,
+    last_key: u64,
+    slope: f64,
+    intercept: f64,
+}
+
+impl LinearSegment {
+    /// Creates a segment starting at `first_key` covering `key_span` keys
+    /// (`last_key = first_key + key_span - 1`).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `key_span` is zero or the slope/intercept are not finite.
+    pub fn new(first_key: u64, slope: f64, intercept: f64, key_span: u64) -> Self {
+        assert!(key_span > 0, "a segment must cover at least one key");
+        assert!(slope.is_finite(), "slope must be finite");
+        assert!(intercept.is_finite(), "intercept must be finite");
+        LinearSegment {
+            first_key,
+            last_key: first_key + key_span - 1,
+            slope,
+            intercept,
+        }
+    }
+
+    /// The smallest key covered by this segment.
+    pub fn first_key(&self) -> u64 {
+        self.first_key
+    }
+
+    /// The largest key covered by this segment.
+    pub fn last_key(&self) -> u64 {
+        self.last_key
+    }
+
+    /// The number of keys in the covered range.
+    pub fn key_span(&self) -> u64 {
+        self.last_key - self.first_key + 1
+    }
+
+    /// The slope of the linear model.
+    pub fn slope(&self) -> f64 {
+        self.slope
+    }
+
+    /// The intercept of the linear model (the predicted value at `first_key`).
+    pub fn intercept(&self) -> f64 {
+        self.intercept
+    }
+
+    /// Whether `key` falls inside the covered range.
+    pub fn covers(&self, key: u64) -> bool {
+        (self.first_key..=self.last_key).contains(&key)
+    }
+
+    /// Predicts the value for `key`, or `None` if the key is not covered.
+    ///
+    /// Negative predictions clamp to zero (they can only arise from a model
+    /// that is wrong for that key anyway, and the caller validates the
+    /// prediction via a bitmap filter or error interval).
+    pub fn predict(&self, key: u64) -> Option<u64> {
+        if !self.covers(key) {
+            return None;
+        }
+        let x = (key - self.first_key) as f64;
+        let y = self.slope * x + self.intercept;
+        Some(if y <= 0.0 { 0 } else { y.round() as u64 })
+    }
+
+    /// Predicts without the range check. The caller must know the key belongs
+    /// to this segment.
+    pub fn predict_unchecked(&self, key: u64) -> u64 {
+        let x = key.saturating_sub(self.first_key) as f64;
+        let y = self.slope * x + self.intercept;
+        if y <= 0.0 {
+            0
+        } else {
+            y.round() as u64
+        }
+    }
+
+    /// Shrinks the covered range so the segment starts at `new_first_key`,
+    /// keeping the model itself unchanged. Used when a newer segment takes
+    /// over a prefix of this one's range (paper Fig. 10, step ②).
+    ///
+    /// Returns `false` (and leaves the segment untouched) if `new_first_key`
+    /// would empty the segment.
+    pub fn shrink_front_to(&mut self, new_first_key: u64) -> bool {
+        if new_first_key > self.last_key {
+            return false;
+        }
+        if new_first_key > self.first_key {
+            self.first_key = new_first_key;
+        }
+        true
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn identity_segment_predicts_exactly() {
+        let seg = LinearSegment::new(100, 1.0, 5000.0, 64);
+        for k in 100..164 {
+            assert_eq!(seg.predict(k), Some(5000 + (k - 100)));
+        }
+        assert_eq!(seg.predict(99), None);
+        assert_eq!(seg.predict(164), None);
+    }
+
+    #[test]
+    fn fractional_slope_rounds() {
+        // keys 0,1,2,3 -> values 10,10,11,11 fits slope 0.5 intercept 10.25
+        let seg = LinearSegment::new(0, 0.5, 10.25, 4);
+        assert_eq!(seg.predict(0), Some(10));
+        assert_eq!(seg.predict(1), Some(11)); // 10.75 rounds to 11
+        assert_eq!(seg.predict(3), Some(12));
+    }
+
+    #[test]
+    fn negative_prediction_clamps_to_zero() {
+        let seg = LinearSegment::new(0, -5.0, 2.0, 10);
+        assert_eq!(seg.predict(5), Some(0));
+    }
+
+    #[test]
+    fn shrink_front() {
+        let mut seg = LinearSegment::new(10, 1.0, 0.0, 10);
+        assert!(seg.shrink_front_to(15));
+        assert_eq!(seg.first_key(), 15);
+        assert_eq!(seg.key_span(), 5);
+        // The model is unchanged: predictions are relative to the *original*
+        // anchor, so prediction values shift accordingly.
+        assert!(!seg.shrink_front_to(100));
+        assert_eq!(seg.first_key(), 15);
+        // Shrinking to an earlier key is a no-op.
+        assert!(seg.shrink_front_to(5));
+        assert_eq!(seg.first_key(), 15);
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one key")]
+    fn zero_span_rejected() {
+        LinearSegment::new(0, 1.0, 0.0, 0);
+    }
+}

@@ -1,0 +1,109 @@
+//! GC-frequency-over-time bucketing (paper Fig. 16).
+
+use ssd_sim::{Duration, SimTime};
+
+/// Buckets garbage-collection events into fixed-width windows of simulated
+/// time and reports the GC frequency per window.
+///
+/// ```
+/// use metrics::GcTimeline;
+/// use ssd_sim::{Duration, SimTime};
+/// let events = vec![
+///     SimTime::from_millis(100),
+///     SimTime::from_millis(150),
+///     SimTime::from_millis(1200),
+/// ];
+/// let timeline = GcTimeline::from_events(&events, Duration::from_millis(1000));
+/// assert_eq!(timeline.buckets(), &[2, 1]);
+/// assert_eq!(timeline.total(), 3);
+/// ```
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct GcTimeline {
+    bucket_width: Duration,
+    buckets: Vec<u64>,
+}
+
+impl GcTimeline {
+    /// Builds a timeline from GC event timestamps.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `bucket_width` is zero.
+    pub fn from_events(events: &[SimTime], bucket_width: Duration) -> Self {
+        assert!(bucket_width > Duration::ZERO, "bucket width must be positive");
+        let mut buckets = Vec::new();
+        for &event in events {
+            let idx = (event.as_nanos() / bucket_width.as_nanos()) as usize;
+            if idx >= buckets.len() {
+                buckets.resize(idx + 1, 0);
+            }
+            buckets[idx] += 1;
+        }
+        GcTimeline {
+            bucket_width,
+            buckets,
+        }
+    }
+
+    /// The per-bucket GC counts.
+    pub fn buckets(&self) -> &[u64] {
+        &self.buckets
+    }
+
+    /// The bucket width.
+    pub fn bucket_width(&self) -> Duration {
+        self.bucket_width
+    }
+
+    /// Total number of GC events.
+    pub fn total(&self) -> u64 {
+        self.buckets.iter().sum()
+    }
+
+    /// The highest per-bucket frequency.
+    pub fn peak(&self) -> u64 {
+        self.buckets.iter().copied().max().unwrap_or(0)
+    }
+
+    /// Mean GC events per bucket (over non-trailing-empty buckets).
+    pub fn mean_per_bucket(&self) -> f64 {
+        if self.buckets.is_empty() {
+            return 0.0;
+        }
+        self.total() as f64 / self.buckets.len() as f64
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn empty_events_produce_empty_timeline() {
+        let t = GcTimeline::from_events(&[], Duration::from_millis(10));
+        assert!(t.buckets().is_empty());
+        assert_eq!(t.total(), 0);
+        assert_eq!(t.peak(), 0);
+        assert_eq!(t.mean_per_bucket(), 0.0);
+    }
+
+    #[test]
+    fn events_land_in_correct_buckets() {
+        let events = vec![
+            SimTime::from_millis(0),
+            SimTime::from_millis(999),
+            SimTime::from_millis(1000),
+            SimTime::from_millis(2500),
+        ];
+        let t = GcTimeline::from_events(&events, Duration::from_millis(1000));
+        assert_eq!(t.buckets(), &[2, 1, 1]);
+        assert_eq!(t.peak(), 2);
+        assert!((t.mean_per_bucket() - 4.0 / 3.0).abs() < 1e-9);
+    }
+
+    #[test]
+    #[should_panic(expected = "bucket width")]
+    fn zero_width_rejected() {
+        GcTimeline::from_events(&[], Duration::ZERO);
+    }
+}

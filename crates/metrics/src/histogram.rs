@@ -1,0 +1,180 @@
+//! Latency collection and percentile reporting.
+
+use ssd_sim::Duration;
+
+/// Collects per-request latencies and reports percentiles.
+///
+/// The paper reports P99 and P99.9 tail latencies (Fig. 21); this histogram
+/// keeps every sample (the experiments issue at most a few million requests)
+/// so percentiles are exact rather than bucketed approximations.
+///
+/// ```
+/// use metrics::LatencyHistogram;
+/// use ssd_sim::Duration;
+///
+/// let mut h = LatencyHistogram::new();
+/// for us in 1..=100 {
+///     h.record(Duration::from_micros(us));
+/// }
+/// assert_eq!(h.percentile(0.99), Duration::from_micros(99));
+/// assert_eq!(h.max(), Duration::from_micros(100));
+/// ```
+#[derive(Debug, Clone, Default)]
+pub struct LatencyHistogram {
+    samples: Vec<Duration>,
+    sorted: bool,
+}
+
+impl LatencyHistogram {
+    /// Creates an empty histogram.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Records one latency sample.
+    pub fn record(&mut self, latency: Duration) {
+        self.samples.push(latency);
+        self.sorted = false;
+    }
+
+    /// Number of samples recorded.
+    pub fn count(&self) -> usize {
+        self.samples.len()
+    }
+
+    /// Whether no samples have been recorded.
+    pub fn is_empty(&self) -> bool {
+        self.samples.is_empty()
+    }
+
+    /// The mean latency, or zero when empty.
+    pub fn mean(&self) -> Duration {
+        if self.samples.is_empty() {
+            return Duration::ZERO;
+        }
+        let total: u128 = self.samples.iter().map(|d| u128::from(d.as_nanos())).sum();
+        Duration::from_nanos((total / self.samples.len() as u128) as u64)
+    }
+
+    /// The maximum latency, or zero when empty.
+    pub fn max(&self) -> Duration {
+        self.samples.iter().copied().max().unwrap_or(Duration::ZERO)
+    }
+
+    /// The latency at quantile `q` in `[0, 1]` (e.g. `0.99` for P99), or zero
+    /// when empty.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `q` is outside `[0, 1]`.
+    pub fn percentile(&mut self, q: f64) -> Duration {
+        assert!((0.0..=1.0).contains(&q), "quantile must be in [0,1]");
+        if self.samples.is_empty() {
+            return Duration::ZERO;
+        }
+        if !self.sorted {
+            self.samples.sort_unstable();
+            self.sorted = true;
+        }
+        let rank = ((self.samples.len() as f64) * q).ceil() as usize;
+        let idx = rank.clamp(1, self.samples.len()) - 1;
+        self.samples[idx]
+    }
+
+    /// P99 latency (paper Fig. 21 left).
+    pub fn p99(&mut self) -> Duration {
+        self.percentile(0.99)
+    }
+
+    /// P99.9 latency (paper Fig. 21 right).
+    pub fn p999(&mut self) -> Duration {
+        self.percentile(0.999)
+    }
+
+    /// Merges another histogram's samples into this one.
+    pub fn merge(&mut self, other: &LatencyHistogram) {
+        self.samples.extend_from_slice(&other.samples);
+        self.sorted = false;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    #[test]
+    fn empty_histogram_reports_zero() {
+        let mut h = LatencyHistogram::new();
+        assert!(h.is_empty());
+        assert_eq!(h.mean(), Duration::ZERO);
+        assert_eq!(h.p99(), Duration::ZERO);
+        assert_eq!(h.max(), Duration::ZERO);
+    }
+
+    #[test]
+    fn percentiles_of_uniform_samples() {
+        let mut h = LatencyHistogram::new();
+        for us in 1..=1000u64 {
+            h.record(Duration::from_micros(us));
+        }
+        assert_eq!(h.percentile(0.5), Duration::from_micros(500));
+        assert_eq!(h.p99(), Duration::from_micros(990));
+        assert_eq!(h.p999(), Duration::from_micros(999));
+        assert_eq!(h.percentile(1.0), Duration::from_micros(1000));
+        assert_eq!(h.percentile(0.0), Duration::from_micros(1));
+        assert_eq!(h.mean(), Duration::from_nanos(500_500));
+    }
+
+    #[test]
+    fn tail_dominated_by_outliers() {
+        let mut h = LatencyHistogram::new();
+        for _ in 0..990 {
+            h.record(Duration::from_micros(50));
+        }
+        for _ in 0..10 {
+            h.record(Duration::from_millis(3));
+        }
+        assert_eq!(h.percentile(0.5), Duration::from_micros(50));
+        assert_eq!(h.p99(), Duration::from_micros(50));
+        assert_eq!(h.p999(), Duration::from_millis(3));
+    }
+
+    #[test]
+    fn merge_combines_samples() {
+        let mut a = LatencyHistogram::new();
+        a.record(Duration::from_micros(10));
+        let mut b = LatencyHistogram::new();
+        b.record(Duration::from_micros(30));
+        a.merge(&b);
+        assert_eq!(a.count(), 2);
+        assert_eq!(a.mean(), Duration::from_micros(20));
+    }
+
+    #[test]
+    #[should_panic(expected = "quantile")]
+    fn out_of_range_quantile_panics() {
+        let mut h = LatencyHistogram::new();
+        h.record(Duration::from_micros(1));
+        h.percentile(1.5);
+    }
+
+    proptest! {
+        #[test]
+        fn prop_percentile_is_monotonic_and_bounded(
+            samples in proptest::collection::vec(0u64..10_000_000, 1..400),
+            q1 in 0.0f64..1.0,
+            q2 in 0.0f64..1.0,
+        ) {
+            let mut h = LatencyHistogram::new();
+            for s in &samples {
+                h.record(Duration::from_nanos(*s));
+            }
+            let (lo, hi) = if q1 <= q2 { (q1, q2) } else { (q2, q1) };
+            let p_lo = h.percentile(lo);
+            let p_hi = h.percentile(hi);
+            prop_assert!(p_lo <= p_hi);
+            prop_assert!(p_hi <= h.max());
+        }
+    }
+}

@@ -1,0 +1,28 @@
+//! # metrics
+//!
+//! Measurement and reporting utilities for the LearnedFTL experiments:
+//!
+//! * [`LatencyHistogram`] — per-request latency collection with P50/P99/P99.9
+//!   percentiles (Figure 21),
+//! * [`Throughput`] — bytes-over-simulated-time throughput (Figures 2, 14,
+//!   19, 20),
+//! * [`EnergyModel`] — a NANDFlashSim-style per-operation energy model
+//!   (Figure 22),
+//! * [`GcTimeline`] — GC-frequency-over-time bucketing (Figure 16),
+//! * [`Table`] — plain-text table formatting for the figure-reproduction
+//!   binaries.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod energy;
+mod gc_timeline;
+mod histogram;
+mod table;
+mod throughput;
+
+pub use energy::EnergyModel;
+pub use gc_timeline::GcTimeline;
+pub use histogram::LatencyHistogram;
+pub use table::Table;
+pub use throughput::Throughput;

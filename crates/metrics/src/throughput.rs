@@ -1,0 +1,94 @@
+//! Throughput accounting.
+
+use ssd_sim::Duration;
+
+/// Bytes moved over a span of simulated time.
+///
+/// ```
+/// use metrics::Throughput;
+/// use ssd_sim::Duration;
+/// let t = Throughput::new(1024 * 1024, Duration::from_millis(1000));
+/// assert!((t.mib_per_sec() - 1.0).abs() < 1e-9);
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Throughput {
+    bytes: u64,
+    elapsed: Duration,
+}
+
+impl Throughput {
+    /// Creates a throughput measurement.
+    pub fn new(bytes: u64, elapsed: Duration) -> Self {
+        Throughput { bytes, elapsed }
+    }
+
+    /// Creates a measurement from a page count and page size.
+    pub fn from_pages(pages: u64, page_size: u32, elapsed: Duration) -> Self {
+        Throughput::new(pages * u64::from(page_size), elapsed)
+    }
+
+    /// Total bytes moved.
+    pub fn bytes(&self) -> u64 {
+        self.bytes
+    }
+
+    /// The simulated time span.
+    pub fn elapsed(&self) -> Duration {
+        self.elapsed
+    }
+
+    /// Throughput in MiB/s (zero if no time elapsed).
+    pub fn mib_per_sec(&self) -> f64 {
+        let secs = self.elapsed.as_secs_f64();
+        if secs <= 0.0 {
+            return 0.0;
+        }
+        self.bytes as f64 / (1024.0 * 1024.0) / secs
+    }
+
+    /// Operations per second for `ops` operations over the same span.
+    pub fn ops_per_sec(&self, ops: u64) -> f64 {
+        let secs = self.elapsed.as_secs_f64();
+        if secs <= 0.0 {
+            return 0.0;
+        }
+        ops as f64 / secs
+    }
+
+    /// This throughput normalised to `baseline` (1.0 = equal).
+    pub fn normalized_to(&self, baseline: &Throughput) -> f64 {
+        let base = baseline.mib_per_sec();
+        if base <= 0.0 {
+            return 0.0;
+        }
+        self.mib_per_sec() / base
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn mib_per_sec_math() {
+        let t = Throughput::from_pages(256, 4096, Duration::from_millis(500));
+        // 1 MiB over 0.5 s = 2 MiB/s.
+        assert!((t.mib_per_sec() - 2.0).abs() < 1e-9);
+        assert!((t.ops_per_sec(256) - 512.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn zero_elapsed_reports_zero() {
+        let t = Throughput::new(1000, Duration::ZERO);
+        assert_eq!(t.mib_per_sec(), 0.0);
+        assert_eq!(t.ops_per_sec(10), 0.0);
+    }
+
+    #[test]
+    fn normalization() {
+        let a = Throughput::new(2 * 1024 * 1024, Duration::from_millis(1000));
+        let b = Throughput::new(1024 * 1024, Duration::from_millis(1000));
+        assert!((a.normalized_to(&b) - 2.0).abs() < 1e-9);
+        assert_eq!(a.normalized_to(&Throughput::new(0, Duration::from_millis(1))), 0.0);
+    }
+}

@@ -1,0 +1,302 @@
+//! Physical addressing: the PPN codec and the virtual-PPN representation.
+//!
+//! A physical page number (PPN) encodes the position of a page in the SSD's
+//! geometry tree by concatenating the address fields from the highest level
+//! (channel) to the lowest (page):
+//!
+//! ```text
+//! PPN  = ((((channel · C + chip) · P + plane) · B + block) · G + page)
+//! ```
+//!
+//! where `C`, `P`, `B`, `G` are the fan-outs of the respective levels.
+//!
+//! The paper's *virtual PPN* (Section III-C) permutes those fields so that the
+//! allocation order — channel fastest, then chip, plane, page and block
+//! slowest — produces **consecutive integers**. Two pages that are allocated
+//! back-to-back by a striping allocator land on different chips and therefore
+//! have wildly different PPNs, but their VPPNs differ by exactly one. Learned
+//! index models are trained on LPN→VPPN mappings for this reason.
+//!
+//! ```text
+//! VPPN = ((((block · G + page) · P + plane) · C + chip) · CH + channel)
+//! ```
+//!
+//! Both codecs are bijections over `0..total_pages`, verified by the property
+//! tests at the bottom of this module.
+
+use crate::geometry::Geometry;
+
+/// A physical page number: an index into the device's pages in geometry order.
+pub type Ppn = u64;
+
+/// A virtual physical page number: the allocation-order permutation of a PPN.
+pub type Vppn = u64;
+
+/// A fully decomposed physical page address.
+///
+/// ```
+/// use ssd_sim::{Geometry, PhysAddr};
+/// let g = Geometry::new(8, 8, 1, 256, 512, 4096);
+/// let addr = PhysAddr { channel: 3, chip: 2, plane: 0, block: 17, page: 250 };
+/// let ppn = addr.to_ppn(&g);
+/// assert_eq!(PhysAddr::from_ppn(ppn, &g), addr);
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct PhysAddr {
+    /// Channel index.
+    pub channel: u32,
+    /// Chip (LUN) index within the channel.
+    pub chip: u32,
+    /// Plane index within the chip.
+    pub plane: u32,
+    /// Block index within the plane.
+    pub block: u32,
+    /// Page index within the block.
+    pub page: u32,
+}
+
+impl PhysAddr {
+    /// Decomposes a PPN into its geometry fields.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `ppn` is outside the device.
+    pub fn from_ppn(ppn: Ppn, g: &Geometry) -> Self {
+        assert!(ppn < g.total_pages(), "ppn {ppn} out of range");
+        let page = (ppn % u64::from(g.pages_per_block)) as u32;
+        let rest = ppn / u64::from(g.pages_per_block);
+        let block = (rest % u64::from(g.blocks_per_plane)) as u32;
+        let rest = rest / u64::from(g.blocks_per_plane);
+        let plane = (rest % u64::from(g.planes_per_chip)) as u32;
+        let rest = rest / u64::from(g.planes_per_chip);
+        let chip = (rest % u64::from(g.chips_per_channel)) as u32;
+        let channel = (rest / u64::from(g.chips_per_channel)) as u32;
+        PhysAddr {
+            channel,
+            chip,
+            plane,
+            block,
+            page,
+        }
+    }
+
+    /// Composes the geometry fields back into a PPN.
+    ///
+    /// # Panics
+    ///
+    /// Panics if any field is outside the geometry.
+    pub fn to_ppn(&self, g: &Geometry) -> Ppn {
+        self.validate(g);
+        let mut v = u64::from(self.channel);
+        v = v * u64::from(g.chips_per_channel) + u64::from(self.chip);
+        v = v * u64::from(g.planes_per_chip) + u64::from(self.plane);
+        v = v * u64::from(g.blocks_per_plane) + u64::from(self.block);
+        v = v * u64::from(g.pages_per_block) + u64::from(self.page);
+        v
+    }
+
+    /// Composes the geometry fields into a virtual PPN (allocation order:
+    /// channel fastest, block slowest).
+    ///
+    /// # Panics
+    ///
+    /// Panics if any field is outside the geometry.
+    pub fn to_vppn(&self, g: &Geometry) -> Vppn {
+        self.validate(g);
+        let mut v = u64::from(self.block);
+        v = v * u64::from(g.pages_per_block) + u64::from(self.page);
+        v = v * u64::from(g.planes_per_chip) + u64::from(self.plane);
+        v = v * u64::from(g.chips_per_channel) + u64::from(self.chip);
+        v = v * u64::from(g.channels) + u64::from(self.channel);
+        v
+    }
+
+    /// Decomposes a virtual PPN into its geometry fields.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `vppn` is outside the device.
+    pub fn from_vppn(vppn: Vppn, g: &Geometry) -> Self {
+        assert!(vppn < g.total_pages(), "vppn {vppn} out of range");
+        let channel = (vppn % u64::from(g.channels)) as u32;
+        let rest = vppn / u64::from(g.channels);
+        let chip = (rest % u64::from(g.chips_per_channel)) as u32;
+        let rest = rest / u64::from(g.chips_per_channel);
+        let plane = (rest % u64::from(g.planes_per_chip)) as u32;
+        let rest = rest / u64::from(g.planes_per_chip);
+        let page = (rest % u64::from(g.pages_per_block)) as u32;
+        let block = (rest / u64::from(g.pages_per_block)) as u32;
+        PhysAddr {
+            channel,
+            chip,
+            plane,
+            block,
+            page,
+        }
+    }
+
+    /// Returns the flat chip index this address lives on.
+    pub fn chip_index(&self, g: &Geometry) -> u64 {
+        g.chip_index(self.channel, self.chip)
+    }
+
+    /// Returns the device-wide flat block index this address lives in.
+    pub fn flat_block(&self, g: &Geometry) -> u64 {
+        (self.chip_index(g) * u64::from(g.planes_per_chip) + u64::from(self.plane))
+            * u64::from(g.blocks_per_plane)
+            + u64::from(self.block)
+    }
+
+    fn validate(&self, g: &Geometry) {
+        assert!(self.channel < g.channels, "channel out of range");
+        assert!(self.chip < g.chips_per_channel, "chip out of range");
+        assert!(self.plane < g.planes_per_chip, "plane out of range");
+        assert!(self.block < g.blocks_per_plane, "block out of range");
+        assert!(self.page < g.pages_per_block, "page out of range");
+    }
+}
+
+/// Converts a PPN directly into a virtual PPN.
+pub fn ppn_to_vppn(ppn: Ppn, g: &Geometry) -> Vppn {
+    PhysAddr::from_ppn(ppn, g).to_vppn(g)
+}
+
+/// Converts a virtual PPN back into a PPN.
+pub fn vppn_to_ppn(vppn: Vppn, g: &Geometry) -> Ppn {
+    PhysAddr::from_vppn(vppn, g).to_ppn(g)
+}
+
+impl std::fmt::Display for PhysAddr {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(
+            f,
+            "ch{}/chip{}/pl{}/blk{}/pg{}",
+            self.channel, self.chip, self.plane, self.block, self.page
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    fn paper() -> Geometry {
+        Geometry::new(8, 8, 1, 256, 512, 4096)
+    }
+
+    #[test]
+    fn ppn_roundtrip_simple() {
+        let g = paper();
+        for ppn in [0u64, 1, 511, 512, 131_071, 8_388_607] {
+            let addr = PhysAddr::from_ppn(ppn, &g);
+            assert_eq!(addr.to_ppn(&g), ppn);
+        }
+    }
+
+    #[test]
+    fn vppn_roundtrip_simple() {
+        let g = paper();
+        for vppn in [0u64, 1, 63, 64, 4_000_000, 8_388_607] {
+            let addr = PhysAddr::from_vppn(vppn, &g);
+            assert_eq!(addr.to_vppn(&g), vppn);
+        }
+    }
+
+    #[test]
+    fn allocation_order_gives_consecutive_vppns() {
+        // Striping across channels (allocation order: channel fastest) must
+        // produce consecutive VPPNs, which is the whole point of the
+        // representation (paper Fig. 12).
+        let g = paper();
+        let base = PhysAddr {
+            channel: 0,
+            chip: 5,
+            plane: 0,
+            block: 64,
+            page: 127,
+        };
+        let mut prev = None;
+        for ch in 0..g.channels {
+            let addr = PhysAddr { channel: ch, ..base };
+            let vppn = addr.to_vppn(&g);
+            if let Some(p) = prev {
+                assert_eq!(vppn, p + 1, "channel-striped pages must be VPPN-consecutive");
+            }
+            prev = Some(vppn);
+        }
+    }
+
+    #[test]
+    fn vppn_differs_from_ppn_for_scattered_pages() {
+        let g = paper();
+        let a = PhysAddr {
+            channel: 4,
+            chip: 5,
+            plane: 0,
+            block: 64,
+            page: 127,
+        };
+        let b = PhysAddr { channel: 5, ..a };
+        // PPNs of channel-adjacent pages are far apart...
+        assert!(b.to_ppn(&g) - a.to_ppn(&g) > 1_000_000);
+        // ...but VPPNs are adjacent.
+        assert_eq!(b.to_vppn(&g), a.to_vppn(&g) + 1);
+    }
+
+    #[test]
+    fn chip_index_and_flat_block() {
+        let g = paper();
+        let a = PhysAddr {
+            channel: 3,
+            chip: 2,
+            plane: 0,
+            block: 17,
+            page: 0,
+        };
+        assert_eq!(a.chip_index(&g), 3 * 8 + 2);
+        assert_eq!(a.flat_block(&g), (3 * 8 + 2) * 256 + 17);
+    }
+
+    #[test]
+    #[should_panic(expected = "out of range")]
+    fn from_ppn_rejects_out_of_range() {
+        let g = paper();
+        PhysAddr::from_ppn(g.total_pages(), &g);
+    }
+
+    proptest! {
+        #[test]
+        fn prop_ppn_roundtrip(ppn in 0u64..8_388_608) {
+            let g = paper();
+            let addr = PhysAddr::from_ppn(ppn, &g);
+            prop_assert_eq!(addr.to_ppn(&g), ppn);
+        }
+
+        #[test]
+        fn prop_vppn_bijection(ppn in 0u64..8_388_608) {
+            let g = paper();
+            let vppn = ppn_to_vppn(ppn, &g);
+            prop_assert!(vppn < g.total_pages());
+            prop_assert_eq!(vppn_to_ppn(vppn, &g), ppn);
+        }
+
+        #[test]
+        fn prop_roundtrip_odd_geometry(
+            channels in 1u32..5,
+            chips in 1u32..5,
+            planes in 1u32..3,
+            blocks in 1u32..20,
+            pages in 1u32..40,
+            seed in 0u64..10_000,
+        ) {
+            let g = Geometry::new(channels, chips, planes, blocks, pages, 4096);
+            let ppn = seed % g.total_pages();
+            let addr = PhysAddr::from_ppn(ppn, &g);
+            prop_assert_eq!(addr.to_ppn(&g), ppn);
+            let vppn = addr.to_vppn(&g);
+            prop_assert!(vppn < g.total_pages());
+            prop_assert_eq!(PhysAddr::from_vppn(vppn, &g), addr);
+        }
+    }
+}

@@ -1,0 +1,200 @@
+//! Per-block state tracking.
+
+use crate::PageState;
+
+/// The lifecycle state of one flash block.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default)]
+pub enum BlockState {
+    /// Fully erased; no page has been programmed.
+    #[default]
+    Free,
+    /// At least one page has been programmed and free pages remain.
+    Open,
+    /// Every page has been programmed.
+    Full,
+}
+
+/// Metadata for one physical flash block: page states, a write pointer and
+/// wear/validity counters.
+///
+/// A block enforces the NAND programming constraint: pages are programmed in
+/// order (the write pointer only moves forward) and a page may not be
+/// reprogrammed without erasing the whole block first.
+#[derive(Debug, Clone)]
+pub struct Block {
+    pages: Vec<PageState>,
+    next_page: u32,
+    valid_pages: u32,
+    erase_count: u64,
+}
+
+impl Block {
+    /// Creates a fresh, erased block with `pages_per_block` pages.
+    pub fn new(pages_per_block: u32) -> Self {
+        Block {
+            pages: vec![PageState::Free; pages_per_block as usize],
+            next_page: 0,
+            valid_pages: 0,
+            erase_count: 0,
+        }
+    }
+
+    /// Total number of pages in the block.
+    pub fn page_count(&self) -> u32 {
+        self.pages.len() as u32
+    }
+
+    /// Number of pages currently holding live data.
+    pub fn valid_pages(&self) -> u32 {
+        self.valid_pages
+    }
+
+    /// Number of pages that hold superseded (garbage) data.
+    pub fn invalid_pages(&self) -> u32 {
+        self.next_page - self.valid_pages
+    }
+
+    /// Number of pages that are still erased and programmable.
+    pub fn free_pages(&self) -> u32 {
+        self.page_count() - self.next_page
+    }
+
+    /// How many times this block has been erased (wear).
+    pub fn erase_count(&self) -> u64 {
+        self.erase_count
+    }
+
+    /// The current lifecycle state of the block.
+    pub fn state(&self) -> BlockState {
+        if self.next_page == 0 {
+            BlockState::Free
+        } else if self.free_pages() == 0 {
+            BlockState::Full
+        } else {
+            BlockState::Open
+        }
+    }
+
+    /// The state of the page at `page` within the block.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `page` is out of range.
+    pub fn page_state(&self, page: u32) -> PageState {
+        self.pages[page as usize]
+    }
+
+    /// The next page index that would be programmed, if any.
+    pub fn write_pointer(&self) -> Option<u32> {
+        if self.free_pages() == 0 {
+            None
+        } else {
+            Some(self.next_page)
+        }
+    }
+
+    /// Marks the page at `page` as programmed and valid.
+    ///
+    /// Returns `false` if the page was already programmed (NAND violation) or
+    /// programmed out of order.
+    pub fn program(&mut self, page: u32) -> bool {
+        if page as usize >= self.pages.len() {
+            return false;
+        }
+        // NAND requires in-order programming within a block.
+        if page != self.next_page || self.pages[page as usize] != PageState::Free {
+            return false;
+        }
+        self.pages[page as usize] = PageState::Valid;
+        self.next_page += 1;
+        self.valid_pages += 1;
+        true
+    }
+
+    /// Marks the page at `page` as invalid (its data has been superseded).
+    ///
+    /// Returns `false` if the page was not valid.
+    pub fn invalidate(&mut self, page: u32) -> bool {
+        if page as usize >= self.pages.len() || self.pages[page as usize] != PageState::Valid {
+            return false;
+        }
+        self.pages[page as usize] = PageState::Invalid;
+        self.valid_pages -= 1;
+        true
+    }
+
+    /// Erases the whole block, returning every page to the free state.
+    pub fn erase(&mut self) {
+        for p in &mut self.pages {
+            *p = PageState::Free;
+        }
+        self.next_page = 0;
+        self.valid_pages = 0;
+        self.erase_count += 1;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn fresh_block_is_free() {
+        let b = Block::new(8);
+        assert_eq!(b.state(), BlockState::Free);
+        assert_eq!(b.free_pages(), 8);
+        assert_eq!(b.valid_pages(), 0);
+        assert_eq!(b.write_pointer(), Some(0));
+    }
+
+    #[test]
+    fn program_in_order_only() {
+        let mut b = Block::new(4);
+        assert!(b.program(0));
+        assert!(!b.program(0), "reprogramming must fail");
+        assert!(!b.program(2), "out-of-order programming must fail");
+        assert!(b.program(1));
+        assert_eq!(b.state(), BlockState::Open);
+        assert_eq!(b.valid_pages(), 2);
+        assert_eq!(b.free_pages(), 2);
+    }
+
+    #[test]
+    fn invalidate_then_counts() {
+        let mut b = Block::new(4);
+        for p in 0..4 {
+            assert!(b.program(p));
+        }
+        assert_eq!(b.state(), BlockState::Full);
+        assert!(b.invalidate(1));
+        assert!(!b.invalidate(1), "double invalidation must fail");
+        assert_eq!(b.valid_pages(), 3);
+        assert_eq!(b.invalid_pages(), 1);
+        assert_eq!(b.write_pointer(), None);
+    }
+
+    #[test]
+    fn erase_resets_everything_and_counts_wear() {
+        let mut b = Block::new(4);
+        for p in 0..4 {
+            b.program(p);
+        }
+        b.invalidate(0);
+        b.erase();
+        assert_eq!(b.state(), BlockState::Free);
+        assert_eq!(b.free_pages(), 4);
+        assert_eq!(b.valid_pages(), 0);
+        assert_eq!(b.erase_count(), 1);
+        assert!(b.program(0));
+    }
+
+    #[test]
+    fn page_state_transitions() {
+        let mut b = Block::new(2);
+        assert_eq!(b.page_state(0), PageState::Free);
+        b.program(0);
+        assert_eq!(b.page_state(0), PageState::Valid);
+        b.invalidate(0);
+        assert_eq!(b.page_state(0), PageState::Invalid);
+    }
+}

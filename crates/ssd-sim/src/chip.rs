@@ -1,0 +1,120 @@
+//! Per-chip (LUN) state: blocks and the busy-until timeline.
+
+use crate::block::Block;
+use crate::clock::SimTime;
+
+/// One NAND chip (LUN): a set of blocks plus the time at which the chip will
+/// next be idle.
+///
+/// A chip is the unit of operation-level parallelism in the simulator: two
+/// operations on the same chip serialise, two operations on different chips
+/// overlap (subject to the shared channel bus).
+#[derive(Debug, Clone)]
+pub struct Chip {
+    blocks: Vec<Block>,
+    busy_until: SimTime,
+}
+
+impl Chip {
+    /// Creates a chip with `blocks` erased blocks of `pages_per_block` pages.
+    pub fn new(blocks: u32, pages_per_block: u32) -> Self {
+        Chip {
+            blocks: (0..blocks).map(|_| Block::new(pages_per_block)).collect(),
+            busy_until: SimTime::ZERO,
+        }
+    }
+
+    /// Number of blocks on the chip.
+    pub fn block_count(&self) -> u32 {
+        self.blocks.len() as u32
+    }
+
+    /// Shared access to the block at `index` (chip-local index).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `index` is out of range.
+    pub fn block(&self, index: u32) -> &Block {
+        &self.blocks[index as usize]
+    }
+
+    /// Mutable access to the block at `index` (chip-local index).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `index` is out of range.
+    pub fn block_mut(&mut self, index: u32) -> &mut Block {
+        &mut self.blocks[index as usize]
+    }
+
+    /// The simulated time at which this chip becomes idle.
+    pub fn busy_until(&self) -> SimTime {
+        self.busy_until
+    }
+
+    /// Reserves the chip for an operation issued at `issue` that takes
+    /// `latency` once it starts. Returns the completion time.
+    pub fn occupy(&mut self, issue: SimTime, latency: crate::Duration) -> SimTime {
+        let start = issue.max(self.busy_until);
+        let done = start + latency;
+        self.busy_until = done;
+        done
+    }
+
+    /// Total number of free (programmable) pages across all blocks.
+    pub fn free_pages(&self) -> u64 {
+        self.blocks.iter().map(|b| u64::from(b.free_pages())).sum()
+    }
+
+    /// Total number of valid pages across all blocks.
+    pub fn valid_pages(&self) -> u64 {
+        self.blocks.iter().map(|b| u64::from(b.valid_pages())).sum()
+    }
+
+    /// Sum of erase counts across all blocks (wear indicator).
+    pub fn total_erases(&self) -> u64 {
+        self.blocks.iter().map(Block::erase_count).sum()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::Duration;
+
+    #[test]
+    fn occupy_serialises_operations() {
+        let mut chip = Chip::new(2, 4);
+        let d = Duration::from_micros(40);
+        let t1 = chip.occupy(SimTime::ZERO, d);
+        assert_eq!(t1, SimTime::from_micros(40));
+        // Issued "in the past" relative to the chip: must queue.
+        let t2 = chip.occupy(SimTime::from_micros(10), d);
+        assert_eq!(t2, SimTime::from_micros(80));
+        // Issued after the chip is idle: starts immediately.
+        let t3 = chip.occupy(SimTime::from_micros(200), d);
+        assert_eq!(t3, SimTime::from_micros(240));
+    }
+
+    #[test]
+    fn page_counters_aggregate_blocks() {
+        let mut chip = Chip::new(2, 4);
+        assert_eq!(chip.free_pages(), 8);
+        chip.block_mut(0).program(0);
+        chip.block_mut(1).program(0);
+        chip.block_mut(1).program(1);
+        assert_eq!(chip.free_pages(), 5);
+        assert_eq!(chip.valid_pages(), 3);
+        chip.block_mut(1).invalidate(0);
+        assert_eq!(chip.valid_pages(), 2);
+    }
+
+    #[test]
+    fn erase_counter_aggregates() {
+        let mut chip = Chip::new(3, 2);
+        chip.block_mut(0).erase();
+        chip.block_mut(0).erase();
+        chip.block_mut(2).erase();
+        assert_eq!(chip.total_erases(), 3);
+    }
+}

@@ -1,0 +1,485 @@
+//! The flash device: page/block state plus the discrete-event timing model.
+
+use crate::address::{PhysAddr, Ppn};
+use crate::block::Block;
+use crate::chip::Chip;
+use crate::clock::SimTime;
+use crate::config::SsdConfig;
+use crate::error::{DeviceError, DeviceResult};
+use crate::geometry::Geometry;
+use crate::oob::OobData;
+use crate::stats::{DeviceStats, FlashOp};
+use crate::PageState;
+
+/// A simulated NAND flash device.
+///
+/// The device models:
+///
+/// * **state** — every page is free, valid or invalid; blocks are programmed
+///   in order and erased as a whole,
+/// * **timing** — each chip executes one NAND operation at a time and each
+///   channel transfers one page at a time, so operations issued concurrently
+///   against different chips overlap while operations against the same chip
+///   queue,
+/// * **metadata** — the OOB area of every page,
+/// * **accounting** — counts of reads/programs/erases, split into host-data
+///   and translation-page traffic.
+///
+/// The device knows nothing about logical addresses: the FTL layers own the
+/// mapping, allocation and garbage-collection policies.
+///
+/// # Example
+///
+/// ```
+/// use ssd_sim::{FlashDevice, SsdConfig, SimTime, OobData};
+///
+/// let mut dev = FlashDevice::new(SsdConfig::tiny());
+/// let done_w = dev.program_page(0, OobData::mapped(9), SimTime::ZERO)?;
+/// let done_r = dev.read_page(0, done_w)?;
+/// assert!(done_r > done_w);
+/// assert_eq!(dev.stats().programs, 1);
+/// assert_eq!(dev.stats().reads, 1);
+/// # Ok::<(), ssd_sim::DeviceError>(())
+/// ```
+#[derive(Debug, Clone)]
+pub struct FlashDevice {
+    config: SsdConfig,
+    chips: Vec<Chip>,
+    channel_busy_until: Vec<SimTime>,
+    oob: Vec<OobData>,
+    stats: DeviceStats,
+}
+
+impl FlashDevice {
+    /// Creates a fresh (fully erased) device.
+    pub fn new(config: SsdConfig) -> Self {
+        let g = config.geometry;
+        let blocks_per_chip = g.blocks_per_chip() as u32;
+        let chips = (0..g.total_chips())
+            .map(|_| Chip::new(blocks_per_chip, g.pages_per_block))
+            .collect();
+        FlashDevice {
+            config,
+            chips,
+            channel_busy_until: vec![SimTime::ZERO; g.channels as usize],
+            oob: vec![OobData::default(); g.total_pages() as usize],
+            stats: DeviceStats::new(),
+        }
+    }
+
+    /// The device configuration.
+    pub fn config(&self) -> &SsdConfig {
+        &self.config
+    }
+
+    /// The device geometry.
+    pub fn geometry(&self) -> &Geometry {
+        &self.config.geometry
+    }
+
+    /// Operation statistics accumulated so far.
+    pub fn stats(&self) -> &DeviceStats {
+        &self.stats
+    }
+
+    /// Resets the operation statistics to zero (state is untouched).
+    pub fn reset_stats(&mut self) {
+        self.stats = DeviceStats::new();
+    }
+
+    /// Reads the page at `ppn`, issued at `issue`. Returns the completion time.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`DeviceError::PpnOutOfRange`] if `ppn` does not exist and
+    /// [`DeviceError::ReadOnFreePage`] if the page has never been programmed.
+    pub fn read_page(&mut self, ppn: Ppn, issue: SimTime) -> DeviceResult<SimTime> {
+        let addr = self.check_ppn(ppn)?;
+        if self.page_state(ppn)? == PageState::Free {
+            return Err(DeviceError::ReadOnFreePage { ppn });
+        }
+        let translation = self.oob[ppn as usize].is_translation;
+        self.stats.record(FlashOp::Read, translation);
+        // NAND array read on the chip, then the page crosses the channel bus.
+        let g = self.config.geometry;
+        let lat = self.config.latency;
+        let chip = &mut self.chips[addr.chip_index(&g) as usize];
+        let nand_done = chip.occupy(issue, lat.read);
+        Ok(self.occupy_channel(addr.channel, nand_done, lat.channel_transfer))
+    }
+
+    /// Programs the page at `ppn` with `oob` metadata, issued at `issue`.
+    /// Returns the completion time.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`DeviceError::PpnOutOfRange`] if `ppn` does not exist and
+    /// [`DeviceError::ProgramOnUsedPage`] if the page is not the next free
+    /// page of its block (NAND requires in-order programming).
+    pub fn program_page(&mut self, ppn: Ppn, oob: OobData, issue: SimTime) -> DeviceResult<SimTime> {
+        let addr = self.check_ppn(ppn)?;
+        let g = self.config.geometry;
+        let lat = self.config.latency;
+        let chip_idx = addr.chip_index(&g) as usize;
+        let local_block = Self::local_block(&addr, &g);
+        {
+            let block = self.chips[chip_idx].block_mut(local_block);
+            if !block.program(addr.page) {
+                return Err(DeviceError::ProgramOnUsedPage { ppn });
+            }
+        }
+        self.oob[ppn as usize] = oob;
+        self.stats.record(FlashOp::Program, oob.is_translation);
+        // Data crosses the channel bus first, then the NAND array programs it.
+        let bus_done = self.occupy_channel(addr.channel, issue, lat.channel_transfer);
+        let chip = &mut self.chips[chip_idx];
+        Ok(chip.occupy(bus_done, lat.program))
+    }
+
+    /// Marks the page at `ppn` invalid (superseded). This is a metadata-only
+    /// operation with no timing cost.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`DeviceError::PpnOutOfRange`] if `ppn` does not exist. It is
+    /// not an error to invalidate a page twice or to invalidate a free page —
+    /// the call is then a no-op — because FTL write paths routinely overwrite
+    /// logical pages whose previous physical location is already stale.
+    pub fn invalidate_page(&mut self, ppn: Ppn) -> DeviceResult<()> {
+        let addr = self.check_ppn(ppn)?;
+        let g = self.config.geometry;
+        let chip_idx = addr.chip_index(&g) as usize;
+        let local_block = Self::local_block(&addr, &g);
+        self.chips[chip_idx]
+            .block_mut(local_block)
+            .invalidate(addr.page);
+        Ok(())
+    }
+
+    /// Erases the block identified by the device-wide flat block index.
+    /// Returns the completion time.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`DeviceError::BlockOutOfRange`] if the block does not exist
+    /// and [`DeviceError::EraseWithValidPages`] if the block still holds valid
+    /// pages (the FTL must relocate them first).
+    pub fn erase_block(&mut self, flat_block: u64, issue: SimTime) -> DeviceResult<SimTime> {
+        let g = self.config.geometry;
+        let total_blocks = g.total_blocks();
+        if flat_block >= total_blocks {
+            return Err(DeviceError::BlockOutOfRange {
+                block: flat_block,
+                total: total_blocks,
+            });
+        }
+        let blocks_per_chip = g.blocks_per_chip();
+        let chip_idx = (flat_block / blocks_per_chip) as usize;
+        let local_block = (flat_block % blocks_per_chip) as u32;
+        let valid = self.chips[chip_idx].block(local_block).valid_pages();
+        if valid > 0 {
+            return Err(DeviceError::EraseWithValidPages {
+                block: flat_block,
+                valid,
+            });
+        }
+        self.chips[chip_idx].block_mut(local_block).erase();
+        // Clear the OOB of every page in the block.
+        let first_ppn = self.first_ppn_of_flat_block(flat_block);
+        for p in 0..u64::from(g.pages_per_block) {
+            self.oob[(first_ppn + p) as usize] = OobData::default();
+        }
+        self.stats.record(FlashOp::Erase, false);
+        let lat = self.config.latency;
+        Ok(self.chips[chip_idx].occupy(issue, lat.erase))
+    }
+
+    /// The state of the page at `ppn`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`DeviceError::PpnOutOfRange`] if `ppn` does not exist.
+    pub fn page_state(&self, ppn: Ppn) -> DeviceResult<PageState> {
+        let addr = self.check_ppn(ppn)?;
+        let g = self.config.geometry;
+        let chip_idx = addr.chip_index(&g) as usize;
+        let local_block = Self::local_block(&addr, &g);
+        Ok(self.chips[chip_idx].block(local_block).page_state(addr.page))
+    }
+
+    /// The OOB metadata of the page at `ppn`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`DeviceError::PpnOutOfRange`] if `ppn` does not exist.
+    pub fn oob(&self, ppn: Ppn) -> DeviceResult<&OobData> {
+        self.check_ppn(ppn)?;
+        Ok(&self.oob[ppn as usize])
+    }
+
+    /// Shared access to the block metadata at a flat block index.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`DeviceError::BlockOutOfRange`] if the block does not exist.
+    pub fn block_info(&self, flat_block: u64) -> DeviceResult<&Block> {
+        let g = self.config.geometry;
+        if flat_block >= g.total_blocks() {
+            return Err(DeviceError::BlockOutOfRange {
+                block: flat_block,
+                total: g.total_blocks(),
+            });
+        }
+        let blocks_per_chip = g.blocks_per_chip();
+        let chip_idx = (flat_block / blocks_per_chip) as usize;
+        let local_block = (flat_block % blocks_per_chip) as u32;
+        Ok(self.chips[chip_idx].block(local_block))
+    }
+
+    /// The first PPN that belongs to the block with the given flat index.
+    pub fn first_ppn_of_flat_block(&self, flat_block: u64) -> Ppn {
+        flat_block * u64::from(self.config.geometry.pages_per_block)
+    }
+
+    /// The flat block index that contains `ppn`.
+    pub fn flat_block_of_ppn(&self, ppn: Ppn) -> u64 {
+        ppn / u64::from(self.config.geometry.pages_per_block)
+    }
+
+    /// The next programmable page (as a PPN) inside the block with the given
+    /// flat index, or `None` if the block is full.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`DeviceError::BlockOutOfRange`] if the block does not exist.
+    pub fn next_free_ppn_in_block(&self, flat_block: u64) -> DeviceResult<Option<Ppn>> {
+        let block = self.block_info(flat_block)?;
+        Ok(block
+            .write_pointer()
+            .map(|page| self.first_ppn_of_flat_block(flat_block) + u64::from(page)))
+    }
+
+    /// The simulated time at which the chip holding `ppn` becomes idle.
+    pub fn chip_busy_until(&self, ppn: Ppn) -> SimTime {
+        let g = self.config.geometry;
+        let addr = PhysAddr::from_ppn(ppn, &g);
+        self.chips[addr.chip_index(&g) as usize].busy_until()
+    }
+
+    /// The busiest (largest) `busy_until` across all chips: the time at which
+    /// the entire device has drained.
+    pub fn drain_time(&self) -> SimTime {
+        self.chips
+            .iter()
+            .map(Chip::busy_until)
+            .fold(SimTime::ZERO, SimTime::max)
+    }
+
+    /// Per-chip free page counts, indexed by flat chip index. Dynamic
+    /// allocators use this to pick the least-loaded chip.
+    pub fn free_pages_per_chip(&self) -> Vec<u64> {
+        self.chips.iter().map(Chip::free_pages).collect()
+    }
+
+    /// Per-chip busy-until times, indexed by flat chip index.
+    pub fn busy_until_per_chip(&self) -> Vec<SimTime> {
+        self.chips.iter().map(Chip::busy_until).collect()
+    }
+
+    /// Number of fully erased blocks in the whole device.
+    pub fn free_block_count(&self) -> u64 {
+        let g = self.config.geometry;
+        (0..g.total_blocks())
+            .filter(|&b| {
+                self.block_info(b)
+                    .map(|blk| blk.state() == crate::BlockState::Free)
+                    .unwrap_or(false)
+            })
+            .count() as u64
+    }
+
+    /// Total erase operations executed (wear indicator).
+    pub fn total_erases(&self) -> u64 {
+        self.chips.iter().map(Chip::total_erases).sum()
+    }
+
+    fn occupy_channel(
+        &mut self,
+        channel: u32,
+        issue: SimTime,
+        transfer: crate::Duration,
+    ) -> SimTime {
+        let busy = &mut self.channel_busy_until[channel as usize];
+        let start = issue.max(*busy);
+        let done = start + transfer;
+        *busy = done;
+        done
+    }
+
+    fn check_ppn(&self, ppn: Ppn) -> DeviceResult<PhysAddr> {
+        let g = self.config.geometry;
+        if ppn >= g.total_pages() {
+            return Err(DeviceError::PpnOutOfRange {
+                ppn,
+                total: g.total_pages(),
+            });
+        }
+        Ok(PhysAddr::from_ppn(ppn, &g))
+    }
+
+    fn local_block(addr: &PhysAddr, g: &Geometry) -> u32 {
+        addr.plane * g.blocks_per_plane + addr.block
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::Duration;
+
+    fn dev() -> FlashDevice {
+        FlashDevice::new(SsdConfig::tiny())
+    }
+
+    #[test]
+    fn program_then_read_roundtrips_oob() {
+        let mut d = dev();
+        d.program_page(0, OobData::mapped(123), SimTime::ZERO).unwrap();
+        assert_eq!(d.oob(0).unwrap().lpn, Some(123));
+        assert_eq!(d.page_state(0).unwrap(), PageState::Valid);
+        let done = d.read_page(0, SimTime::ZERO).unwrap();
+        assert!(done > SimTime::ZERO);
+    }
+
+    #[test]
+    fn read_free_page_is_error() {
+        let mut d = dev();
+        assert_eq!(
+            d.read_page(5, SimTime::ZERO),
+            Err(DeviceError::ReadOnFreePage { ppn: 5 })
+        );
+    }
+
+    #[test]
+    fn program_out_of_order_is_error() {
+        let mut d = dev();
+        // Page 1 of block 0 without programming page 0 first.
+        assert_eq!(
+            d.program_page(1, OobData::mapped(1), SimTime::ZERO),
+            Err(DeviceError::ProgramOnUsedPage { ppn: 1 })
+        );
+    }
+
+    #[test]
+    fn reprogram_is_error() {
+        let mut d = dev();
+        d.program_page(0, OobData::mapped(1), SimTime::ZERO).unwrap();
+        assert_eq!(
+            d.program_page(0, OobData::mapped(2), SimTime::ZERO),
+            Err(DeviceError::ProgramOnUsedPage { ppn: 0 })
+        );
+    }
+
+    #[test]
+    fn erase_requires_no_valid_pages() {
+        let mut d = dev();
+        d.program_page(0, OobData::mapped(1), SimTime::ZERO).unwrap();
+        assert!(matches!(
+            d.erase_block(0, SimTime::ZERO),
+            Err(DeviceError::EraseWithValidPages { .. })
+        ));
+        d.invalidate_page(0).unwrap();
+        let done = d.erase_block(0, SimTime::ZERO).unwrap();
+        assert!(done >= SimTime::from_millis(2));
+        assert_eq!(d.page_state(0).unwrap(), PageState::Free);
+        assert_eq!(d.oob(0).unwrap().lpn, None);
+        // The block is programmable again.
+        d.program_page(0, OobData::mapped(9), SimTime::ZERO).unwrap();
+    }
+
+    #[test]
+    fn operations_on_same_chip_queue() {
+        let mut d = dev();
+        let g = *d.geometry();
+        // Two pages on the same chip (channel 0, chip 0): block 0 page 0 and 1.
+        d.program_page(0, OobData::mapped(1), SimTime::ZERO).unwrap();
+        d.program_page(1, OobData::mapped(2), SimTime::ZERO).unwrap();
+        let t1 = d.read_page(0, SimTime::ZERO).unwrap();
+        let t2 = d.read_page(1, SimTime::ZERO).unwrap();
+        assert!(t2 > t1, "same-chip reads must serialise");
+        // Two pages on different chips overlap: read completion times differ
+        // by less than a full read latency.
+        let other_chip_ppn = g.pages_per_chip(); // first page of chip 1
+        let addr = PhysAddr::from_ppn(other_chip_ppn, &g);
+        assert_ne!(addr.chip_index(&g), 0);
+    }
+
+    #[test]
+    fn operations_on_different_chips_overlap() {
+        let cfg = SsdConfig::tiny();
+        let g = cfg.geometry;
+        let mut d = FlashDevice::new(cfg);
+        let chip0_ppn = 0;
+        let chip1_ppn = g.pages_per_chip();
+        d.program_page(chip0_ppn, OobData::mapped(1), SimTime::ZERO).unwrap();
+        d.program_page(chip1_ppn, OobData::mapped(2), SimTime::ZERO).unwrap();
+        let base = d.drain_time();
+        let t1 = d.read_page(chip0_ppn, base).unwrap();
+        let t2 = d.read_page(chip1_ppn, base).unwrap();
+        // Both reads finish within ~one read latency + transfers of each other.
+        let spread = if t1 > t2 { t1 - t2 } else { t2 - t1 };
+        assert!(spread < Duration::from_micros(40));
+    }
+
+    #[test]
+    fn stats_track_translation_traffic() {
+        let mut d = dev();
+        d.program_page(0, OobData::translation(), SimTime::ZERO).unwrap();
+        d.program_page(1, OobData::mapped(4), SimTime::ZERO).unwrap();
+        d.read_page(0, SimTime::ZERO).unwrap();
+        d.read_page(1, SimTime::ZERO).unwrap();
+        let s = d.stats();
+        assert_eq!(s.programs, 2);
+        assert_eq!(s.translation_programs, 1);
+        assert_eq!(s.reads, 2);
+        assert_eq!(s.translation_reads, 1);
+        assert_eq!(s.data_reads(), 1);
+    }
+
+    #[test]
+    fn next_free_ppn_walks_the_block() {
+        let mut d = dev();
+        assert_eq!(d.next_free_ppn_in_block(0).unwrap(), Some(0));
+        d.program_page(0, OobData::mapped(0), SimTime::ZERO).unwrap();
+        assert_eq!(d.next_free_ppn_in_block(0).unwrap(), Some(1));
+        let pages = d.geometry().pages_per_block;
+        for p in 1..pages {
+            d.program_page(u64::from(p), OobData::mapped(u64::from(p)), SimTime::ZERO)
+                .unwrap();
+        }
+        assert_eq!(d.next_free_ppn_in_block(0).unwrap(), None);
+    }
+
+    #[test]
+    fn free_block_count_decreases_with_programs() {
+        let mut d = dev();
+        let total = d.geometry().total_blocks();
+        assert_eq!(d.free_block_count(), total);
+        d.program_page(0, OobData::mapped(0), SimTime::ZERO).unwrap();
+        assert_eq!(d.free_block_count(), total - 1);
+    }
+
+    #[test]
+    fn out_of_range_errors() {
+        let mut d = dev();
+        let total = d.geometry().total_pages();
+        assert!(matches!(
+            d.read_page(total, SimTime::ZERO),
+            Err(DeviceError::PpnOutOfRange { .. })
+        ));
+        assert!(matches!(
+            d.erase_block(d.geometry().total_blocks(), SimTime::ZERO),
+            Err(DeviceError::BlockOutOfRange { .. })
+        ));
+    }
+}

@@ -1,0 +1,88 @@
+//! Device error types.
+
+use std::error::Error;
+use std::fmt;
+
+/// Result alias for device operations.
+pub type DeviceResult<T> = Result<T, DeviceError>;
+
+/// Errors returned by [`crate::FlashDevice`] operations.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum DeviceError {
+    /// The physical page number is outside the device.
+    PpnOutOfRange {
+        /// The offending PPN.
+        ppn: u64,
+        /// Number of pages in the device.
+        total: u64,
+    },
+    /// The block index is outside the device.
+    BlockOutOfRange {
+        /// The offending flat block index.
+        block: u64,
+        /// Number of blocks in the device.
+        total: u64,
+    },
+    /// A page was programmed twice without an intervening erase.
+    ProgramOnUsedPage {
+        /// The offending PPN.
+        ppn: u64,
+    },
+    /// A free (never programmed) page was read.
+    ReadOnFreePage {
+        /// The offending PPN.
+        ppn: u64,
+    },
+    /// An erase targeted a block that still holds valid pages.
+    EraseWithValidPages {
+        /// The offending flat block index.
+        block: u64,
+        /// How many valid pages remain in the block.
+        valid: u32,
+    },
+}
+
+impl fmt::Display for DeviceError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            DeviceError::PpnOutOfRange { ppn, total } => {
+                write!(f, "ppn {ppn} out of range (device has {total} pages)")
+            }
+            DeviceError::BlockOutOfRange { block, total } => {
+                write!(f, "block {block} out of range (device has {total} blocks)")
+            }
+            DeviceError::ProgramOnUsedPage { ppn } => {
+                write!(f, "program on page {ppn} that was not erased")
+            }
+            DeviceError::ReadOnFreePage { ppn } => {
+                write!(f, "read on free page {ppn}")
+            }
+            DeviceError::EraseWithValidPages { block, valid } => {
+                write!(f, "erase of block {block} with {valid} valid pages")
+            }
+        }
+    }
+}
+
+impl Error for DeviceError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn errors_display_meaningfully() {
+        let e = DeviceError::PpnOutOfRange { ppn: 10, total: 4 };
+        assert!(e.to_string().contains("ppn 10"));
+        let e = DeviceError::ProgramOnUsedPage { ppn: 3 };
+        assert!(e.to_string().contains("page 3"));
+        let e = DeviceError::EraseWithValidPages { block: 7, valid: 2 };
+        assert!(e.to_string().contains("block 7"));
+    }
+
+    #[test]
+    fn error_is_std_error() {
+        fn assert_err<E: Error + Send + Sync + 'static>() {}
+        assert_err::<DeviceError>();
+    }
+}

@@ -1,0 +1,80 @@
+//! Flash operation latency model.
+
+use crate::clock::Duration;
+
+/// Latency of each NAND operation plus the per-page channel transfer cost.
+///
+/// The defaults mirror FEMU's defaults used by the paper: 40 µs NAND read,
+/// 200 µs NAND program and 2 ms block erase. The channel transfer time models
+/// moving a 4 KiB page over the channel bus and is kept small by default so it
+/// only matters when many chips on the same channel are busy at once.
+///
+/// ```
+/// use ssd_sim::LatencyConfig;
+/// let lat = LatencyConfig::default();
+/// assert_eq!(lat.read.as_micros_f64(), 40.0);
+/// assert_eq!(lat.program.as_micros_f64(), 200.0);
+/// assert_eq!(lat.erase.as_millis_f64(), 2.0);
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct LatencyConfig {
+    /// Time to read one page out of the NAND array.
+    pub read: Duration,
+    /// Time to program one page into the NAND array.
+    pub program: Duration,
+    /// Time to erase one block.
+    pub erase: Duration,
+    /// Time to move one page across the channel bus.
+    pub channel_transfer: Duration,
+}
+
+impl Default for LatencyConfig {
+    fn default() -> Self {
+        LatencyConfig {
+            read: Duration::from_micros(40),
+            program: Duration::from_micros(200),
+            erase: Duration::from_millis(2),
+            channel_transfer: Duration::from_micros(5),
+        }
+    }
+}
+
+impl LatencyConfig {
+    /// A latency configuration with every operation taking zero time. Useful
+    /// for functional tests that do not care about timing.
+    pub fn zero() -> Self {
+        LatencyConfig {
+            read: Duration::ZERO,
+            program: Duration::ZERO,
+            erase: Duration::ZERO,
+            channel_transfer: Duration::ZERO,
+        }
+    }
+
+    /// The FEMU default NVMe SSD latencies used throughout the paper.
+    pub fn femu_default() -> Self {
+        Self::default()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn defaults_match_paper() {
+        let l = LatencyConfig::femu_default();
+        assert_eq!(l.read, Duration::from_micros(40));
+        assert_eq!(l.program, Duration::from_micros(200));
+        assert_eq!(l.erase, Duration::from_millis(2));
+    }
+
+    #[test]
+    fn zero_config_is_all_zero() {
+        let l = LatencyConfig::zero();
+        assert_eq!(l.read, Duration::ZERO);
+        assert_eq!(l.program, Duration::ZERO);
+        assert_eq!(l.erase, Duration::ZERO);
+        assert_eq!(l.channel_transfer, Duration::ZERO);
+    }
+}

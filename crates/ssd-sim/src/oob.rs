@@ -1,0 +1,71 @@
+//! Out-of-band (OOB) page metadata.
+//!
+//! Real NAND pages carry a spare area alongside the 4 KiB data area. FTLs use
+//! it to store the reverse mapping (which LPN this physical page holds) so
+//! that garbage collection and power-failure recovery can rebuild mapping
+//! state, and LeaFTL additionally stashes the *error interval* of approximate
+//! learned segments there (paper Section II-C).
+
+/// Metadata stored in the out-of-band area of one physical page.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default)]
+pub struct OobData {
+    /// The logical page number stored in this physical page, if any.
+    pub lpn: Option<u64>,
+    /// LeaFTL-style error interval: the maximum distance (in pages) between
+    /// the predicted and the true position for the learned segment that
+    /// covers this page. `0` means the prediction is exact.
+    pub error_interval: u32,
+    /// Marks translation pages (pages holding mapping metadata rather than
+    /// host data).
+    pub is_translation: bool,
+}
+
+impl OobData {
+    /// OOB contents for a freshly written host data page holding `lpn`.
+    pub fn mapped(lpn: u64) -> Self {
+        OobData {
+            lpn: Some(lpn),
+            error_interval: 0,
+            is_translation: false,
+        }
+    }
+
+    /// OOB contents for a translation (mapping metadata) page.
+    pub fn translation() -> Self {
+        OobData {
+            lpn: None,
+            error_interval: 0,
+            is_translation: true,
+        }
+    }
+
+    /// Returns a copy with the LeaFTL error interval attached.
+    pub fn with_error_interval(mut self, interval: u32) -> Self {
+        self.error_interval = interval;
+        self
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn constructors_set_expected_fields() {
+        let d = OobData::mapped(77);
+        assert_eq!(d.lpn, Some(77));
+        assert!(!d.is_translation);
+        assert_eq!(d.error_interval, 0);
+
+        let t = OobData::translation();
+        assert_eq!(t.lpn, None);
+        assert!(t.is_translation);
+    }
+
+    #[test]
+    fn error_interval_builder() {
+        let d = OobData::mapped(3).with_error_interval(4);
+        assert_eq!(d.error_interval, 4);
+        assert_eq!(d.lpn, Some(3));
+    }
+}

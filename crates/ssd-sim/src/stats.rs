@@ -1,0 +1,130 @@
+//! Device-level operation accounting.
+
+/// The kind of a flash operation, used for statistics and the energy model.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum FlashOp {
+    /// Page read from the NAND array.
+    Read,
+    /// Page program into the NAND array.
+    Program,
+    /// Block erase.
+    Erase,
+}
+
+/// Counters of every operation the device has executed.
+///
+/// These are the raw inputs to the paper's write-amplification (Fig. 14c),
+/// GC-frequency (Fig. 16) and energy (Fig. 22) results.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct DeviceStats {
+    /// Number of page reads.
+    pub reads: u64,
+    /// Number of page programs.
+    pub programs: u64,
+    /// Number of block erases.
+    pub erases: u64,
+    /// Page reads issued against translation (mapping metadata) pages.
+    pub translation_reads: u64,
+    /// Page programs issued against translation (mapping metadata) pages.
+    pub translation_programs: u64,
+}
+
+impl DeviceStats {
+    /// Creates zeroed statistics.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Records one operation. `translation` marks mapping-metadata traffic.
+    pub fn record(&mut self, op: FlashOp, translation: bool) {
+        match op {
+            FlashOp::Read => {
+                self.reads += 1;
+                if translation {
+                    self.translation_reads += 1;
+                }
+            }
+            FlashOp::Program => {
+                self.programs += 1;
+                if translation {
+                    self.translation_programs += 1;
+                }
+            }
+            FlashOp::Erase => self.erases += 1,
+        }
+    }
+
+    /// Total number of flash operations of any kind.
+    pub fn total_ops(&self) -> u64 {
+        self.reads + self.programs + self.erases
+    }
+
+    /// Page reads that hit host data pages (not mapping metadata).
+    pub fn data_reads(&self) -> u64 {
+        self.reads - self.translation_reads
+    }
+
+    /// Page programs that hit host data pages (not mapping metadata).
+    pub fn data_programs(&self) -> u64 {
+        self.programs - self.translation_programs
+    }
+
+    /// Returns the difference `self - earlier`, field by field.
+    ///
+    /// Useful for computing the traffic of a single experiment phase after a
+    /// warm-up. Saturates at zero so a stale snapshot cannot underflow.
+    pub fn delta_since(&self, earlier: &DeviceStats) -> DeviceStats {
+        DeviceStats {
+            reads: self.reads.saturating_sub(earlier.reads),
+            programs: self.programs.saturating_sub(earlier.programs),
+            erases: self.erases.saturating_sub(earlier.erases),
+            translation_reads: self.translation_reads.saturating_sub(earlier.translation_reads),
+            translation_programs: self
+                .translation_programs
+                .saturating_sub(earlier.translation_programs),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn record_classifies_ops() {
+        let mut s = DeviceStats::new();
+        s.record(FlashOp::Read, false);
+        s.record(FlashOp::Read, true);
+        s.record(FlashOp::Program, true);
+        s.record(FlashOp::Erase, false);
+        assert_eq!(s.reads, 2);
+        assert_eq!(s.translation_reads, 1);
+        assert_eq!(s.data_reads(), 1);
+        assert_eq!(s.programs, 1);
+        assert_eq!(s.data_programs(), 0);
+        assert_eq!(s.erases, 1);
+        assert_eq!(s.total_ops(), 4);
+    }
+
+    #[test]
+    fn delta_since_subtracts() {
+        let mut s = DeviceStats::new();
+        s.record(FlashOp::Read, false);
+        let snapshot = s;
+        s.record(FlashOp::Read, false);
+        s.record(FlashOp::Program, false);
+        let d = s.delta_since(&snapshot);
+        assert_eq!(d.reads, 1);
+        assert_eq!(d.programs, 1);
+        assert_eq!(d.erases, 0);
+    }
+
+    #[test]
+    fn delta_since_saturates() {
+        let empty = DeviceStats::new();
+        let mut later = DeviceStats::new();
+        later.record(FlashOp::Read, false);
+        let d = empty.delta_since(&later);
+        assert_eq!(d.reads, 0);
+    }
+}

@@ -1,0 +1,68 @@
+//! # workloads
+//!
+//! Workload generators reproducing the I/O patterns of the LearnedFTL paper's
+//! evaluation:
+//!
+//! * [`FioWorkload`] — FIO-style sequential/random read/write streams with a
+//!   configurable thread count and I/O size (Figures 2, 3, 6, 14, 16–18),
+//! * [`FilebenchWorkload`] — fileserver / webserver / varmail presets matching
+//!   Table I (Figures 7 and 20),
+//! * [`RocksDbWorkload`] — an LSM-tree-shaped key-value workload: bulk
+//!   sequential fill, overwrite compaction traffic, then `readrandom` /
+//!   `readseq` phases (Figure 19),
+//! * [`SyntheticTrace`] — WebSearch1-3 and Systor'17 stand-ins parameterised
+//!   to Table II, plus a replayer (Figures 21 and 22),
+//! * [`warmup`] — helpers that bring an SSD to the steady state the paper
+//!   requires before read experiments.
+//!
+//! All generators implement the [`Workload`] trait: a fixed number of
+//! closed-loop streams, each producing its next [`HostRequest`] on demand.
+//!
+//! ```
+//! use workloads::{FioPattern, FioWorkload, Workload};
+//!
+//! let mut wl = FioWorkload::new(FioPattern::RandRead, 10_000, 4, 1, 100, 42);
+//! assert_eq!(wl.streams(), 4);
+//! let req = wl.next_request(0).unwrap();
+//! assert!(req.lpn < 10_000);
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod filebench;
+mod fio;
+mod rocksdb;
+mod traces;
+pub mod warmup;
+mod zipf;
+
+pub use filebench::{FilebenchPreset, FilebenchWorkload};
+pub use fio::{FioPattern, FioWorkload};
+pub use rocksdb::{RocksDbPhase, RocksDbWorkload};
+pub use traces::{SyntheticTrace, TraceKind, TraceRecord, TraceWorkload};
+pub use zipf::Zipfian;
+
+use ftl_base::HostRequest;
+
+/// A closed-loop workload: `streams()` independent request streams, each
+/// producing its next request when the previous one completes.
+///
+/// This models FIO's `psync` engine with N threads (and, more generally, any
+/// fixed-concurrency benchmark): the experiment harness always advances the
+/// stream whose previous request finished earliest.
+pub trait Workload {
+    /// Number of concurrent streams (threads).
+    fn streams(&self) -> usize;
+
+    /// Produces the next request of `stream`, or `None` when that stream has
+    /// finished its share of the workload.
+    fn next_request(&mut self, stream: usize) -> Option<HostRequest>;
+
+    /// Total number of requests the workload intends to issue across all
+    /// streams (used for progress accounting; generators that do not know
+    /// return `None`).
+    fn total_requests(&self) -> Option<u64> {
+        None
+    }
+}

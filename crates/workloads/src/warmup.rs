@@ -1,0 +1,165 @@
+//! SSD warm-up helpers.
+//!
+//! The paper warms the SSD before every read experiment: "data is continuously
+//! written until the SSD is written over about 6 times to reach a stable
+//! state", using 512 KiB I/Os so that LeaFTL's learned index can be built
+//! (Section IV-B). These helpers reproduce that procedure against any
+//! [`Ftl`] implementation and return the simulated time at which the warm-up
+//! finished.
+
+use ftl_base::Ftl;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use ssd_sim::SimTime;
+
+/// Sequentially writes the whole logical space `passes` times with `io_pages`
+/// sized requests. Returns the simulated completion time.
+pub fn sequential_fill<F: Ftl + ?Sized>(ftl: &mut F, io_pages: u32, passes: u32, start: SimTime) -> SimTime {
+    let logical = ftl.logical_pages();
+    let io = u64::from(io_pages.max(1));
+    let mut t = start;
+    for _ in 0..passes {
+        let mut lpn = 0;
+        while lpn < logical {
+            let pages = io.min(logical - lpn) as u32;
+            t = ftl.write(lpn, pages, t);
+            lpn += io;
+        }
+    }
+    t
+}
+
+/// Writes randomly placed `io_pages`-sized requests until roughly
+/// `passes × logical_pages` pages have been written (the paper uses 512 KiB
+/// random writes — 128 pages — for the warm-up before random-read tests).
+/// Returns the simulated completion time.
+pub fn random_fill<F: Ftl + ?Sized>(
+    ftl: &mut F,
+    io_pages: u32,
+    passes: u32,
+    seed: u64,
+    start: SimTime,
+) -> SimTime {
+    let logical = ftl.logical_pages();
+    let io = u64::from(io_pages.max(1));
+    let target_pages = logical * u64::from(passes);
+    let mut written = 0u64;
+    let mut rng = StdRng::seed_from_u64(seed);
+    let mut t = start;
+    // Alignment to the I/O size mirrors how FIO lays out large random writes
+    // and guarantees every page gets written at least once in expectation.
+    let slots = (logical / io).max(1);
+    while written < target_pages {
+        let slot = rng.gen_range(0..slots);
+        let lpn = slot * io;
+        let pages = io.min(logical - lpn) as u32;
+        t = ftl.write(lpn, pages, t);
+        written += u64::from(pages);
+    }
+    t
+}
+
+/// The paper's standard warm-up: one sequential pass to touch every LPN, then
+/// random 512 KiB-style writes until the device has been overwritten
+/// `overwrite_passes` more times. Returns the simulated completion time.
+pub fn paper_warmup<F: Ftl + ?Sized>(
+    ftl: &mut F,
+    io_pages: u32,
+    overwrite_passes: u32,
+    seed: u64,
+) -> SimTime {
+    let t = sequential_fill(ftl, io_pages, 1, SimTime::ZERO);
+    random_fill(ftl, io_pages, overwrite_passes, seed, t)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ftl_base::{Ftl, FtlStats, HostRequest, Lpn};
+    use ssd_sim::{FlashDevice, SsdConfig};
+
+    /// A trivial in-memory FTL used to test the warm-up drivers without
+    /// pulling in the real implementations (which live downstream).
+    struct CountingFtl {
+        dev: FlashDevice,
+        stats: FtlStats,
+        logical: u64,
+        written: Vec<bool>,
+    }
+
+    impl CountingFtl {
+        fn new() -> Self {
+            let cfg = SsdConfig::tiny();
+            CountingFtl {
+                dev: FlashDevice::new(cfg),
+                stats: FtlStats::new(),
+                logical: cfg.logical_pages(),
+                written: vec![false; cfg.logical_pages() as usize],
+            }
+        }
+    }
+
+    impl Ftl for CountingFtl {
+        fn name(&self) -> &'static str {
+            "counting"
+        }
+        fn read(&mut self, _lpn: Lpn, pages: u32, now: SimTime) -> SimTime {
+            self.stats.host_read_pages += u64::from(pages);
+            now
+        }
+        fn write(&mut self, lpn: Lpn, pages: u32, now: SimTime) -> SimTime {
+            for l in lpn..(lpn + u64::from(pages)).min(self.logical) {
+                self.written[l as usize] = true;
+                self.stats.host_write_pages += 1;
+            }
+            now + ssd_sim::Duration::from_micros(1)
+        }
+        fn stats(&self) -> &FtlStats {
+            &self.stats
+        }
+        fn reset_stats(&mut self) {
+            self.stats = FtlStats::new();
+        }
+        fn logical_pages(&self) -> u64 {
+            self.logical
+        }
+        fn device(&self) -> &FlashDevice {
+            &self.dev
+        }
+        fn device_mut(&mut self) -> &mut FlashDevice {
+            &mut self.dev
+        }
+        fn submit(&mut self, req: HostRequest, now: SimTime) -> SimTime {
+            match req.op {
+                ftl_base::HostOp::Read => self.read(req.lpn, req.pages, now),
+                ftl_base::HostOp::Write => self.write(req.lpn, req.pages, now),
+            }
+        }
+    }
+
+    #[test]
+    fn sequential_fill_touches_every_page() {
+        let mut ftl = CountingFtl::new();
+        let t = sequential_fill(&mut ftl, 8, 1, SimTime::ZERO);
+        assert!(t > SimTime::ZERO);
+        assert!(ftl.written.iter().all(|&w| w), "every LPN must be written");
+        assert_eq!(ftl.stats.host_write_pages, ftl.logical);
+    }
+
+    #[test]
+    fn random_fill_writes_roughly_the_requested_volume() {
+        let mut ftl = CountingFtl::new();
+        random_fill(&mut ftl, 16, 2, 1, SimTime::ZERO);
+        let written = ftl.stats.host_write_pages;
+        assert!(written >= ftl.logical * 2);
+        assert!(written < ftl.logical * 2 + 32, "overshoot bounded by one I/O");
+    }
+
+    #[test]
+    fn paper_warmup_combines_both_phases() {
+        let mut ftl = CountingFtl::new();
+        paper_warmup(&mut ftl, 8, 1, 3);
+        assert!(ftl.written.iter().all(|&w| w));
+        assert!(ftl.stats.host_write_pages >= ftl.logical * 2);
+    }
+}

@@ -1,0 +1,156 @@
+//! A Zipfian sampler used by the locality-heavy synthetic workloads.
+
+use rand::Rng;
+
+/// A Zipfian distribution over `0..n` with exponent `theta`.
+///
+/// Uses the classic rejection-inversion-free approximation from Gray et al.
+/// ("Quickly generating billion-record synthetic databases"): the CDF is
+/// inverted with the standard zeta-based formula, which is accurate enough
+/// for workload generation and needs only O(1) memory.
+///
+/// ```
+/// use rand::SeedableRng;
+/// use workloads::Zipfian;
+/// let mut rng = rand::rngs::StdRng::seed_from_u64(1);
+/// let z = Zipfian::new(1000, 0.99);
+/// let v = z.sample(&mut rng);
+/// assert!(v < 1000);
+/// ```
+#[derive(Debug, Clone)]
+pub struct Zipfian {
+    n: u64,
+    theta: f64,
+    alpha: f64,
+    zeta_n: f64,
+    eta: f64,
+    zeta_2: f64,
+}
+
+impl Zipfian {
+    /// Creates a sampler over `0..n` with skew `theta` (0 = uniform-ish,
+    /// 0.99 = classic YCSB skew).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `n` is zero or `theta` is not in `[0, 1)`.
+    pub fn new(n: u64, theta: f64) -> Self {
+        assert!(n > 0, "zipfian domain must be non-empty");
+        assert!((0.0..1.0).contains(&theta), "theta must be in [0,1)");
+        let zeta_n = Self::zeta(n, theta);
+        let zeta_2 = Self::zeta(2, theta);
+        let alpha = 1.0 / (1.0 - theta);
+        let eta = (1.0 - (2.0 / n as f64).powf(1.0 - theta)) / (1.0 - zeta_2 / zeta_n);
+        Zipfian {
+            n,
+            theta,
+            alpha,
+            zeta_n,
+            eta,
+            zeta_2,
+        }
+    }
+
+    /// The domain size.
+    pub fn domain(&self) -> u64 {
+        self.n
+    }
+
+    /// Draws one sample in `0..n`, with small values being the most popular.
+    pub fn sample<R: Rng + ?Sized>(&self, rng: &mut R) -> u64 {
+        let u: f64 = rng.gen();
+        let uz = u * self.zeta_n;
+        if uz < 1.0 {
+            return 0;
+        }
+        if uz < 1.0 + 0.5f64.powf(self.theta) {
+            return 1;
+        }
+        let v = (self.n as f64 * (self.eta * u - self.eta + 1.0).powf(self.alpha)) as u64;
+        v.min(self.n - 1)
+    }
+
+    fn zeta(n: u64, theta: f64) -> f64 {
+        // Direct summation is fine for the domain sizes we use (≤ a few
+        // million); cap the work for very large domains with a tail estimate.
+        let cap = n.min(1_000_000);
+        let mut sum = 0.0;
+        for i in 1..=cap {
+            sum += 1.0 / (i as f64).powf(theta);
+        }
+        if n > cap {
+            // Integral approximation of the remaining tail.
+            let a = cap as f64;
+            let b = n as f64;
+            sum += (b.powf(1.0 - theta) - a.powf(1.0 - theta)) / (1.0 - theta);
+        }
+        sum
+    }
+
+    /// The skew parameter.
+    pub fn theta(&self) -> f64 {
+        self.theta
+    }
+
+    /// Internal zeta(2, theta) value (exposed for diagnostics).
+    pub fn zeta_2(&self) -> f64 {
+        self.zeta_2
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn samples_stay_in_domain() {
+        let mut rng = StdRng::seed_from_u64(7);
+        let z = Zipfian::new(500, 0.9);
+        for _ in 0..10_000 {
+            assert!(z.sample(&mut rng) < 500);
+        }
+    }
+
+    #[test]
+    fn skewed_distribution_favours_small_values() {
+        let mut rng = StdRng::seed_from_u64(11);
+        let z = Zipfian::new(10_000, 0.99);
+        let mut head = 0u64;
+        let samples = 20_000;
+        for _ in 0..samples {
+            if z.sample(&mut rng) < 100 {
+                head += 1;
+            }
+        }
+        // With theta=0.99 the top 1% of keys should absorb far more than 1%
+        // of accesses.
+        assert!(
+            head as f64 / samples as f64 > 0.3,
+            "head fraction {} too small",
+            head as f64 / samples as f64
+        );
+    }
+
+    #[test]
+    fn low_theta_is_roughly_uniform() {
+        let mut rng = StdRng::seed_from_u64(13);
+        let z = Zipfian::new(1000, 0.01);
+        let mut head = 0u64;
+        let samples = 20_000;
+        for _ in 0..samples {
+            if z.sample(&mut rng) < 100 {
+                head += 1;
+            }
+        }
+        let fraction = head as f64 / samples as f64;
+        assert!(fraction < 0.3, "near-uniform head fraction {fraction} too large");
+    }
+
+    #[test]
+    #[should_panic(expected = "domain")]
+    fn empty_domain_rejected() {
+        Zipfian::new(0, 0.5);
+    }
+}

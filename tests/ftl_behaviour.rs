@@ -1,0 +1,189 @@
+//! Cross-crate integration tests: every FTL design driven through the same
+//! workloads must stay internally consistent and reproduce the qualitative
+//! relationships the paper is built on.
+
+use learnedftl_suite::prelude::*;
+use ssd_sim::SimTime;
+use workloads::{warmup, FioPattern, FioWorkload, Workload};
+
+fn drive(ftl: &mut dyn Ftl, wl: &mut dyn Workload) {
+    let mut ready: Vec<SimTime> = vec![ftl.device().drain_time(); wl.streams()];
+    loop {
+        let mut progressed = false;
+        for stream in 0..wl.streams() {
+            if let Some(req) = wl.next_request(stream) {
+                ready[stream] = ftl.submit(req, ready[stream]);
+                progressed = true;
+            }
+        }
+        if !progressed {
+            break;
+        }
+    }
+}
+
+#[test]
+fn read_classification_always_adds_up() {
+    for kind in FtlKind::all() {
+        let mut ftl = kind.build(SsdConfig::tiny());
+        warmup::paper_warmup(ftl.as_mut(), 32, 1, 5);
+        ftl.reset_stats();
+        let mut wl = FioWorkload::new(FioPattern::RandRead, ftl.logical_pages(), 4, 1, 300, 9);
+        drive(ftl.as_mut(), &mut wl);
+        let s = ftl.stats();
+        assert_eq!(s.host_read_pages, 1200, "{kind}: all reads must be counted");
+        assert_eq!(
+            s.single_reads + s.double_reads + s.triple_reads + s.buffer_hits + s.unmapped_reads,
+            s.host_read_pages,
+            "{kind}: every read must be classified exactly once"
+        );
+        assert_eq!(
+            s.cmt_hits + s.cmt_misses + s.buffer_hits + s.unmapped_reads,
+            s.host_read_pages,
+            "{kind}: CMT accounting must cover every read"
+        );
+    }
+}
+
+#[test]
+fn host_write_accounting_is_identical_across_ftls() {
+    let mut totals = Vec::new();
+    for kind in FtlKind::all() {
+        let mut ftl = kind.build(SsdConfig::tiny());
+        let mut wl = FioWorkload::new(FioPattern::SeqWrite, ftl.logical_pages(), 2, 8, 100, 3);
+        drive(ftl.as_mut(), &mut wl);
+        totals.push(ftl.stats().host_write_pages);
+    }
+    assert!(
+        totals.windows(2).all(|w| w[0] == w[1]),
+        "every FTL must account the same host writes: {totals:?}"
+    );
+}
+
+#[test]
+fn device_never_reports_more_valid_pages_than_logical_space() {
+    for kind in FtlKind::all() {
+        let mut ftl = kind.build(SsdConfig::tiny());
+        warmup::paper_warmup(ftl.as_mut(), 32, 2, 11);
+        let logical = ftl.logical_pages();
+        let device = ftl.device();
+        let total_blocks = device.geometry().total_blocks();
+        let mut valid = 0u64;
+        for b in 0..total_blocks {
+            valid += u64::from(device.block_info(b).expect("block exists").valid_pages());
+        }
+        assert!(
+            valid <= logical + device.geometry().total_pages() / 100,
+            "{kind}: {valid} valid pages exceed the logical space {logical}"
+        );
+    }
+}
+
+#[test]
+fn ideal_ftl_is_an_upper_bound_for_random_reads() {
+    let device = SsdConfig::tiny();
+    let run = |kind: FtlKind| {
+        let mut ftl = kind.build(device);
+        warmup::paper_warmup(ftl.as_mut(), 32, 1, 5);
+        ftl.reset_stats();
+        ftl.device_mut().reset_stats();
+        let start = ftl.device().drain_time();
+        let mut wl = FioWorkload::new(FioPattern::RandRead, ftl.logical_pages(), 4, 1, 400, 13);
+        let mut ready = vec![start; 4];
+        loop {
+            let mut progressed = false;
+            for stream in 0..4 {
+                if let Some(req) = wl.next_request(stream) {
+                    ready[stream] = ftl.submit(req, ready[stream]);
+                    progressed = true;
+                }
+            }
+            if !progressed {
+                break;
+            }
+        }
+        let end = ready.iter().copied().fold(SimTime::ZERO, SimTime::max);
+        (end - start).as_secs_f64()
+    };
+    let ideal = run(FtlKind::Ideal);
+    for kind in [FtlKind::Dftl, FtlKind::Tpftl, FtlKind::LeaFtl, FtlKind::LearnedFtl] {
+        let elapsed = run(kind);
+        assert!(
+            elapsed + 1e-9 >= ideal * 0.95,
+            "{kind} finished faster than the ideal FTL ({elapsed} vs {ideal})"
+        );
+    }
+}
+
+#[test]
+fn learnedftl_beats_tpftl_on_random_reads_after_warmup() {
+    let device = SsdConfig::tiny();
+    let measure = |kind: FtlKind| {
+        let mut ftl = kind.build(device);
+        warmup::paper_warmup(ftl.as_mut(), 32, 2, 21);
+        ftl.reset_stats();
+        let start = ftl.device().drain_time();
+        let mut wl = FioWorkload::new(FioPattern::RandRead, ftl.logical_pages(), 4, 1, 500, 17);
+        let mut ready = vec![start; 4];
+        loop {
+            let mut progressed = false;
+            for stream in 0..4 {
+                if let Some(req) = wl.next_request(stream) {
+                    ready[stream] = ftl.submit(req, ready[stream]);
+                    progressed = true;
+                }
+            }
+            if !progressed {
+                break;
+            }
+        }
+        let end = ready.iter().copied().fold(SimTime::ZERO, SimTime::max);
+        let elapsed = (end - start).as_secs_f64();
+        let single_ratio = ftl.stats().single_read_ratio();
+        (elapsed, single_ratio)
+    };
+    let (tpftl_time, tpftl_single) = measure(FtlKind::Tpftl);
+    let (learned_time, learned_single) = measure(FtlKind::LearnedFtl);
+    assert!(
+        learned_single > tpftl_single,
+        "LearnedFTL must serve more single reads ({learned_single} vs {tpftl_single})"
+    );
+    assert!(
+        learned_time < tpftl_time,
+        "LearnedFTL must finish the random-read phase faster ({learned_time} vs {tpftl_time})"
+    );
+}
+
+#[test]
+fn leaftl_suffers_double_and_triple_reads_on_random_reads() {
+    let device = SsdConfig::tiny();
+    let mut ftl = FtlKind::LeaFtl.build(device);
+    warmup::paper_warmup(ftl.as_mut(), 32, 2, 23);
+    ftl.reset_stats();
+    let mut wl = FioWorkload::new(FioPattern::RandRead, ftl.logical_pages(), 4, 1, 500, 19);
+    drive(ftl.as_mut(), &mut wl);
+    let s = ftl.stats();
+    assert!(
+        s.double_read_ratio() + s.triple_read_ratio() > 0.2,
+        "LeaFTL must show substantial multi-read traffic, got {} / {}",
+        s.double_read_ratio(),
+        s.triple_read_ratio()
+    );
+}
+
+#[test]
+fn learnedftl_never_misses_when_the_bitmap_allows_a_prediction() {
+    // The bitmap filter guarantees there is no misprediction penalty: the
+    // number of model predictions made must equal the number of model hits.
+    let mut ftl = FtlKind::LearnedFtl.build(SsdConfig::tiny());
+    warmup::paper_warmup(ftl.as_mut(), 32, 2, 29);
+    ftl.reset_stats();
+    let mut wl = FioWorkload::new(FioPattern::RandRead, ftl.logical_pages(), 4, 1, 500, 23);
+    drive(ftl.as_mut(), &mut wl);
+    let s = ftl.stats();
+    assert!(s.model_hits > 0, "models must serve some reads after warm-up");
+    assert_eq!(
+        s.model_predictions, s.model_hits,
+        "every model prediction must be a hit (bitmap-filter guarantee)"
+    );
+}

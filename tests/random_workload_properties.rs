@@ -1,0 +1,92 @@
+//! Property-based integration tests: arbitrary mixed workloads must never
+//! break any FTL's invariants.
+
+use learnedftl_suite::prelude::*;
+use proptest::prelude::*;
+use ssd_sim::SimTime;
+
+/// One step of a random workload.
+#[derive(Debug, Clone, Copy)]
+enum Step {
+    Write { lpn_frac: f64, pages: u32 },
+    Read { lpn_frac: f64, pages: u32 },
+}
+
+fn step_strategy() -> impl Strategy<Value = Step> {
+    prop_oneof![
+        (0.0f64..1.0, 1u32..32).prop_map(|(lpn_frac, pages)| Step::Write { lpn_frac, pages }),
+        (0.0f64..1.0, 1u32..32).prop_map(|(lpn_frac, pages)| Step::Read { lpn_frac, pages }),
+    ]
+}
+
+fn apply(ftl: &mut dyn Ftl, steps: &[Step]) {
+    let logical = ftl.logical_pages();
+    let mut t = SimTime::ZERO;
+    for step in steps {
+        match *step {
+            Step::Write { lpn_frac, pages } => {
+                let lpn = ((logical - 1) as f64 * lpn_frac) as u64;
+                t = t.max(ftl.write(lpn, pages, t));
+            }
+            Step::Read { lpn_frac, pages } => {
+                let lpn = ((logical - 1) as f64 * lpn_frac) as u64;
+                t = t.max(ftl.read(lpn, pages, t));
+            }
+        }
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(12))]
+
+    /// Time never runs backwards, classification always adds up and write
+    /// amplification never drops below 1 once data has been written — for
+    /// every FTL design, under arbitrary request mixes.
+    #[test]
+    fn prop_all_ftls_survive_arbitrary_workloads(
+        steps in proptest::collection::vec(step_strategy(), 1..120)
+    ) {
+        for kind in FtlKind::all() {
+            let mut ftl = kind.build(SsdConfig::tiny());
+            apply(ftl.as_mut(), &steps);
+            let s = ftl.stats();
+            prop_assert_eq!(
+                s.single_reads + s.double_reads + s.triple_reads + s.buffer_hits
+                    + s.unmapped_reads,
+                s.host_read_pages,
+                "{}: read classification mismatch", kind
+            );
+            // Write amplification cannot drop below 1 once every host write
+            // has reached flash. (LeaFTL's data buffer may legitimately hold
+            // back part of the host writes, in which case the check is
+            // skipped.)
+            if s.data_page_writes >= s.host_write_pages && s.host_write_pages > 0 {
+                prop_assert!(
+                    s.write_amplification() >= 1.0 - 1e-9,
+                    "{}: write amplification below 1", kind
+                );
+            }
+            // The device's own counters can never disagree with the FTL about
+            // the direction of the inequality: the FTL's data writes are a
+            // subset of the device's programs.
+            prop_assert!(
+                ftl.device().stats().programs >= s.data_page_writes,
+                "{}: device programs fewer pages than the FTL claims", kind
+            );
+        }
+    }
+
+    /// LearnedFTL's bitmap-filter guarantee holds under arbitrary workloads:
+    /// predictions are only made when they are exact, so model predictions and
+    /// model hits coincide (a misprediction would have panicked the debug
+    /// assertion inside the FTL as well).
+    #[test]
+    fn prop_learnedftl_predictions_always_exact(
+        steps in proptest::collection::vec(step_strategy(), 1..150)
+    ) {
+        let mut ftl = FtlKind::LearnedFtl.build(SsdConfig::tiny());
+        apply(ftl.as_mut(), &steps);
+        let s = ftl.stats();
+        prop_assert_eq!(s.model_predictions, s.model_hits);
+    }
+}
