@@ -193,7 +193,10 @@ mod tests {
             t2 = small.write(i * 17, 1, t2);
         }
         let _ = small.read(0, 1, t2);
-        assert!(small.stats().double_reads >= 1, "evicted mapping must double-read");
+        assert!(
+            small.stats().double_reads >= 1,
+            "evicted mapping must double-read"
+        );
         let _ = t;
     }
 

@@ -106,7 +106,10 @@ mod tests {
     use super::*;
 
     fn ftl() -> IdealFtl {
-        IdealFtl::new(SsdConfig::tiny(), BaselineConfig::default().with_gc_watermark(2))
+        IdealFtl::new(
+            SsdConfig::tiny(),
+            BaselineConfig::default().with_gc_watermark(2),
+        )
     }
 
     #[test]

@@ -75,7 +75,10 @@ impl LeaFtl {
     /// Number of learned segments currently stored across all translation
     /// pages (the paper's space-amplification indicator).
     pub fn total_segments(&self) -> usize {
-        self.segments.iter().map(LogStructuredSegments::segment_count).sum()
+        self.segments
+            .iter()
+            .map(LogStructuredSegments::segment_count)
+            .sum()
     }
 
     /// Number of pages currently sitting in the data buffer.
@@ -259,8 +262,7 @@ impl Ftl for LeaFtl {
                     } else {
                         // Misprediction: read the predicted page, discover the
                         // error interval in its OOB, then read the right page.
-                        if self.core.dev.page_state(predicted_ppn).ok()
-                            == Some(PageState::Valid)
+                        if self.core.dev.page_state(predicted_ppn).ok() == Some(PageState::Valid)
                             || self.core.dev.page_state(predicted_ppn).ok()
                                 == Some(PageState::Invalid)
                         {
@@ -363,7 +365,7 @@ mod tests {
         assert_eq!(f.buffered_pages(), 0);
         assert!(f.total_segments() >= 1);
         assert!(f.stats().translation_writes >= 1);
-        assert_eq!(f.device().stats().programs as usize >= 64, true);
+        assert!(f.device().stats().programs as usize >= 64);
     }
 
     #[test]
@@ -461,6 +463,10 @@ mod tests {
         let _ = f.read(0, 1, t);
         assert_eq!(f.stats().translation_reads, 1, "first read loads the group");
         let _ = f.read(1, 1, t);
-        assert_eq!(f.stats().translation_reads, 1, "second read reuses the cache");
+        assert_eq!(
+            f.stats().translation_reads,
+            1,
+            "second read reuses the cache"
+        );
     }
 }

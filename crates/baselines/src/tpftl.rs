@@ -73,7 +73,11 @@ impl Tpftl {
 
     /// Writes back the dirty mappings of evicted CMT nodes. Each node costs
     /// one read-modify-write of its translation page.
-    fn persist_evicted(&mut self, evicted: Vec<(usize, ftl_base::TransNode)>, now: SimTime) -> SimTime {
+    fn persist_evicted(
+        &mut self,
+        evicted: Vec<(usize, ftl_base::TransNode)>,
+        now: SimTime,
+    ) -> SimTime {
         let mut t = now;
         for (tpn, node) in evicted {
             if dirty_mappings(&node).is_empty() {
@@ -280,7 +284,10 @@ mod tests {
         };
         let small = run(16);
         let large = run(2048);
-        assert!(large > small, "large CMT ({large}) must beat small ({small})");
+        assert!(
+            large > small,
+            "large CMT ({large}) must beat small ({small})"
+        );
     }
 
     #[test]

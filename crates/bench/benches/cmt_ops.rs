@@ -28,8 +28,9 @@ fn bench_entry_cmt(c: &mut Criterion) {
 fn bench_page_node_cmt(c: &mut Criterion) {
     let mut cmt = PageNodeCmt::new(4096);
     for tpn in 0..8usize {
-        let batch: Vec<(u32, u64, bool)> =
-            (0..512u32).map(|off| (off, u64::from(off) * 3, false)).collect();
+        let batch: Vec<(u32, u64, bool)> = (0..512u32)
+            .map(|off| (off, u64::from(off) * 3, false))
+            .collect();
         cmt.insert_batch(tpn, &batch);
     }
     let mut probe = 1u64;
@@ -40,7 +41,8 @@ fn bench_page_node_cmt(c: &mut Criterion) {
         })
     });
     c.bench_function("page_node_cmt_insert_batch_64", |b| {
-        let batch: Vec<(u32, u64, bool)> = (0..64u32).map(|off| (off, u64::from(off), true)).collect();
+        let batch: Vec<(u32, u64, bool)> =
+            (0..64u32).map(|off| (off, u64::from(off), true)).collect();
         let mut tpn = 100usize;
         b.iter(|| {
             tpn += 1;

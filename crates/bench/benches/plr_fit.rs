@@ -31,11 +31,9 @@ fn bench_fit_gammas(c: &mut Criterion) {
     let points = noisy_points(512);
     let mut group = c.benchmark_group("plr_fit_gamma");
     for &gamma in &[0.5f64, 4.0, 16.0] {
-        group.bench_with_input(
-            BenchmarkId::from_parameter(gamma),
-            &points,
-            |b, pts| b.iter(|| GreedyPlr::new(gamma).fit(pts)),
-        );
+        group.bench_with_input(BenchmarkId::from_parameter(gamma), &points, |b, pts| {
+            b.iter(|| GreedyPlr::new(gamma).fit(pts))
+        });
     }
     group.finish();
 }

@@ -92,11 +92,13 @@ fn main() {
         "3% CMT (baseline-sized)",
         LearnedFtlConfig::default().with_cmt_ratio(0.03),
     );
-    add("no sequential init", {
-        let mut cfg = LearnedFtlConfig::default();
-        cfg.seq_init_min_run = u32::MAX;
-        cfg
-    });
+    add(
+        "no sequential init",
+        LearnedFtlConfig {
+            seq_init_min_run: u32::MAX,
+            ..LearnedFtlConfig::default()
+        },
+    );
 
     print_table_with_verdict(
         &table,

@@ -37,8 +37,20 @@ fn main() {
     let mut worst_ratio: f64 = 1.0;
     let mut last_rand_hit = 0.0;
     for &threads in threads_list {
-        let seq = fio_read_run(FtlKind::Tpftl, FioPattern::SeqRead, threads, device, experiment);
-        let rand = fio_read_run(FtlKind::Tpftl, FioPattern::RandRead, threads, device, experiment);
+        let seq = fio_read_run(
+            FtlKind::Tpftl,
+            FioPattern::SeqRead,
+            threads,
+            device,
+            experiment,
+        );
+        let rand = fio_read_run(
+            FtlKind::Tpftl,
+            FioPattern::RandRead,
+            threads,
+            device,
+            experiment,
+        );
         let ratio = if seq.mib_per_sec() > 0.0 {
             rand.mib_per_sec() / seq.mib_per_sec()
         } else {

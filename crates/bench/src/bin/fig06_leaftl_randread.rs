@@ -22,8 +22,20 @@ fn main() {
     let experiment = scale.experiment();
     let threads = scale.fio_threads();
 
-    let tpftl = fio_read_run(FtlKind::Tpftl, FioPattern::RandRead, threads, device, experiment);
-    let leaftl = fio_read_run(FtlKind::LeaFtl, FioPattern::RandRead, threads, device, experiment);
+    let tpftl = fio_read_run(
+        FtlKind::Tpftl,
+        FioPattern::RandRead,
+        threads,
+        device,
+        experiment,
+    );
+    let leaftl = fio_read_run(
+        FtlKind::LeaFtl,
+        FioPattern::RandRead,
+        threads,
+        device,
+        experiment,
+    );
 
     let mut table = Table::new(vec![
         "FTL",

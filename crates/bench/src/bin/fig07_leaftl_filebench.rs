@@ -37,10 +37,7 @@ fn main() {
             leaftl_never_better = false;
         }
         if preset == FilebenchPreset::Webserver {
-            webserver_hits = (
-                tpftl.cmt_hit_ratio(),
-                leaftl.stats.single_read_ratio(),
-            );
+            webserver_hits = (tpftl.cmt_hit_ratio(), leaftl.stats.single_read_ratio());
         }
         table.add_row(vec![
             preset.label().to_string(),

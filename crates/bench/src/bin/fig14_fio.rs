@@ -90,7 +90,13 @@ fn main() {
     );
 
     // ---- Fig. 14(b): CMT / model hit ratios for the read patterns ----------
-    let mut hits = Table::new(vec!["pattern", "FTL", "CMT hit", "model hit", "single reads"]);
+    let mut hits = Table::new(vec![
+        "pattern",
+        "FTL",
+        "CMT hit",
+        "model hit",
+        "single reads",
+    ]);
     for (pattern, per_kind) in &results {
         if !pattern.is_read() {
             continue;
@@ -117,13 +123,23 @@ fn main() {
     );
 
     // ---- Fig. 14(c): write amplification ------------------------------------
-    let mut wa = Table::new(vec!["pattern", "DFTL", "TPFTL", "LeaFTL", "LearnedFTL", "ideal"]);
+    let mut wa = Table::new(vec![
+        "pattern",
+        "DFTL",
+        "TPFTL",
+        "LeaFTL",
+        "LearnedFTL",
+        "ideal",
+    ]);
     let mut learned_wa_ok = true;
     for (pattern, per_kind) in &results {
         if pattern.is_read() {
             continue;
         }
-        let was: Vec<f64> = per_kind.iter().map(RunResult::write_amplification).collect();
+        let was: Vec<f64> = per_kind
+            .iter()
+            .map(RunResult::write_amplification)
+            .collect();
         if *pattern == FioPattern::RandWrite && was[3] > was[1] * 1.3 {
             learned_wa_ok = false;
         }
@@ -142,7 +158,11 @@ fn main() {
         &format!(
             "LearnedFTL's group-based allocation {} write amplification comparable to the \
              baselines under random writes (paper: slightly lower than DFTL/LeaFTL)",
-            if learned_wa_ok { "keeps" } else { "does NOT keep" }
+            if learned_wa_ok {
+                "keeps"
+            } else {
+                "does NOT keep"
+            }
         ),
     );
 }

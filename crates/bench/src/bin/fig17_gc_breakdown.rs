@@ -38,7 +38,12 @@ fn main() {
     let mut worst_share: f64 = 0.0;
     for &mult in multipliers {
         let mut ftl = LearnedFtl::new(device, LearnedFtlConfig::default());
-        warmup::sequential_fill(&mut ftl, experiment.warmup_io_pages, 1, ssd_sim::SimTime::ZERO);
+        warmup::sequential_fill(
+            &mut ftl,
+            experiment.warmup_io_pages,
+            1,
+            ssd_sim::SimTime::ZERO,
+        );
         let mut wl = FioWorkload::new(
             FioPattern::RandWrite,
             ftl.logical_pages(),

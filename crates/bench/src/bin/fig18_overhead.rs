@@ -20,7 +20,12 @@ fn run_write(scale: Scale, charge: bool) -> f64 {
         device,
         LearnedFtlConfig::default().with_charge_training_time(charge),
     );
-    warmup::sequential_fill(&mut ftl, experiment.warmup_io_pages, 1, ssd_sim::SimTime::ZERO);
+    warmup::sequential_fill(
+        &mut ftl,
+        experiment.warmup_io_pages,
+        1,
+        ssd_sim::SimTime::ZERO,
+    );
     let mut wl = FioWorkload::new(
         FioPattern::RandWrite,
         ftl.logical_pages(),
@@ -68,8 +73,14 @@ fn main() {
     let with = run_write(scale, true);
     let without = run_write(scale, false);
     let mut a = Table::new(vec!["configuration", "RandWrite MiB/s"]);
-    a.add_row(vec!["with training+sorting charged".into(), format!("{with:.1}")]);
-    a.add_row(vec!["without training+sorting".into(), format!("{without:.1}")]);
+    a.add_row(vec![
+        "with training+sorting charged".into(),
+        format!("{with:.1}"),
+    ]);
+    a.add_row(vec![
+        "without training+sorting".into(),
+        format!("{without:.1}"),
+    ]);
     let gap_a = if without > 0.0 {
         (without - with).abs() / without
     } else {
@@ -82,12 +93,21 @@ fn main() {
     );
 
     // (b) reads: normal prediction vs ideal (bitmap-gated direct mapping).
-    let mut b = Table::new(vec!["pattern", "LearnedFTL MiB/s", "ideal-LearnedFTL MiB/s", "gap"]);
+    let mut b = Table::new(vec![
+        "pattern",
+        "LearnedFTL MiB/s",
+        "ideal-LearnedFTL MiB/s",
+        "gap",
+    ]);
     let mut worst_gap: f64 = 0.0;
     for pattern in [FioPattern::RandRead, FioPattern::SeqRead] {
         let normal = run_read(scale, pattern, false);
         let ideal = run_read(scale, pattern, true);
-        let gap = if ideal > 0.0 { (ideal - normal).abs() / ideal } else { 0.0 };
+        let gap = if ideal > 0.0 {
+            (ideal - normal).abs() / ideal
+        } else {
+            0.0
+        };
         worst_gap = worst_gap.max(gap);
         b.add_row(vec![
             pattern.label().to_string(),
@@ -99,6 +119,9 @@ fn main() {
     println!("Fig. 18(b) — read path");
     print_table_with_verdict(
         &b,
-        &format!("worst read-path gap {:.2}% (paper: < 1%)", worst_gap * 100.0),
+        &format!(
+            "worst read-path gap {:.2}% (paper: < 1%)",
+            worst_gap * 100.0
+        ),
     );
 }

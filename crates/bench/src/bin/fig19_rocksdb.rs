@@ -56,7 +56,11 @@ fn main() {
                 percent(result.model_hit_ratio()),
             ]);
         }
-        let gain = if tpftl_mibs > 0.0 { learned_mibs / tpftl_mibs } else { 0.0 };
+        let gain = if tpftl_mibs > 0.0 {
+            learned_mibs / tpftl_mibs
+        } else {
+            0.0
+        };
         println!("phase: {}", phase.label());
         print_table_with_verdict(
             &table,

@@ -60,7 +60,11 @@ fn main() {
             mibs.push(filebench_run(kind, preset, device, experiment).mib_per_sec());
         }
         let best_baseline = mibs[0].max(mibs[1]).max(mibs[2]);
-        let gain = if best_baseline > 0.0 { mibs[3] / best_baseline } else { 0.0 };
+        let gain = if best_baseline > 0.0 {
+            mibs[3] / best_baseline
+        } else {
+            0.0
+        };
         min_gain = min_gain.min(gain);
         max_gain = max_gain.max(gain);
         table.add_row(vec![

@@ -63,8 +63,7 @@ fn main() {
             websearch_savings.push(1.0 / learned_ratio.max(1e-9));
         }
     }
-    let avg_saving =
-        websearch_savings.iter().sum::<f64>() / websearch_savings.len().max(1) as f64;
+    let avg_saving = websearch_savings.iter().sum::<f64>() / websearch_savings.len().max(1) as f64;
     print_table_with_verdict(
         &table,
         &format!(

@@ -288,8 +288,7 @@ impl LearnedFtl {
         let mut idx = 0;
         for e in entry_start..entry_end {
             let lo = idx;
-            while idx < own_points.len()
-                && (own_points[idx].key / mappings_per_page) as usize == e
+            while idx < own_points.len() && (own_points[idx].key / mappings_per_page) as usize == e
             {
                 idx += 1;
             }
@@ -547,7 +546,11 @@ mod tests {
         }
         let s = f.stats();
         assert_eq!(s.host_read_pages, 64);
-        assert_eq!(s.double_reads + s.triple_reads, 0, "no double reads expected");
+        assert_eq!(
+            s.double_reads + s.triple_reads,
+            0,
+            "no double reads expected"
+        );
         assert_eq!(s.single_reads, 64);
         // Sequential initialisation must have trained the models for the run.
         assert!(f.model_coverage() > 0.0);
@@ -706,7 +709,10 @@ mod tests {
             }
         }
         let wa = f.stats().write_amplification();
-        assert!(wa >= 1.0 && wa < 3.0, "unexpected write amplification {wa}");
+        assert!(
+            (1.0..3.0).contains(&wa),
+            "unexpected write amplification {wa}"
+        );
     }
 
     #[test]

@@ -58,7 +58,6 @@ struct GroupState {
 pub struct GroupAllocator {
     geometry: Geometry,
     pages_per_row: u64,
-    data_rows: u32,
     entries_per_group: usize,
     mappings_per_page: u32,
     groups: Vec<GroupState>,
@@ -97,7 +96,6 @@ impl GroupAllocator {
         GroupAllocator {
             geometry,
             pages_per_row,
-            data_rows,
             entries_per_group,
             mappings_per_page,
             groups: vec![
@@ -325,16 +323,7 @@ mod tests {
         let dev = FlashDevice::new(cfg);
         let partition = BlockPartition::for_config(&cfg, 512);
         let gtd_entries = cfg.logical_pages().div_ceil(512) as usize;
-        let alloc = GroupAllocator::new(
-            &partition,
-            cfg.geometry,
-            gtd_entries,
-            1,
-            512,
-            1,
-            2,
-            0.5,
-        );
+        let alloc = GroupAllocator::new(&partition, cfg.geometry, gtd_entries, 1, 512, 1, 2, 0.5);
         (dev, alloc)
     }
 
@@ -345,7 +334,11 @@ mod tests {
         for _ in 0..50 {
             let slot = alloc.allocate(0).expect("space available");
             if let Some(p) = prev {
-                assert_eq!(slot.vppn, p + 1, "group allocations must be VPPN-contiguous");
+                assert_eq!(
+                    slot.vppn,
+                    p + 1,
+                    "group allocations must be VPPN-contiguous"
+                );
             }
             prev = Some(slot.vppn);
         }
@@ -408,16 +401,8 @@ mod tests {
         // Reserve nearly all rows so that after group 0 takes one row the
         // device is "low on rows" and group 1 must borrow.
         let data_rows = partition.data_blocks_per_chip() as usize;
-        let mut alloc = GroupAllocator::new(
-            &partition,
-            cfg.geometry,
-            4,
-            1,
-            512,
-            data_rows - 1,
-            4,
-            0.5,
-        );
+        let mut alloc =
+            GroupAllocator::new(&partition, cfg.geometry, 4, 1, 512, data_rows - 1, 4, 0.5);
         let first = alloc.allocate(0).unwrap();
         assert_eq!(first.donor, None);
         let borrowed = alloc.allocate(1).unwrap();

@@ -194,7 +194,11 @@ impl InPlaceModel {
             assert_eq!(w[1].value, w[0].value + 1, "run VPPNs must be consecutive");
         }
         for p in run {
-            assert!(self.contains(p.key), "run point {} outside model range", p.key);
+            assert!(
+                self.contains(p.key),
+                "run point {} outside model range",
+                p.key
+            );
         }
         let run_start = run[0].key;
         let run_end = run[run.len() - 1].key;
@@ -252,7 +256,10 @@ impl InPlaceModel {
             let Some(i) = evict else { break };
             let seg = self.segments.remove(i);
             let lo = self.offset(seg.first_key().max(self.start_lpn));
-            let hi = self.offset(seg.last_key().min(self.start_lpn + u64::from(self.span) - 1));
+            let hi = self.offset(
+                seg.last_key()
+                    .min(self.start_lpn + u64::from(self.span) - 1),
+            );
             self.bitmap.clear_range(lo..hi + 1);
         }
         let lo = self.offset(run_start);

@@ -97,7 +97,10 @@ impl DynamicDataPool {
                 + c.active
                     .map(|(_, cur)| u64::from(self.pages_per_block - cur))
                     .unwrap_or(0);
-            (busy.get(i).copied().unwrap_or(SimTime::ZERO), u64::MAX - free_pages)
+            (
+                busy.get(i).copied().unwrap_or(SimTime::ZERO),
+                u64::MAX - free_pages,
+            )
         });
         for idx in order {
             if let Some(ppn) = self.allocate_on_chip(idx, dev) {
@@ -204,8 +207,10 @@ mod tests {
         let second = pool.allocate_on_chip(0, &dev).unwrap();
         assert_eq!(second, first + 1);
         // The device accepts programming them in that order.
-        dev.program_page(first, OobData::mapped(1), SimTime::ZERO).unwrap();
-        dev.program_page(second, OobData::mapped(2), SimTime::ZERO).unwrap();
+        dev.program_page(first, OobData::mapped(1), SimTime::ZERO)
+            .unwrap();
+        dev.program_page(second, OobData::mapped(2), SimTime::ZERO)
+            .unwrap();
     }
 
     #[test]
@@ -231,7 +236,8 @@ mod tests {
         let mut ppns = Vec::new();
         for _ in 0..(2 * ppb) {
             let ppn = pool.allocate_on_chip(0, &dev).unwrap();
-            dev.program_page(ppn, OobData::mapped(ppn), SimTime::ZERO).unwrap();
+            dev.program_page(ppn, OobData::mapped(ppn), SimTime::ZERO)
+                .unwrap();
             ppns.push(ppn);
         }
         // Invalidate most of the first block.

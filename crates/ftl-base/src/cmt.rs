@@ -7,7 +7,7 @@
 //!   LRU order is maintained at node granularity, and evicting a node flushes
 //!   all of its dirty mappings with a single translation-page write.
 
-use std::collections::HashMap;
+use std::collections::BTreeMap;
 
 use crate::lru::LruCache;
 use crate::request::Lpn;
@@ -130,7 +130,12 @@ impl EntryCmt {
 }
 
 /// A per-translation-page node of the two-level CMT.
-pub type TransNode = HashMap<u32, CmtEntry>;
+///
+/// A `BTreeMap` rather than a `HashMap`: node trimming and dirty-mapping
+/// collection iterate the node, and the simulator must be bit-for-bit
+/// reproducible across processes (`HashMap`'s per-instance hasher seed made
+/// eviction order — and therefore simulated timing — nondeterministic).
+pub type TransNode = BTreeMap<u32, CmtEntry>;
 
 /// TPFTL's two-level cached mapping table.
 ///
@@ -181,7 +186,10 @@ impl PageNodeCmt {
     /// Looks up the mapping for (`tpn`, `offset`), refreshing the node's
     /// recency.
     pub fn lookup(&mut self, tpn: usize, offset: u32) -> Option<Ppn> {
-        self.nodes.get(&tpn).and_then(|n| n.get(&offset)).map(|e| e.ppn)
+        self.nodes
+            .get(&tpn)
+            .and_then(|n| n.get(&offset))
+            .map(|e| e.ppn)
     }
 
     /// Whether the mapping for (`tpn`, `offset`) is cached.
@@ -239,19 +247,36 @@ impl PageNodeCmt {
             };
             if lru == tpn && self.nodes.len() == 1 {
                 // The active node alone exceeds capacity: trim it by dropping
-                // arbitrary clean entries first, then dirty ones.
+                // clean entries before dirty ones, and stale entries before
+                // the just-inserted batch within each class. Trimmed dirty
+                // entries are returned as a partial eviction of this node so
+                // the caller still writes their mappings back.
                 if let Some(node) = self.nodes.peek_mut(&tpn) {
                     let excess = self.total_entries - self.capacity_entries;
+                    let fresh: std::collections::BTreeSet<u32> =
+                        mappings.iter().map(|&(offset, _, _)| offset).collect();
+                    let mut victims: Vec<u32> = node.keys().copied().collect();
+                    victims.sort_by_key(|k| {
+                        let e = &node[k];
+                        (e.dirty, fresh.contains(k), *k)
+                    });
                     let mut removed = 0;
-                    let keys: Vec<u32> = node.keys().copied().collect();
-                    for key in keys {
+                    let mut trimmed = TransNode::new();
+                    for key in victims {
                         if removed >= excess {
                             break;
                         }
-                        node.remove(&key);
+                        if let Some(entry) = node.remove(&key) {
+                            if entry.dirty {
+                                trimmed.insert(key, entry);
+                            }
+                        }
                         removed += 1;
                     }
                     self.total_entries -= removed;
+                    if !trimmed.is_empty() {
+                        evicted.push((tpn, trimmed));
+                    }
                 }
                 break;
             }
@@ -404,8 +429,20 @@ mod tests {
     #[test]
     fn dirty_mappings_extracts_only_dirty() {
         let mut node = TransNode::new();
-        node.insert(1, CmtEntry { ppn: 10, dirty: true });
-        node.insert(2, CmtEntry { ppn: 20, dirty: false });
+        node.insert(
+            1,
+            CmtEntry {
+                ppn: 10,
+                dirty: true,
+            },
+        );
+        node.insert(
+            2,
+            CmtEntry {
+                ppn: 20,
+                dirty: false,
+            },
+        );
         let mut dirty = dirty_mappings(&node);
         dirty.sort_unstable();
         assert_eq!(dirty, vec![(1, 10)]);

@@ -313,7 +313,10 @@ mod tests {
         }
         let free_before = pool.free_block_count();
         let outcome = run_greedy_gc(&mut core, &mut pool, t).expect("victim exists");
-        assert!(pool.free_block_count() >= free_before, "block returned to pool");
+        assert!(
+            pool.free_block_count() >= free_before,
+            "block returned to pool"
+        );
         assert_eq!(core.stats.gc_count, 1);
         assert!(core.stats.blocks_erased >= 1);
         // Every relocated LPN still maps to a valid page holding it.

@@ -43,7 +43,7 @@ impl MappingTable {
     ///
     /// Panics if `lpn` is out of range.
     pub fn update(&mut self, lpn: Lpn, ppn: Ppn) -> Option<Ppn> {
-        std::mem::replace(&mut self.map[lpn as usize], Some(ppn))
+        self.map[lpn as usize].replace(ppn)
     }
 
     /// Removes the mapping of `lpn` (e.g. after a trim), returning it.

@@ -45,8 +45,7 @@ impl BlockPartition {
         // 2x over-provisioning for the translation region plus two spare
         // blocks so cleaning always has both a victim and a destination.
         let trans_pages_budget = translation_pages_needed * 2;
-        let trans_blocks_total =
-            trans_pages_budget.div_ceil(u64::from(g.pages_per_block)) + 2;
+        let trans_blocks_total = trans_pages_budget.div_ceil(u64::from(g.pages_per_block)) + 2;
         let total_chips = g.total_chips();
         let trans_blocks_per_chip = trans_blocks_total.div_ceil(total_chips).max(1);
         let blocks_per_chip = g.blocks_per_chip();

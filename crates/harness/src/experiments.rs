@@ -66,6 +66,21 @@ pub fn fio_read_run(
     scale: ExperimentScale,
 ) -> RunResult {
     assert!(pattern.is_read(), "use fio_write_run for write patterns");
+    let (mut ftl, mut wl) = warmed_fio_read_setup(kind, pattern, threads, device, scale);
+    Runner::new().run(ftl.as_mut(), &mut wl)
+}
+
+/// The shared warm-up and workload construction behind [`fio_read_run`] and
+/// [`fio_qd_run`]. Kept in one place so the queue-depth sweep always measures
+/// the identically warmed device with the identical request stream — the
+/// QD-vs-legacy comparisons depend on it.
+fn warmed_fio_read_setup(
+    kind: FtlKind,
+    pattern: FioPattern,
+    threads: usize,
+    device: SsdConfig,
+    scale: ExperimentScale,
+) -> (Box<dyn ftl_base::Ftl>, FioWorkload) {
     let mut ftl = kind.build(device);
     warmup::paper_warmup(
         ftl.as_mut(),
@@ -73,7 +88,7 @@ pub fn fio_read_run(
         scale.warmup_overwrites,
         0xFEED,
     );
-    let mut wl = FioWorkload::new(
+    let wl = FioWorkload::new(
         pattern,
         ftl.logical_pages(),
         threads,
@@ -81,7 +96,25 @@ pub fn fio_read_run(
         scale.ops_per_stream,
         0xBEEF,
     );
-    Runner::new().run(ftl.as_mut(), &mut wl)
+    (ftl, wl)
+}
+
+/// Warm-up + FIO read phase driven through the queue-depth-bounded runner
+/// ([`Runner::run_qd`]): the protocol behind the queue-depth sweep that
+/// extends Figure 21's tail-latency analysis. Identical to [`fio_read_run`]
+/// except that at most `depth` requests are in flight at once, so queueing
+/// delay becomes visible in [`RunResult::queueing`].
+pub fn fio_qd_run(
+    kind: FtlKind,
+    pattern: FioPattern,
+    threads: usize,
+    depth: usize,
+    device: SsdConfig,
+    scale: ExperimentScale,
+) -> RunResult {
+    assert!(pattern.is_read(), "the QD sweep measures read traffic");
+    let (mut ftl, mut wl) = warmed_fio_read_setup(kind, pattern, threads, device, scale);
+    Runner::new().run_qd(ftl.as_mut(), &mut wl, depth)
 }
 
 /// Warm-up + FIO write phase (Figures 14-write, 16, 17, 18a).
@@ -94,7 +127,12 @@ pub fn fio_write_run(
 ) -> RunResult {
     assert!(!pattern.is_read(), "use fio_read_run for read patterns");
     let mut ftl = kind.build(device);
-    warmup::sequential_fill(ftl.as_mut(), scale.warmup_io_pages, 1, ssd_sim::SimTime::ZERO);
+    warmup::sequential_fill(
+        ftl.as_mut(),
+        scale.warmup_io_pages,
+        1,
+        ssd_sim::SimTime::ZERO,
+    );
     let mut wl = FioWorkload::new(
         pattern,
         ftl.logical_pages(),
@@ -114,7 +152,12 @@ pub fn filebench_run(
     scale: ExperimentScale,
 ) -> RunResult {
     let mut ftl = kind.build(device);
-    warmup::sequential_fill(ftl.as_mut(), scale.warmup_io_pages, 1, ssd_sim::SimTime::ZERO);
+    warmup::sequential_fill(
+        ftl.as_mut(),
+        scale.warmup_io_pages,
+        1,
+        ssd_sim::SimTime::ZERO,
+    );
     let ops_per_thread = (scale.single_stream_ops / preset.threads() as u64).max(10);
     let mut wl = FilebenchWorkload::new(preset, ftl.logical_pages(), ops_per_thread, 0xCAFE);
     Runner::new().run(ftl.as_mut(), &mut wl)
@@ -221,6 +264,29 @@ mod tests {
             SsdConfig::tiny(),
             ExperimentScale::quick(),
         );
+    }
+
+    #[test]
+    fn fio_qd_run_bounds_concurrency() {
+        let deep = fio_qd_run(
+            FtlKind::Ideal,
+            FioPattern::RandRead,
+            4,
+            4,
+            SsdConfig::tiny(),
+            ExperimentScale::quick(),
+        );
+        let shallow = fio_qd_run(
+            FtlKind::Ideal,
+            FioPattern::RandRead,
+            4,
+            1,
+            SsdConfig::tiny(),
+            ExperimentScale::quick(),
+        );
+        assert_eq!(deep.requests, shallow.requests);
+        assert!(deep.iops() > shallow.iops(), "deeper queue must raise IOPS");
+        assert!(shallow.queueing.max() > ssd_sim::Duration::ZERO);
     }
 
     #[test]

@@ -50,7 +50,11 @@ impl FtlKind {
 
     /// Builds the FTL with the paper's default parameters.
     pub fn build(self, device: SsdConfig) -> Box<dyn Ftl> {
-        self.build_with(device, BaselineConfig::default(), LearnedFtlConfig::default())
+        self.build_with(
+            device,
+            BaselineConfig::default(),
+            LearnedFtlConfig::default(),
+        )
     }
 
     /// Builds the FTL with explicit baseline / LearnedFTL parameters.

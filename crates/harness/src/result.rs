@@ -19,8 +19,12 @@ pub struct RunResult {
     pub bytes: u64,
     /// Simulated wall time the run took (first issue to last completion).
     pub elapsed: Duration,
-    /// Per-request latency samples.
+    /// Per-request latency samples (arrival to completion).
     pub latencies: LatencyHistogram,
+    /// Per-request queueing delay (arrival to issue). Only the queue-depth
+    /// runner ([`crate::Runner::run_qd`]) models a bounded host queue, so the
+    /// closed-loop [`crate::Runner::run`] leaves this histogram empty.
+    pub queueing: LatencyHistogram,
     /// FTL-level statistics accumulated during the run (hit ratios, multi-read
     /// breakdown, GC, write amplification inputs).
     pub stats: FtlStats,
@@ -58,6 +62,21 @@ impl RunResult {
     /// P99.9 request latency.
     pub fn p999(&mut self) -> Duration {
         self.latencies.p999()
+    }
+
+    /// Mean queueing delay (zero for runs without a bounded host queue).
+    pub fn mean_queueing(&self) -> Duration {
+        self.queueing.mean()
+    }
+
+    /// Requests completed per simulated second.
+    pub fn iops(&self) -> f64 {
+        let secs = self.elapsed.as_secs_f64();
+        if secs <= 0.0 {
+            0.0
+        } else {
+            self.requests as f64 / secs
+        }
     }
 
     /// CMT hit ratio during the run.
@@ -98,6 +117,7 @@ mod tests {
             bytes,
             elapsed: Duration::from_millis(millis),
             latencies: LatencyHistogram::new(),
+            queueing: LatencyHistogram::new(),
             stats: FtlStats::new(),
             device: DeviceStats::new(),
         }

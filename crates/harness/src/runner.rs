@@ -51,6 +51,14 @@ impl Runner {
     }
 
     /// Runs the workload to completion and collects the measurements.
+    ///
+    /// Deliberately *not* implemented as `run_qd(depth = streams)`, although
+    /// the results are identical then: this is the reference closed-loop
+    /// model the queue-depth runner is validated against (see the
+    /// `qd1_single_stream_matches_legacy_run_bit_for_bit` and
+    /// `qd_equal_to_streams_matches_unbounded_run` tests), so the two paths
+    /// must stay independent. Behavioral changes to the accounting here must
+    /// be mirrored in [`Runner::run_qd`].
     pub fn run(&self, ftl: &mut dyn Ftl, workload: &mut dyn Workload) -> RunResult {
         if self.config.reset_stats_before_run {
             ftl.reset_stats();
@@ -96,6 +104,82 @@ impl Runner {
             bytes,
             elapsed: last_completion - start,
             latencies,
+            queueing: LatencyHistogram::new(),
+            stats: ftl.stats().clone(),
+            device: *ftl.device().stats(),
+        }
+    }
+
+    /// Runs the workload with a bounded host queue of `depth` slots, the
+    /// NVMe-style model behind the queue-depth sweeps: every stream produces
+    /// its next request when its previous one completes (closed loop), but at
+    /// most `depth` requests are in flight against the FTL at once. A request
+    /// that arrives while every slot is busy queues until the earliest
+    /// in-flight request completes ([`ssd_sched::QueuePair`]).
+    ///
+    /// Each request records two latencies: total (arrival → completion, into
+    /// [`RunResult::latencies`]) and queueing (arrival → issue, into
+    /// [`RunResult::queueing`]). With `depth >= workload.streams()` no request
+    /// ever queues and the results match [`Runner::run`] exactly; with
+    /// `depth == 1` every request serialises through a single slot, which
+    /// reproduces the legacy blocking path bit for bit on a single-stream
+    /// workload.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `depth` is zero.
+    pub fn run_qd(
+        &self,
+        ftl: &mut dyn Ftl,
+        workload: &mut dyn Workload,
+        depth: usize,
+    ) -> RunResult {
+        assert!(depth > 0, "queue depth must be at least 1");
+        if self.config.reset_stats_before_run {
+            ftl.reset_stats();
+            ftl.device_mut().reset_stats();
+        }
+        let start = self.config.start.max(ftl.device().drain_time());
+        let page_size = ftl.device().geometry().page_size;
+
+        let mut queue = ssd_sched::QueuePair::new(depth);
+        let mut ready: BinaryHeap<Reverse<(SimTime, usize)>> = (0..workload.streams())
+            .map(|s| Reverse((start, s)))
+            .collect();
+        let mut latencies = LatencyHistogram::new();
+        let mut queueing = LatencyHistogram::new();
+        let mut requests = 0u64;
+        let mut read_pages = 0u64;
+        let mut write_pages = 0u64;
+        let mut bytes = 0u64;
+        let mut last_completion = start;
+
+        while let Some(Reverse((arrival, stream))) = ready.pop() {
+            let Some(req) = workload.next_request(stream) else {
+                continue; // stream exhausted; do not re-queue
+            };
+            let (issue, completion) = queue.submit(arrival, |issue| ftl.submit(req, issue));
+            latencies.record(completion - arrival);
+            queueing.record(issue - arrival);
+            requests += 1;
+            bytes += req.bytes(page_size);
+            match req.op {
+                HostOp::Read => read_pages += u64::from(req.pages),
+                HostOp::Write => write_pages += u64::from(req.pages),
+            }
+            last_completion = last_completion.max(completion);
+            ready.push(Reverse((completion, stream)));
+        }
+
+        RunResult {
+            ftl_name: ftl.name().to_string(),
+            requests,
+            read_pages,
+            write_pages,
+            bytes,
+            elapsed: last_completion - start,
+            latencies,
+            queueing,
             stats: ftl.stats().clone(),
             device: *ftl.device().stats(),
         }
@@ -128,7 +212,14 @@ mod tests {
             // Populate first.
             let mut fill = FioWorkload::new(FioPattern::SeqWrite, 4000, 1, 8, 500, 1);
             Runner::new().run(ftl.as_mut(), &mut fill);
-            let mut wl = FioWorkload::new(FioPattern::RandRead, 4000, streams, 1, 400 / streams as u64, 2);
+            let mut wl = FioWorkload::new(
+                FioPattern::RandRead,
+                4000,
+                streams,
+                1,
+                400 / streams as u64,
+                2,
+            );
             Runner::new().run(ftl.as_mut(), &mut wl).mib_per_sec()
         };
         let one = run(1);
@@ -146,8 +237,71 @@ mod tests {
         Runner::new().run(ftl.as_mut(), &mut fill);
         let mut reads = FioWorkload::new(FioPattern::SeqRead, 400, 1, 8, 50, 1);
         let result = Runner::new().run(ftl.as_mut(), &mut reads);
-        assert_eq!(result.stats.host_write_pages, 0, "warm-up writes must not leak");
+        assert_eq!(
+            result.stats.host_write_pages, 0,
+            "warm-up writes must not leak"
+        );
         assert_eq!(result.stats.host_read_pages, 400);
+    }
+
+    fn warmed_ftl(kind: FtlKind) -> Box<dyn ftl_base::Ftl> {
+        let mut ftl = kind.build(SsdConfig::tiny());
+        let mut fill = FioWorkload::new(FioPattern::SeqWrite, 4000, 1, 8, 500, 1);
+        Runner::new().run(ftl.as_mut(), &mut fill);
+        ftl
+    }
+
+    #[test]
+    fn qd1_single_stream_matches_legacy_run_bit_for_bit() {
+        let wl = || FioWorkload::new(FioPattern::RandRead, 4000, 1, 1, 300, 11);
+        let mut legacy_ftl = warmed_ftl(FtlKind::Dftl);
+        let legacy = Runner::new().run(legacy_ftl.as_mut(), &mut wl());
+        let mut qd_ftl = warmed_ftl(FtlKind::Dftl);
+        let qd = Runner::new().run_qd(qd_ftl.as_mut(), &mut wl(), 1);
+        assert_eq!(qd.requests, legacy.requests);
+        assert_eq!(qd.elapsed, legacy.elapsed);
+        assert_eq!(qd.latencies.mean(), legacy.latencies.mean());
+        assert_eq!(qd.latencies.max(), legacy.latencies.max());
+        assert_eq!(qd.stats.host_read_pages, legacy.stats.host_read_pages);
+        assert_eq!(qd.device.reads, legacy.device.reads);
+        assert_eq!(
+            qd.queueing.max(),
+            ssd_sim::Duration::ZERO,
+            "QD1/1-stream never queues"
+        );
+    }
+
+    #[test]
+    fn qd_equal_to_streams_matches_unbounded_run() {
+        let wl = || FioWorkload::new(FioPattern::RandRead, 4000, 4, 1, 100, 13);
+        let mut a = warmed_ftl(FtlKind::Ideal);
+        let unbounded = Runner::new().run(a.as_mut(), &mut wl());
+        let mut b = warmed_ftl(FtlKind::Ideal);
+        let qd = Runner::new().run_qd(b.as_mut(), &mut wl(), 4);
+        assert_eq!(qd.elapsed, unbounded.elapsed);
+        assert_eq!(qd.latencies.mean(), unbounded.latencies.mean());
+        assert_eq!(qd.queueing.max(), ssd_sim::Duration::ZERO);
+    }
+
+    #[test]
+    fn deeper_queues_raise_read_throughput() {
+        let run = |depth: usize| {
+            let mut ftl = warmed_ftl(FtlKind::Ideal);
+            let mut wl = FioWorkload::new(FioPattern::RandRead, 4000, 16, 1, 50, 17);
+            Runner::new().run_qd(ftl.as_mut(), &mut wl, depth)
+        };
+        let shallow = run(1);
+        let deep = run(16);
+        assert!(
+            deep.iops() > shallow.iops() * 1.5,
+            "QD16 must beat QD1 on random reads ({} vs {})",
+            deep.iops(),
+            shallow.iops()
+        );
+        assert!(
+            shallow.mean_queueing() > deep.mean_queueing(),
+            "a shallow queue must show more queueing delay"
+        );
     }
 
     #[test]
@@ -161,6 +315,9 @@ mod tests {
             start: SimTime::ZERO,
         };
         let result = Runner::with_config(cfg).run(ftl.as_mut(), &mut more);
-        assert_eq!(result.stats.host_write_pages, 800, "stats accumulate when not reset");
+        assert_eq!(
+            result.stats.host_write_pages, 800,
+            "stats accumulate when not reset"
+        );
     }
 }

@@ -30,7 +30,10 @@ impl GcTimeline {
     ///
     /// Panics if `bucket_width` is zero.
     pub fn from_events(events: &[SimTime], bucket_width: Duration) -> Self {
-        assert!(bucket_width > Duration::ZERO, "bucket width must be positive");
+        assert!(
+            bucket_width > Duration::ZERO,
+            "bucket width must be positive"
+        );
         let mut buckets = Vec::new();
         for &event in events {
             let idx = (event.as_nanos() / bucket_width.as_nanos()) as usize;

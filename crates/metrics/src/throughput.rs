@@ -89,6 +89,9 @@ mod tests {
         let a = Throughput::new(2 * 1024 * 1024, Duration::from_millis(1000));
         let b = Throughput::new(1024 * 1024, Duration::from_millis(1000));
         assert!((a.normalized_to(&b) - 2.0).abs() < 1e-9);
-        assert_eq!(a.normalized_to(&Throughput::new(0, Duration::from_millis(1))), 0.0);
+        assert_eq!(
+            a.normalized_to(&Throughput::new(0, Duration::from_millis(1))),
+            0.0
+        );
     }
 }

@@ -1,0 +1,132 @@
+//! Flash commands as the scheduler sees them: identity, payload, priority
+//! class and the completion record handed back to the submitter.
+
+use ssd_sim::{DeviceError, Duration, OobData, Ppn, SimTime};
+
+/// Scheduler-assigned command identifier, unique for a scheduler's lifetime.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct CmdId(pub u64);
+
+impl std::fmt::Display for CmdId {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "cmd#{}", self.0)
+    }
+}
+
+/// The arbitration class of a command.
+///
+/// Host traffic is latency-critical; garbage-collection traffic is bandwidth
+/// work the FTL can defer. The scheduler lets GC yield to host commands on the
+/// same chip, bounded by [`crate::SchedConfig::gc_starvation_bound`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Priority {
+    /// A command serving a host request.
+    Host,
+    /// A command issued by garbage collection or other background work.
+    Gc,
+}
+
+/// The operation a command performs, with its target.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum CmdKind {
+    /// Read one physical page.
+    Read {
+        /// The page to read.
+        ppn: Ppn,
+    },
+    /// Program one physical page.
+    Program {
+        /// The page to program.
+        ppn: Ppn,
+        /// OOB metadata stored alongside the data.
+        oob: OobData,
+    },
+    /// Erase one block (flat device-wide index).
+    Erase {
+        /// The block to erase.
+        flat_block: u64,
+    },
+}
+
+/// A command waiting in (or moving through) the scheduler.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Command {
+    /// Scheduler-assigned identity.
+    pub id: CmdId,
+    /// Operation and target.
+    pub kind: CmdKind,
+    /// Arbitration class.
+    pub priority: Priority,
+    /// When the submitter handed the command to the scheduler.
+    pub submitted: SimTime,
+}
+
+/// The completion record for one command: what ran, where, and the three
+/// timestamps the tail-latency analysis needs.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Completion {
+    /// The command's identity.
+    pub id: CmdId,
+    /// Operation and target, echoed back.
+    pub kind: CmdKind,
+    /// Arbitration class, echoed back.
+    pub priority: Priority,
+    /// Flat index of the chip that executed the command.
+    pub chip: u64,
+    /// When the command entered the scheduler.
+    pub submitted: SimTime,
+    /// When the scheduler issued the command to the device.
+    pub issued: SimTime,
+    /// When the device completed the command. Equals `issued` when `error`
+    /// is set (the device rejected the command without executing it).
+    pub completed: SimTime,
+    /// The device's rejection, if the command failed validation.
+    pub error: Option<DeviceError>,
+}
+
+impl Completion {
+    /// Time spent queued in the scheduler before reaching the device.
+    pub fn queueing(&self) -> Duration {
+        self.issued - self.submitted
+    }
+
+    /// Time spent in the device (NAND operation plus channel transfer plus
+    /// chip-level serialisation).
+    pub fn service(&self) -> Duration {
+        self.completed - self.issued
+    }
+
+    /// End-to-end latency: submission to completion.
+    pub fn total(&self) -> Duration {
+        self.completed - self.submitted
+    }
+
+    /// Whether the command executed successfully.
+    pub fn is_ok(&self) -> bool {
+        self.error.is_none()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn completion_latency_decomposes() {
+        let c = Completion {
+            id: CmdId(3),
+            kind: CmdKind::Read { ppn: 7 },
+            priority: Priority::Host,
+            chip: 1,
+            submitted: SimTime::from_micros(10),
+            issued: SimTime::from_micros(25),
+            completed: SimTime::from_micros(70),
+            error: None,
+        };
+        assert_eq!(c.queueing(), Duration::from_micros(15));
+        assert_eq!(c.service(), Duration::from_micros(45));
+        assert_eq!(c.total(), Duration::from_micros(60));
+        assert!(c.is_ok());
+        assert_eq!(c.id.to_string(), "cmd#3");
+    }
+}

@@ -1,0 +1,57 @@
+//! # ssd-sched
+//!
+//! An event-driven multi-queue I/O scheduler for the simulated SSD.
+//!
+//! The seed simulator models each chip as a single `busy_until` timestamp and
+//! drives FTLs one request at a time, so queueing delay, channel contention
+//! and host-vs-GC interference are invisible. This crate adds the missing
+//! layer:
+//!
+//! * [`EventQueue`] — a deterministic binary-heap event loop keyed on
+//!   [`ssd_sim::SimTime`] (ties break in insertion order),
+//! * [`QueuePair`] — an NVMe-style bounded submission/completion queue pair
+//!   modelling the host interface at a configurable queue depth; the
+//!   experiment harness threads this through its `run_qd` mode,
+//! * [`IoScheduler`] — per-chip command queues with out-of-order completion
+//!   and host-vs-GC arbitration: GC commands yield to host commands on the
+//!   same chip, but never more than [`SchedConfig::gc_starvation_bound`]
+//!   times in a row,
+//! * [`Command`] / [`Completion`] — the command lifecycle with the three
+//!   timestamps (submitted, issued, completed) that tail-latency analysis
+//!   needs, split into queueing and service components.
+//!
+//! The scheduler issues commands through [`ssd_sim::FlashDevice`]'s
+//! enqueue/poll interface, so its timing model is *identical* to the blocking
+//! calls: at queue depth 1 the scheduled path reproduces the legacy blocking
+//! path bit for bit (see this crate's property tests).
+//!
+//! ## Example
+//!
+//! ```
+//! use ssd_sched::{CmdKind, IoScheduler, Priority, SchedConfig};
+//! use ssd_sim::{FlashDevice, OobData, SimTime, SsdConfig};
+//!
+//! let mut dev = FlashDevice::new(SsdConfig::tiny());
+//! let mut sched = IoScheduler::new(*dev.geometry(), SchedConfig::with_queue_depth(16));
+//! for ppn in 0..4 {
+//!     let oob = OobData::mapped(ppn);
+//!     sched.submit(CmdKind::Program { ppn, oob }, Priority::Host, SimTime::ZERO).unwrap();
+//! }
+//! sched.drain(&mut dev);
+//! let done = sched.pop_completions();
+//! assert_eq!(done.len(), 4);
+//! assert!(done.iter().all(|c| c.is_ok()));
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod cmd;
+mod event;
+mod queue;
+mod sched;
+
+pub use cmd::{CmdId, CmdKind, Command, Completion, Priority};
+pub use event::EventQueue;
+pub use queue::QueuePair;
+pub use sched::{IoScheduler, SchedConfig, SchedError, SchedStats};

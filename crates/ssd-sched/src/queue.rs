@@ -1,0 +1,148 @@
+//! The host-side queue pair: an NVMe-style bounded submission queue whose
+//! slots are recycled as completions are reaped.
+//!
+//! [`QueuePair`] models the timing effect of a fixed queue depth on a
+//! closed-loop host: a request that arrives while all `depth` slots hold
+//! in-flight commands must wait for the earliest completion before it can
+//! issue. It deliberately models *only* the host interface — device-side
+//! scheduling (per-chip queues, GC arbitration) lives in
+//! [`crate::IoScheduler`].
+
+use std::cmp::Reverse;
+use std::collections::BinaryHeap;
+
+use ssd_sim::SimTime;
+
+/// A bounded submission/completion queue pair.
+///
+/// ```
+/// use ssd_sched::QueuePair;
+/// use ssd_sim::{Duration, SimTime};
+///
+/// // Depth 1: the second request waits for the first to complete.
+/// let mut qp = QueuePair::new(1);
+/// let service = Duration::from_micros(40);
+/// let (i1, c1) = qp.submit(SimTime::ZERO, |issue| issue + service);
+/// assert_eq!(i1, SimTime::ZERO);
+/// let (i2, _) = qp.submit(SimTime::ZERO, |issue| issue + service);
+/// assert_eq!(i2, c1, "depth-1 queue serialises");
+/// ```
+#[derive(Debug, Clone)]
+pub struct QueuePair {
+    depth: usize,
+    in_flight: BinaryHeap<Reverse<SimTime>>,
+}
+
+impl QueuePair {
+    /// Creates a queue pair with `depth` submission slots.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `depth` is zero.
+    pub fn new(depth: usize) -> Self {
+        assert!(depth > 0, "queue depth must be at least 1");
+        QueuePair {
+            depth,
+            in_flight: BinaryHeap::with_capacity(depth),
+        }
+    }
+
+    /// The configured queue depth.
+    pub fn depth(&self) -> usize {
+        self.depth
+    }
+
+    /// Number of commands currently occupying slots.
+    pub fn in_flight(&self) -> usize {
+        self.in_flight.len()
+    }
+
+    /// Submits a command that arrives at `arrival`.
+    ///
+    /// If a slot is free the command issues immediately; otherwise it issues
+    /// when the earliest in-flight command completes (the slot is reaped and
+    /// recycled). `run` maps the issue time to the command's completion time —
+    /// typically by driving an FTL or device. Returns `(issue, completion)`.
+    pub fn submit<F: FnOnce(SimTime) -> SimTime>(
+        &mut self,
+        arrival: SimTime,
+        run: F,
+    ) -> (SimTime, SimTime) {
+        // Reap every slot whose command has already completed by `arrival`.
+        while let Some(&Reverse(done)) = self.in_flight.peek() {
+            if done > arrival {
+                break;
+            }
+            self.in_flight.pop();
+        }
+        let issue = if self.in_flight.len() < self.depth {
+            arrival
+        } else {
+            let Reverse(earliest) = self.in_flight.pop().expect("queue is full, so non-empty");
+            arrival.max(earliest)
+        };
+        let completion = run(issue);
+        assert!(
+            completion >= issue,
+            "completion must not precede issue ({completion} < {issue})"
+        );
+        self.in_flight.push(Reverse(completion));
+        (issue, completion)
+    }
+
+    /// Completion time of the last in-flight command, or `None` when idle.
+    /// Calling this drains the queue: all slots are freed.
+    pub fn quiesce(&mut self) -> Option<SimTime> {
+        let last = self.in_flight.iter().map(|Reverse(t)| *t).max();
+        self.in_flight.clear();
+        last
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ssd_sim::Duration;
+
+    const SERVICE: Duration = Duration::from_micros(40);
+
+    #[test]
+    fn deep_queue_issues_immediately() {
+        let mut qp = QueuePair::new(4);
+        for _ in 0..4 {
+            let (issue, _) = qp.submit(SimTime::ZERO, |t| t + SERVICE);
+            assert_eq!(issue, SimTime::ZERO);
+        }
+        assert_eq!(qp.in_flight(), 4);
+        // The fifth waits for the earliest completion.
+        let (issue, _) = qp.submit(SimTime::ZERO, |t| t + SERVICE);
+        assert_eq!(issue, SimTime::ZERO + SERVICE);
+    }
+
+    #[test]
+    fn completed_slots_are_reaped_on_arrival() {
+        let mut qp = QueuePair::new(2);
+        qp.submit(SimTime::ZERO, |t| t + SERVICE);
+        qp.submit(SimTime::ZERO, |t| t + SERVICE);
+        // Arrives long after both completed: no waiting.
+        let late = SimTime::from_millis(5);
+        let (issue, _) = qp.submit(late, |t| t + SERVICE);
+        assert_eq!(issue, late);
+    }
+
+    #[test]
+    fn quiesce_reports_last_completion_and_empties() {
+        let mut qp = QueuePair::new(2);
+        let (_, c1) = qp.submit(SimTime::ZERO, |t| t + SERVICE);
+        let (_, c2) = qp.submit(SimTime::ZERO, |t| t + SERVICE + SERVICE);
+        assert_eq!(qp.quiesce(), Some(c1.max(c2)));
+        assert_eq!(qp.in_flight(), 0);
+        assert_eq!(qp.quiesce(), None);
+    }
+
+    #[test]
+    #[should_panic(expected = "queue depth")]
+    fn zero_depth_rejected() {
+        QueuePair::new(0);
+    }
+}

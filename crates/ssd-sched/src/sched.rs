@@ -1,0 +1,649 @@
+//! The event-driven multi-queue I/O scheduler.
+//!
+//! [`IoScheduler`] sits between command submitters (an FTL's host path and
+//! its garbage collector) and a [`FlashDevice`]. Commands are queued per
+//! chip, issued one at a time per chip through the device's enqueue/poll
+//! interface, and completed out of order through a binary-heap event loop on
+//! [`SimTime`]. Host commands take priority over GC commands on the same
+//! chip, but a GC command is never bypassed more than
+//! [`SchedConfig::gc_starvation_bound`] times in a row.
+
+use std::collections::VecDeque;
+
+use metrics::LatencyHistogram;
+use ssd_sim::{FlashDevice, Geometry, PhysAddr, SimTime};
+
+use crate::cmd::{CmdId, CmdKind, Command, Completion, Priority};
+use crate::event::EventQueue;
+
+/// Scheduler tuning knobs.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct SchedConfig {
+    /// Maximum number of commands outstanding in the scheduler (queued plus
+    /// issued, not yet completed). Submission fails once the bound is hit.
+    pub queue_depth: usize,
+    /// How many times in a row a queued GC command may be bypassed by host
+    /// commands on the same chip before it is forced through.
+    pub gc_starvation_bound: u32,
+}
+
+impl Default for SchedConfig {
+    fn default() -> Self {
+        SchedConfig {
+            queue_depth: 64,
+            gc_starvation_bound: 4,
+        }
+    }
+}
+
+impl SchedConfig {
+    /// A configuration with the given queue depth and default arbitration.
+    pub fn with_queue_depth(queue_depth: usize) -> Self {
+        SchedConfig {
+            queue_depth,
+            ..Self::default()
+        }
+    }
+}
+
+/// Why a submission was rejected.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum SchedError {
+    /// The scheduler already holds `queue_depth` outstanding commands.
+    QueueFull {
+        /// The configured bound that was hit.
+        queue_depth: usize,
+    },
+}
+
+impl std::fmt::Display for SchedError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            SchedError::QueueFull { queue_depth } => {
+                write!(f, "submission queue full (depth {queue_depth})")
+            }
+        }
+    }
+}
+
+impl std::error::Error for SchedError {}
+
+/// Counters and latency distributions accumulated by a scheduler.
+#[derive(Debug, Clone, Default)]
+pub struct SchedStats {
+    /// Commands accepted by [`IoScheduler::submit`].
+    pub submitted: u64,
+    /// Commands completed (including device rejections).
+    pub completed: u64,
+    /// Commands the device rejected.
+    pub errors: u64,
+    /// Times a GC command was bypassed in favour of a host command.
+    pub gc_yields: u64,
+    /// Times a GC command was forced through by the starvation bound.
+    pub gc_forced: u64,
+    /// Scheduler queueing delay per completed command.
+    pub queueing: LatencyHistogram,
+    /// Device service time per completed command.
+    pub service: LatencyHistogram,
+}
+
+struct ChipQueue {
+    host: VecDeque<Command>,
+    gc: VecDeque<Command>,
+    /// Consecutive times the GC head has been bypassed by host traffic.
+    gc_bypassed: u32,
+    /// Whether a command from this queue is currently issued to the device.
+    busy: bool,
+    /// Earliest pending wakeup for this chip, to suppress duplicate events.
+    wakeup_at: Option<SimTime>,
+}
+
+impl ChipQueue {
+    fn new() -> Self {
+        ChipQueue {
+            host: VecDeque::new(),
+            gc: VecDeque::new(),
+            gc_bypassed: 0,
+            busy: false,
+            wakeup_at: None,
+        }
+    }
+
+    fn is_empty(&self) -> bool {
+        self.host.is_empty() && self.gc.is_empty()
+    }
+}
+
+enum Event {
+    /// The command issued on `chip` completes; its record is pre-computed.
+    Complete { chip: usize, completion: Completion },
+    /// Re-run dispatch on `chip`: a queued command's submission time has
+    /// been reached.
+    Wakeup { chip: usize },
+}
+
+/// The event-driven multi-queue scheduler over one [`FlashDevice`].
+///
+/// ```
+/// use ssd_sched::{CmdKind, IoScheduler, Priority, SchedConfig};
+/// use ssd_sim::{FlashDevice, OobData, SimTime, SsdConfig};
+///
+/// let mut dev = FlashDevice::new(SsdConfig::tiny());
+/// let mut sched = IoScheduler::new(*dev.geometry(), SchedConfig::default());
+/// sched
+///     .submit(CmdKind::Program { ppn: 0, oob: OobData::mapped(7) }, Priority::Host, SimTime::ZERO)
+///     .unwrap();
+/// let end = sched.drain(&mut dev);
+/// let done = sched.pop_completions();
+/// assert_eq!(done.len(), 1);
+/// assert!(done[0].is_ok());
+/// assert_eq!(done[0].completed, end);
+/// ```
+pub struct IoScheduler {
+    config: SchedConfig,
+    geometry: Geometry,
+    now: SimTime,
+    chips: Vec<ChipQueue>,
+    events: EventQueue<Event>,
+    completions: Vec<Completion>,
+    outstanding: usize,
+    next_id: u64,
+    stats: SchedStats,
+}
+
+impl IoScheduler {
+    /// Creates a scheduler for a device with the given geometry.
+    pub fn new(geometry: Geometry, config: SchedConfig) -> Self {
+        assert!(config.queue_depth > 0, "queue depth must be at least 1");
+        IoScheduler {
+            config,
+            geometry,
+            now: SimTime::ZERO,
+            chips: (0..geometry.total_chips())
+                .map(|_| ChipQueue::new())
+                .collect(),
+            events: EventQueue::new(),
+            completions: Vec::new(),
+            outstanding: 0,
+            next_id: 0,
+            stats: SchedStats::default(),
+        }
+    }
+
+    /// The scheduler's configuration.
+    pub fn config(&self) -> &SchedConfig {
+        &self.config
+    }
+
+    /// The current simulated time of the event loop.
+    pub fn now(&self) -> SimTime {
+        self.now
+    }
+
+    /// Commands submitted but not yet completed.
+    pub fn outstanding(&self) -> usize {
+        self.outstanding
+    }
+
+    /// Statistics accumulated so far.
+    pub fn stats(&self) -> &SchedStats {
+        &self.stats
+    }
+
+    /// Submits a command at time `submitted`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`SchedError::QueueFull`] when `queue_depth` commands are
+    /// already outstanding; the caller must run the event loop (e.g.
+    /// [`IoScheduler::run_until`]) to drain completions first.
+    pub fn submit(
+        &mut self,
+        kind: CmdKind,
+        priority: Priority,
+        submitted: SimTime,
+    ) -> Result<CmdId, SchedError> {
+        if self.outstanding >= self.config.queue_depth {
+            return Err(SchedError::QueueFull {
+                queue_depth: self.config.queue_depth,
+            });
+        }
+        let id = CmdId(self.next_id);
+        self.next_id += 1;
+        let chip = self.target_chip(&kind);
+        let cmd = Command {
+            id,
+            kind,
+            priority,
+            submitted,
+        };
+        match priority {
+            Priority::Host => self.chips[chip].host.push_back(cmd),
+            Priority::Gc => self.chips[chip].gc.push_back(cmd),
+        }
+        self.outstanding += 1;
+        self.stats.submitted += 1;
+        Ok(id)
+    }
+
+    /// Runs the event loop until every event at or before `until` has fired.
+    /// Returns the new simulated time (`>= until` only if nothing remains to
+    /// do earlier).
+    pub fn run_until(&mut self, dev: &mut FlashDevice, until: SimTime) -> SimTime {
+        // New commands may have been submitted since the last run: give every
+        // idle chip one dispatch pass, then advance purely event by event
+        // (each event re-dispatches only the chip it names).
+        self.dispatch_idle_chips(dev);
+        while let Some(t) = self.events.peek_time() {
+            if t > until {
+                break;
+            }
+            let (t, event) = self.events.pop().expect("peeked event exists");
+            self.now = self.now.max(t);
+            self.handle(event, dev);
+        }
+        self.now = self.now.max(until);
+        // The scheduler owns the completion records, so reap the device's
+        // in-flight set as we go — otherwise it would grow for the device's
+        // lifetime and confuse any other consumer of its poll interface.
+        dev.poll_completions(self.now);
+        self.now
+    }
+
+    /// Runs the event loop to quiescence: every submitted command completes.
+    /// Returns the completion time of the last command (or the current time
+    /// when the scheduler was already idle).
+    pub fn drain(&mut self, dev: &mut FlashDevice) -> SimTime {
+        self.dispatch_idle_chips(dev);
+        while let Some((t, event)) = self.events.pop() {
+            self.now = self.now.max(t);
+            self.handle(event, dev);
+        }
+        debug_assert_eq!(self.outstanding, 0, "drain must complete every command");
+        // See run_until: the device's in-flight records are ours to reap.
+        dev.poll_completions(self.now);
+        self.now
+    }
+
+    /// Takes every completion recorded since the last call, in completion
+    /// order.
+    pub fn pop_completions(&mut self) -> Vec<Completion> {
+        std::mem::take(&mut self.completions)
+    }
+
+    fn handle(&mut self, event: Event, dev: &mut FlashDevice) {
+        match event {
+            Event::Complete { chip, completion } => {
+                self.chips[chip].busy = false;
+                self.outstanding -= 1;
+                self.stats.completed += 1;
+                if completion.error.is_some() {
+                    // Rejected commands took no device time: keep their
+                    // zero-duration samples out of the latency distributions.
+                    self.stats.errors += 1;
+                } else {
+                    self.stats.queueing.record(completion.queueing());
+                    self.stats.service.record(completion.service());
+                }
+                self.completions.push(completion);
+                self.dispatch_chip(chip, dev);
+            }
+            Event::Wakeup { chip } => {
+                self.chips[chip].wakeup_at = None;
+                self.dispatch_chip(chip, dev);
+            }
+        }
+    }
+
+    /// Issues at most one command per idle chip, honouring arbitration.
+    fn dispatch_idle_chips(&mut self, dev: &mut FlashDevice) {
+        for chip_idx in 0..self.chips.len() {
+            self.dispatch_chip(chip_idx, dev);
+        }
+    }
+
+    fn dispatch_chip(&mut self, chip_idx: usize, dev: &mut FlashDevice) {
+        let now = self.now;
+        let bound = self.config.gc_starvation_bound;
+        let chip = &mut self.chips[chip_idx];
+        if chip.busy || chip.is_empty() {
+            return;
+        }
+        let host_ready = chip.host.front().is_some_and(|c| c.submitted <= now);
+        let gc_ready = chip.gc.front().is_some_and(|c| c.submitted <= now);
+        let cmd = match (host_ready, gc_ready) {
+            (false, false) => {
+                // Commands are queued but none is submittable yet: wake up
+                // when the earliest one becomes eligible.
+                self.schedule_wakeup(chip_idx);
+                return;
+            }
+            (true, false) => chip.host.pop_front().expect("host head is ready"),
+            (false, true) => {
+                chip.gc_bypassed = 0;
+                chip.gc.pop_front().expect("gc head is ready")
+            }
+            (true, true) => {
+                // Both classes ready: GC yields to host traffic, but never
+                // more than `gc_starvation_bound` times in a row.
+                if chip.gc_bypassed >= bound {
+                    chip.gc_bypassed = 0;
+                    self.stats.gc_forced += 1;
+                    chip.gc.pop_front().expect("gc head is ready")
+                } else {
+                    chip.gc_bypassed += 1;
+                    self.stats.gc_yields += 1;
+                    chip.host.pop_front().expect("host head is ready")
+                }
+            }
+        };
+        chip.busy = true;
+        let issue = now.max(cmd.submitted);
+        let (completed, error) = match cmd.kind {
+            CmdKind::Read { ppn } => match dev.enqueue_read(ppn, issue) {
+                Ok(q) => (q.completes_at, None),
+                Err(e) => (issue, Some(e)),
+            },
+            CmdKind::Program { ppn, oob } => match dev.enqueue_program(ppn, oob, issue) {
+                Ok(q) => (q.completes_at, None),
+                Err(e) => (issue, Some(e)),
+            },
+            CmdKind::Erase { flat_block } => match dev.enqueue_erase(flat_block, issue) {
+                Ok(q) => (q.completes_at, None),
+                Err(e) => (issue, Some(e)),
+            },
+        };
+        let completion = Completion {
+            id: cmd.id,
+            kind: cmd.kind,
+            priority: cmd.priority,
+            chip: chip_idx as u64,
+            submitted: cmd.submitted,
+            issued: issue,
+            completed,
+            error,
+        };
+        self.events.schedule(
+            completed,
+            Event::Complete {
+                chip: chip_idx,
+                completion,
+            },
+        );
+    }
+
+    fn schedule_wakeup(&mut self, chip_idx: usize) {
+        let chip = &self.chips[chip_idx];
+        let earliest = chip
+            .host
+            .front()
+            .map(|c| c.submitted)
+            .into_iter()
+            .chain(chip.gc.front().map(|c| c.submitted))
+            .min();
+        if let Some(t) = earliest {
+            // Skip if an equal-or-earlier wakeup for this chip is already
+            // pending (a superseded later one fires as a harmless no-op).
+            if t > self.now && self.chips[chip_idx].wakeup_at.is_none_or(|w| t < w) {
+                self.chips[chip_idx].wakeup_at = Some(t);
+                self.events.schedule(t, Event::Wakeup { chip: chip_idx });
+            }
+        }
+    }
+
+    fn target_chip(&self, kind: &CmdKind) -> usize {
+        let g = &self.geometry;
+        match kind {
+            CmdKind::Read { ppn } | CmdKind::Program { ppn, .. } => {
+                PhysAddr::from_ppn(*ppn, g).chip_index(g) as usize
+            }
+            CmdKind::Erase { flat_block } => (flat_block / g.blocks_per_chip()) as usize,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::cmd::{CmdKind, Priority};
+    use ssd_sim::{OobData, SsdConfig};
+
+    fn setup() -> (FlashDevice, IoScheduler) {
+        let dev = FlashDevice::new(SsdConfig::tiny());
+        let sched = IoScheduler::new(*dev.geometry(), SchedConfig::default());
+        (dev, sched)
+    }
+
+    /// Programs the first `n` pages of chip 0's block 0 so reads have targets.
+    fn populate(dev: &mut FlashDevice, n: u64) -> SimTime {
+        let mut t = SimTime::ZERO;
+        for ppn in 0..n {
+            t = dev.program_page(ppn, OobData::mapped(ppn), t).unwrap();
+        }
+        t
+    }
+
+    #[test]
+    fn commands_complete_out_of_order_across_chips() {
+        let (mut dev, mut sched) = setup();
+        let g = *dev.geometry();
+        // Put readable data on chip 1 up front.
+        let chip1_ppn = g.pages_per_chip();
+        dev.program_page(chip1_ppn, OobData::mapped(1), SimTime::ZERO)
+            .unwrap();
+        let t0 = dev.drain_time();
+        // Submit a slow program (200us) on chip 0 first, then a fast read
+        // (~40us) on chip 1: the read must complete first.
+        sched
+            .submit(
+                CmdKind::Program {
+                    ppn: 0,
+                    oob: OobData::mapped(9),
+                },
+                Priority::Host,
+                t0,
+            )
+            .unwrap();
+        sched
+            .submit(CmdKind::Read { ppn: chip1_ppn }, Priority::Host, t0)
+            .unwrap();
+        sched.drain(&mut dev);
+        let done = sched.pop_completions();
+        assert_eq!(done.len(), 2);
+        assert!(done.iter().all(Completion::is_ok));
+        let ids: Vec<u64> = done.iter().map(|c| c.id.0).collect();
+        assert_eq!(
+            ids,
+            vec![1, 0],
+            "the fast chip-1 read must complete before the slow program"
+        );
+        // Delivery is in completion-time order.
+        assert!(done.windows(2).all(|w| w[0].completed <= w[1].completed));
+    }
+
+    #[test]
+    fn same_chip_commands_serialise_and_record_queueing() {
+        let (mut dev, mut sched) = setup();
+        let t0 = populate(&mut dev, 2);
+        sched
+            .submit(CmdKind::Read { ppn: 0 }, Priority::Host, t0)
+            .unwrap();
+        sched
+            .submit(CmdKind::Read { ppn: 1 }, Priority::Host, t0)
+            .unwrap();
+        sched.drain(&mut dev);
+        let done = sched.pop_completions();
+        assert_eq!(done.len(), 2);
+        assert_eq!(done[0].queueing(), ssd_sim::Duration::ZERO);
+        assert!(
+            done[1].queueing() > ssd_sim::Duration::ZERO,
+            "second command on the same chip must record queueing delay"
+        );
+        assert!(done[1].completed > done[0].completed);
+    }
+
+    #[test]
+    fn gc_yields_to_host_until_starvation_bound() {
+        let mut dev = FlashDevice::new(SsdConfig::tiny());
+        let bound = 2;
+        let mut sched = IoScheduler::new(
+            *dev.geometry(),
+            SchedConfig {
+                queue_depth: 64,
+                gc_starvation_bound: bound,
+            },
+        );
+        let t0 = populate(&mut dev, 8);
+        // One GC read and a stream of host reads, all on chip 0, all at t0.
+        sched
+            .submit(CmdKind::Read { ppn: 7 }, Priority::Gc, t0)
+            .unwrap();
+        for ppn in 0..6 {
+            sched
+                .submit(CmdKind::Read { ppn }, Priority::Host, t0)
+                .unwrap();
+        }
+        sched.drain(&mut dev);
+        let done = sched.pop_completions();
+        let gc_pos = done
+            .iter()
+            .position(|c| c.priority == Priority::Gc)
+            .unwrap();
+        assert_eq!(
+            gc_pos, bound as usize,
+            "GC must run after exactly `bound` host bypasses, ran at {gc_pos}"
+        );
+        assert_eq!(sched.stats().gc_yields, u64::from(bound));
+        assert_eq!(sched.stats().gc_forced, 1);
+    }
+
+    #[test]
+    fn gc_runs_immediately_on_idle_chips() {
+        let (mut dev, mut sched) = setup();
+        let t0 = populate(&mut dev, 1);
+        sched
+            .submit(CmdKind::Read { ppn: 0 }, Priority::Gc, t0)
+            .unwrap();
+        sched.drain(&mut dev);
+        let done = sched.pop_completions();
+        assert_eq!(done.len(), 1);
+        assert_eq!(done[0].queueing(), ssd_sim::Duration::ZERO);
+        assert_eq!(sched.stats().gc_yields, 0);
+    }
+
+    #[test]
+    fn queue_depth_bounds_outstanding_commands() {
+        let mut dev = FlashDevice::new(SsdConfig::tiny());
+        let mut sched = IoScheduler::new(*dev.geometry(), SchedConfig::with_queue_depth(2));
+        populate(&mut dev, 4);
+        sched
+            .submit(CmdKind::Read { ppn: 0 }, Priority::Host, SimTime::ZERO)
+            .unwrap();
+        sched
+            .submit(CmdKind::Read { ppn: 1 }, Priority::Host, SimTime::ZERO)
+            .unwrap();
+        assert_eq!(
+            sched.submit(CmdKind::Read { ppn: 2 }, Priority::Host, SimTime::ZERO),
+            Err(SchedError::QueueFull { queue_depth: 2 })
+        );
+        // Draining frees the slots.
+        sched.drain(&mut dev);
+        assert_eq!(sched.outstanding(), 0);
+        sched
+            .submit(CmdKind::Read { ppn: 2 }, Priority::Host, sched.now())
+            .unwrap();
+        sched.drain(&mut dev);
+        assert_eq!(sched.pop_completions().len(), 3);
+    }
+
+    #[test]
+    fn device_rejections_surface_as_error_completions() {
+        let (mut dev, mut sched) = setup();
+        // Read of a never-programmed page.
+        sched
+            .submit(CmdKind::Read { ppn: 3 }, Priority::Host, SimTime::ZERO)
+            .unwrap();
+        sched.drain(&mut dev);
+        let done = sched.pop_completions();
+        assert_eq!(done.len(), 1);
+        assert!(!done[0].is_ok());
+        assert_eq!(sched.stats().errors, 1);
+        assert_eq!(
+            done[0].completed, done[0].issued,
+            "rejected commands take no device time"
+        );
+    }
+
+    #[test]
+    fn future_submissions_wait_for_their_submit_time() {
+        let (mut dev, mut sched) = setup();
+        populate(&mut dev, 1);
+        let t0 = dev.drain_time();
+        let late = t0 + ssd_sim::Duration::from_millis(5);
+        sched
+            .submit(CmdKind::Read { ppn: 0 }, Priority::Host, late)
+            .unwrap();
+        let end = sched.drain(&mut dev);
+        let done = sched.pop_completions();
+        assert_eq!(
+            done[0].issued, late,
+            "command must not issue before its submit time"
+        );
+        assert!(end > late);
+    }
+
+    #[test]
+    fn run_until_only_fires_events_in_window() {
+        let (mut dev, mut sched) = setup();
+        let t0 = populate(&mut dev, 2);
+        sched
+            .submit(CmdKind::Read { ppn: 0 }, Priority::Host, t0)
+            .unwrap();
+        sched
+            .submit(CmdKind::Read { ppn: 1 }, Priority::Host, t0)
+            .unwrap();
+        // One read takes ~40us NAND + transfers; cut the window mid-way.
+        let mid = t0 + ssd_sim::Duration::from_micros(60);
+        sched.run_until(&mut dev, mid);
+        let first_batch = sched.pop_completions();
+        assert_eq!(first_batch.len(), 1, "only the first read fits the window");
+        assert_eq!(sched.outstanding(), 1);
+        sched.drain(&mut dev);
+        assert_eq!(sched.pop_completions().len(), 1);
+    }
+
+    #[test]
+    fn scheduler_reaps_device_in_flight_records() {
+        let (mut dev, mut sched) = setup();
+        let t0 = populate(&mut dev, 4);
+        for ppn in 0..4 {
+            sched
+                .submit(CmdKind::Read { ppn }, Priority::Host, t0)
+                .unwrap();
+        }
+        sched.drain(&mut dev);
+        assert_eq!(
+            dev.in_flight_commands(),
+            0,
+            "drain must reap the device's completion records"
+        );
+        assert_eq!(dev.next_completion_time(), None);
+    }
+
+    #[test]
+    fn stats_histograms_cover_all_completions() {
+        let (mut dev, mut sched) = setup();
+        let t0 = populate(&mut dev, 4);
+        for ppn in 0..4 {
+            sched
+                .submit(CmdKind::Read { ppn }, Priority::Host, t0)
+                .unwrap();
+        }
+        sched.drain(&mut dev);
+        sched.pop_completions();
+        assert_eq!(sched.stats().submitted, 4);
+        assert_eq!(sched.stats().completed, 4);
+        assert_eq!(sched.stats().queueing.count(), 4);
+        assert_eq!(sched.stats().service.count(), 4);
+    }
+}

@@ -1,0 +1,186 @@
+//! Property tests for the scheduler invariants the rest of the workspace
+//! relies on:
+//!
+//! 1. per chip, completions are monotone in `SimTime`,
+//! 2. every submitted command completes exactly once,
+//! 3. at queue depth 1 the scheduler reproduces the legacy blocking path
+//!    (issue each command at the previous command's completion) bit for bit.
+
+use proptest::prelude::*;
+use ssd_sched::{CmdKind, Completion, IoScheduler, Priority, SchedConfig};
+use ssd_sim::{FlashDevice, OobData, SimTime, SsdConfig};
+use std::collections::HashSet;
+
+/// One generated command: a read of a populated page or a program of a fresh
+/// page, host or GC class, submitted `delay_us` after the previous command.
+#[derive(Debug, Clone, Copy)]
+struct Op {
+    read_frac: f64,
+    is_read: bool,
+    is_gc: bool,
+    delay_us: u64,
+}
+
+fn op_strategy() -> impl Strategy<Value = Op> {
+    (0.0f64..1.0, any::<bool>(), any::<bool>(), 0u64..80).prop_map(
+        |(read_frac, is_read, is_gc, delay_us)| Op {
+            read_frac,
+            is_read,
+            is_gc,
+            delay_us,
+        },
+    )
+}
+
+const POPULATED: u64 = 64;
+
+/// Programs the first `POPULATED` ppns so reads have valid targets, and
+/// returns the drain time.
+fn populated_device() -> (FlashDevice, SimTime) {
+    let mut dev = FlashDevice::new(SsdConfig::tiny());
+    let mut t = SimTime::ZERO;
+    for ppn in 0..POPULATED {
+        t = dev.program_page(ppn, OobData::mapped(ppn), t).unwrap();
+    }
+    (dev, t)
+}
+
+/// Materialises the generated ops into (kind, priority, submit-time) triples.
+/// Programs walk fresh pages of the last block row so they stay in-order.
+fn materialise(ops: &[Op], dev: &FlashDevice, t0: SimTime) -> Vec<(CmdKind, Priority, SimTime)> {
+    let g = *dev.geometry();
+    let mut next_fresh = g.pages_per_chip(); // first page of chip 1: untouched
+    let mut at = t0;
+    let mut cmds = Vec::new();
+    for op in ops {
+        at += ssd_sim::Duration::from_micros(op.delay_us);
+        let (kind, priority) = if op.is_read || next_fresh >= g.total_pages() {
+            let ppn = ((POPULATED - 1) as f64 * op.read_frac) as u64;
+            // Reads may be host or GC traffic.
+            let priority = if op.is_gc {
+                Priority::Gc
+            } else {
+                Priority::Host
+            };
+            (CmdKind::Read { ppn }, priority)
+        } else {
+            let ppn = next_fresh;
+            next_fresh += 1;
+            // Programs stay in one arbitration class: NAND requires in-order
+            // programming within a block, and host-vs-GC arbitration would
+            // reorder programs of different classes on the same chip.
+            (
+                CmdKind::Program {
+                    ppn,
+                    oob: OobData::mapped(ppn),
+                },
+                Priority::Host,
+            )
+        };
+        cmds.push((kind, priority, at));
+    }
+    cmds
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    /// Invariants 1 and 2: exactly-once completion, per-chip monotonicity,
+    /// and sane per-command timestamps, under arbitrary command mixes.
+    #[test]
+    fn prop_exactly_once_and_chip_monotone(ops in proptest::collection::vec(op_strategy(), 1..120)) {
+        let (mut dev, t0) = populated_device();
+        let mut sched = IoScheduler::new(*dev.geometry(), SchedConfig::default());
+        let cmds = materialise(&ops, &dev, t0);
+        let mut submitted_ids = HashSet::new();
+        let mut completions: Vec<Completion> = Vec::new();
+        for (kind, priority, at) in cmds {
+            loop {
+                match sched.submit(kind, priority, at) {
+                    Ok(id) => {
+                        prop_assert!(submitted_ids.insert(id), "command ids must be unique");
+                        break;
+                    }
+                    Err(_) => {
+                        // Queue full: drain in-flight work, then retry.
+                        sched.drain(&mut dev);
+                        completions.extend(sched.pop_completions());
+                    }
+                }
+            }
+        }
+        sched.drain(&mut dev);
+        completions.extend(sched.pop_completions());
+
+        // Every submitted command completed exactly once.
+        prop_assert_eq!(completions.len(), submitted_ids.len());
+        let completed_ids: HashSet<_> = completions.iter().map(|c| c.id).collect();
+        prop_assert_eq!(completed_ids.len(), completions.len(), "no duplicate completions");
+        prop_assert_eq!(completed_ids, submitted_ids);
+
+        for c in &completions {
+            prop_assert!(c.is_ok(), "generated commands are all valid: {:?}", c.error);
+            prop_assert!(c.issued >= c.submitted, "issue must not precede submission");
+            prop_assert!(c.completed >= c.issued, "completion must not precede issue");
+        }
+
+        // Per chip, completions are monotone in SimTime.
+        let chips: HashSet<u64> = completions.iter().map(|c| c.chip).collect();
+        for chip in chips {
+            let times: Vec<SimTime> = completions
+                .iter()
+                .filter(|c| c.chip == chip)
+                .map(|c| c.completed)
+                .collect();
+            prop_assert!(
+                times.windows(2).all(|w| w[0] <= w[1]),
+                "chip {} completions must be monotone: {:?}", chip, times
+            );
+        }
+    }
+
+    /// Invariant 3: at queue depth 1 the scheduler is indistinguishable from
+    /// the legacy blocking path (each command issued at the previous
+    /// command's completion time).
+    #[test]
+    fn prop_qd1_matches_blocking_path_bit_for_bit(
+        ops in proptest::collection::vec(op_strategy(), 1..80)
+    ) {
+        let (mut sched_dev, t0) = populated_device();
+        let (mut block_dev, _) = populated_device();
+        let cmds = materialise(&ops, &sched_dev, t0);
+
+        // Scheduled path at QD 1: one command in flight at a time.
+        let mut sched = IoScheduler::new(*sched_dev.geometry(), SchedConfig::with_queue_depth(1));
+        let mut scheduled = Vec::new();
+        for &(kind, priority, at) in &cmds {
+            sched.submit(kind, priority, at).expect("QD1: queue drained before each submit");
+            sched.drain(&mut sched_dev);
+            scheduled.extend(sched.pop_completions());
+        }
+
+        // Legacy blocking path: issue at max(previous completion, submit time).
+        let mut done = t0;
+        let mut blocking = Vec::new();
+        for &(kind, _, at) in &cmds {
+            let issue = done.max(at);
+            done = match kind {
+                CmdKind::Read { ppn } => block_dev.read_page(ppn, issue).unwrap(),
+                CmdKind::Program { ppn, oob } => block_dev.program_page(ppn, oob, issue).unwrap(),
+                CmdKind::Erase { flat_block } => block_dev.erase_block(flat_block, issue).unwrap(),
+            };
+            blocking.push(done);
+        }
+
+        prop_assert_eq!(scheduled.len(), blocking.len());
+        for (c, &expected) in scheduled.iter().zip(blocking.iter()) {
+            prop_assert_eq!(
+                c.completed, expected,
+                "QD1 completion diverged from the blocking path for {:?}", c.kind
+            );
+        }
+        // The device end-states agree exactly.
+        prop_assert_eq!(sched_dev.stats(), block_dev.stats());
+        prop_assert_eq!(sched_dev.drain_time(), block_dev.drain_time());
+    }
+}

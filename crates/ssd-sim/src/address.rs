@@ -218,10 +218,17 @@ mod tests {
         };
         let mut prev = None;
         for ch in 0..g.channels {
-            let addr = PhysAddr { channel: ch, ..base };
+            let addr = PhysAddr {
+                channel: ch,
+                ..base
+            };
             let vppn = addr.to_vppn(&g);
             if let Some(p) = prev {
-                assert_eq!(vppn, p + 1, "channel-striped pages must be VPPN-consecutive");
+                assert_eq!(
+                    vppn,
+                    p + 1,
+                    "channel-striped pages must be VPPN-consecutive"
+                );
             }
             prev = Some(vppn);
         }

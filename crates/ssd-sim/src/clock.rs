@@ -93,7 +93,10 @@ impl Duration {
     ///
     /// Panics if `secs` is negative or not finite.
     pub fn from_secs_f64(secs: f64) -> Self {
-        assert!(secs.is_finite() && secs >= 0.0, "duration must be non-negative");
+        assert!(
+            secs.is_finite() && secs >= 0.0,
+            "duration must be non-negative"
+        );
         Duration((secs * 1_000_000_000.0) as u64)
     }
 
@@ -224,10 +227,7 @@ mod tests {
 
     #[test]
     fn duration_sum() {
-        let total: Duration = [1u64, 2, 3]
-            .iter()
-            .map(|&n| Duration::from_nanos(n))
-            .sum();
+        let total: Duration = [1u64, 2, 3].iter().map(|&n| Duration::from_nanos(n)).sum();
         assert_eq!(total.as_nanos(), 6);
     }
 

@@ -1,5 +1,8 @@
 //! The flash device: page/block state plus the discrete-event timing model.
 
+use std::cmp::Reverse;
+use std::collections::BinaryHeap;
+
 use crate::address::{PhysAddr, Ppn};
 use crate::block::Block;
 use crate::chip::Chip;
@@ -48,6 +51,38 @@ pub struct FlashDevice {
     channel_busy_until: Vec<SimTime>,
     oob: Vec<OobData>,
     stats: DeviceStats,
+    next_cmd_id: u64,
+    in_flight: BinaryHeap<Reverse<QueuedCommand>>,
+}
+
+/// A flash command accepted by the enqueue/poll interface
+/// ([`FlashDevice::enqueue_read`] and friends): the command's identity, the
+/// parallel units it occupies and its timing.
+///
+/// Commands are totally ordered by `(completes_at, id)`, so collections of
+/// them sort into completion order.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord)]
+pub struct QueuedCommand {
+    /// Completion time on the simulated clock (ordering field; see type docs).
+    pub completes_at: SimTime,
+    /// Device-assigned command identifier, unique for the device's lifetime.
+    pub id: u64,
+    /// The NAND operation the command performs.
+    pub op: FlashOp,
+    /// Flat index of the chip the command occupies.
+    pub chip: u64,
+    /// Channel the command's data crosses (the chip's channel for erases).
+    pub channel: u32,
+    /// The time the command was enqueued.
+    pub issued: SimTime,
+}
+
+impl QueuedCommand {
+    /// The command's service time: enqueue to completion, including any time
+    /// spent queued behind other operations on the same chip or channel.
+    pub fn latency(&self) -> crate::Duration {
+        self.completes_at - self.issued
+    }
 }
 
 impl FlashDevice {
@@ -64,6 +99,8 @@ impl FlashDevice {
             channel_busy_until: vec![SimTime::ZERO; g.channels as usize],
             oob: vec![OobData::default(); g.total_pages() as usize],
             stats: DeviceStats::new(),
+            next_cmd_id: 0,
+            in_flight: BinaryHeap::new(),
         }
     }
 
@@ -116,7 +153,12 @@ impl FlashDevice {
     /// Returns [`DeviceError::PpnOutOfRange`] if `ppn` does not exist and
     /// [`DeviceError::ProgramOnUsedPage`] if the page is not the next free
     /// page of its block (NAND requires in-order programming).
-    pub fn program_page(&mut self, ppn: Ppn, oob: OobData, issue: SimTime) -> DeviceResult<SimTime> {
+    pub fn program_page(
+        &mut self,
+        ppn: Ppn,
+        oob: OobData,
+        issue: SimTime,
+    ) -> DeviceResult<SimTime> {
         let addr = self.check_ppn(ppn)?;
         let g = self.config.geometry;
         let lat = self.config.latency;
@@ -194,6 +236,119 @@ impl FlashDevice {
         Ok(self.chips[chip_idx].occupy(issue, lat.erase))
     }
 
+    /// Enqueues a page read, issued at `issue`. The non-blocking twin of
+    /// [`FlashDevice::read_page`]: the command's state change and timing are
+    /// identical, but completion is delivered through
+    /// [`FlashDevice::poll_completions`] instead of the return value, so
+    /// callers can keep many commands in flight and reap them out of order.
+    ///
+    /// # Errors
+    ///
+    /// Same conditions as [`FlashDevice::read_page`].
+    pub fn enqueue_read(&mut self, ppn: Ppn, issue: SimTime) -> DeviceResult<QueuedCommand> {
+        let done = self.read_page(ppn, issue)?;
+        let g = self.config.geometry;
+        let addr = PhysAddr::from_ppn(ppn, &g);
+        Ok(self.track_command(
+            FlashOp::Read,
+            addr.chip_index(&g),
+            addr.channel,
+            issue,
+            done,
+        ))
+    }
+
+    /// Enqueues a page program, issued at `issue`. The non-blocking twin of
+    /// [`FlashDevice::program_page`].
+    ///
+    /// # Errors
+    ///
+    /// Same conditions as [`FlashDevice::program_page`].
+    pub fn enqueue_program(
+        &mut self,
+        ppn: Ppn,
+        oob: OobData,
+        issue: SimTime,
+    ) -> DeviceResult<QueuedCommand> {
+        let done = self.program_page(ppn, oob, issue)?;
+        let g = self.config.geometry;
+        let addr = PhysAddr::from_ppn(ppn, &g);
+        Ok(self.track_command(
+            FlashOp::Program,
+            addr.chip_index(&g),
+            addr.channel,
+            issue,
+            done,
+        ))
+    }
+
+    /// Enqueues a block erase, issued at `issue`. The non-blocking twin of
+    /// [`FlashDevice::erase_block`].
+    ///
+    /// # Errors
+    ///
+    /// Same conditions as [`FlashDevice::erase_block`].
+    pub fn enqueue_erase(
+        &mut self,
+        flat_block: u64,
+        issue: SimTime,
+    ) -> DeviceResult<QueuedCommand> {
+        let g = self.config.geometry;
+        let done = self.erase_block(flat_block, issue)?;
+        let chip = flat_block / g.blocks_per_chip();
+        let channel = (chip / u64::from(g.chips_per_channel)) as u32;
+        Ok(self.track_command(FlashOp::Erase, chip, channel, issue, done))
+    }
+
+    /// Pops every enqueued command that has completed by `now`, in completion
+    /// order. Commands enqueued through the `enqueue_*` methods stay in the
+    /// device's in-flight set until reaped here.
+    pub fn poll_completions(&mut self, now: SimTime) -> Vec<QueuedCommand> {
+        let mut done = Vec::new();
+        while let Some(Reverse(cmd)) = self.in_flight.peek() {
+            if cmd.completes_at > now {
+                break;
+            }
+            let Reverse(cmd) = self.in_flight.pop().expect("peeked entry exists");
+            done.push(cmd);
+        }
+        done
+    }
+
+    /// Number of enqueued commands not yet reaped via
+    /// [`FlashDevice::poll_completions`].
+    pub fn in_flight_commands(&self) -> usize {
+        self.in_flight.len()
+    }
+
+    /// Completion time of the earliest unreaped command, or `None` when the
+    /// in-flight set is empty. Event loops use this to decide how far the
+    /// simulated clock may jump.
+    pub fn next_completion_time(&self) -> Option<SimTime> {
+        self.in_flight.peek().map(|Reverse(cmd)| cmd.completes_at)
+    }
+
+    fn track_command(
+        &mut self,
+        op: FlashOp,
+        chip: u64,
+        channel: u32,
+        issued: SimTime,
+        completes_at: SimTime,
+    ) -> QueuedCommand {
+        let cmd = QueuedCommand {
+            completes_at,
+            id: self.next_cmd_id,
+            op,
+            chip,
+            channel,
+            issued,
+        };
+        self.next_cmd_id += 1;
+        self.in_flight.push(Reverse(cmd));
+        cmd
+    }
+
     /// The state of the page at `ppn`.
     ///
     /// # Errors
@@ -204,7 +359,9 @@ impl FlashDevice {
         let g = self.config.geometry;
         let chip_idx = addr.chip_index(&g) as usize;
         let local_block = Self::local_block(&addr, &g);
-        Ok(self.chips[chip_idx].block(local_block).page_state(addr.page))
+        Ok(self.chips[chip_idx]
+            .block(local_block)
+            .page_state(addr.page))
     }
 
     /// The OOB metadata of the page at `ppn`.
@@ -344,7 +501,8 @@ mod tests {
     #[test]
     fn program_then_read_roundtrips_oob() {
         let mut d = dev();
-        d.program_page(0, OobData::mapped(123), SimTime::ZERO).unwrap();
+        d.program_page(0, OobData::mapped(123), SimTime::ZERO)
+            .unwrap();
         assert_eq!(d.oob(0).unwrap().lpn, Some(123));
         assert_eq!(d.page_state(0).unwrap(), PageState::Valid);
         let done = d.read_page(0, SimTime::ZERO).unwrap();
@@ -373,7 +531,8 @@ mod tests {
     #[test]
     fn reprogram_is_error() {
         let mut d = dev();
-        d.program_page(0, OobData::mapped(1), SimTime::ZERO).unwrap();
+        d.program_page(0, OobData::mapped(1), SimTime::ZERO)
+            .unwrap();
         assert_eq!(
             d.program_page(0, OobData::mapped(2), SimTime::ZERO),
             Err(DeviceError::ProgramOnUsedPage { ppn: 0 })
@@ -383,7 +542,8 @@ mod tests {
     #[test]
     fn erase_requires_no_valid_pages() {
         let mut d = dev();
-        d.program_page(0, OobData::mapped(1), SimTime::ZERO).unwrap();
+        d.program_page(0, OobData::mapped(1), SimTime::ZERO)
+            .unwrap();
         assert!(matches!(
             d.erase_block(0, SimTime::ZERO),
             Err(DeviceError::EraseWithValidPages { .. })
@@ -394,7 +554,8 @@ mod tests {
         assert_eq!(d.page_state(0).unwrap(), PageState::Free);
         assert_eq!(d.oob(0).unwrap().lpn, None);
         // The block is programmable again.
-        d.program_page(0, OobData::mapped(9), SimTime::ZERO).unwrap();
+        d.program_page(0, OobData::mapped(9), SimTime::ZERO)
+            .unwrap();
     }
 
     #[test]
@@ -402,8 +563,10 @@ mod tests {
         let mut d = dev();
         let g = *d.geometry();
         // Two pages on the same chip (channel 0, chip 0): block 0 page 0 and 1.
-        d.program_page(0, OobData::mapped(1), SimTime::ZERO).unwrap();
-        d.program_page(1, OobData::mapped(2), SimTime::ZERO).unwrap();
+        d.program_page(0, OobData::mapped(1), SimTime::ZERO)
+            .unwrap();
+        d.program_page(1, OobData::mapped(2), SimTime::ZERO)
+            .unwrap();
         let t1 = d.read_page(0, SimTime::ZERO).unwrap();
         let t2 = d.read_page(1, SimTime::ZERO).unwrap();
         assert!(t2 > t1, "same-chip reads must serialise");
@@ -421,8 +584,10 @@ mod tests {
         let mut d = FlashDevice::new(cfg);
         let chip0_ppn = 0;
         let chip1_ppn = g.pages_per_chip();
-        d.program_page(chip0_ppn, OobData::mapped(1), SimTime::ZERO).unwrap();
-        d.program_page(chip1_ppn, OobData::mapped(2), SimTime::ZERO).unwrap();
+        d.program_page(chip0_ppn, OobData::mapped(1), SimTime::ZERO)
+            .unwrap();
+        d.program_page(chip1_ppn, OobData::mapped(2), SimTime::ZERO)
+            .unwrap();
         let base = d.drain_time();
         let t1 = d.read_page(chip0_ppn, base).unwrap();
         let t2 = d.read_page(chip1_ppn, base).unwrap();
@@ -434,8 +599,10 @@ mod tests {
     #[test]
     fn stats_track_translation_traffic() {
         let mut d = dev();
-        d.program_page(0, OobData::translation(), SimTime::ZERO).unwrap();
-        d.program_page(1, OobData::mapped(4), SimTime::ZERO).unwrap();
+        d.program_page(0, OobData::translation(), SimTime::ZERO)
+            .unwrap();
+        d.program_page(1, OobData::mapped(4), SimTime::ZERO)
+            .unwrap();
         d.read_page(0, SimTime::ZERO).unwrap();
         d.read_page(1, SimTime::ZERO).unwrap();
         let s = d.stats();
@@ -450,7 +617,8 @@ mod tests {
     fn next_free_ppn_walks_the_block() {
         let mut d = dev();
         assert_eq!(d.next_free_ppn_in_block(0).unwrap(), Some(0));
-        d.program_page(0, OobData::mapped(0), SimTime::ZERO).unwrap();
+        d.program_page(0, OobData::mapped(0), SimTime::ZERO)
+            .unwrap();
         assert_eq!(d.next_free_ppn_in_block(0).unwrap(), Some(1));
         let pages = d.geometry().pages_per_block;
         for p in 1..pages {
@@ -465,8 +633,88 @@ mod tests {
         let mut d = dev();
         let total = d.geometry().total_blocks();
         assert_eq!(d.free_block_count(), total);
-        d.program_page(0, OobData::mapped(0), SimTime::ZERO).unwrap();
+        d.program_page(0, OobData::mapped(0), SimTime::ZERO)
+            .unwrap();
         assert_eq!(d.free_block_count(), total - 1);
+    }
+
+    #[test]
+    fn enqueue_matches_blocking_timing() {
+        let mut queued = dev();
+        let mut blocking = dev();
+        let ops: &[(Ppn, u64)] = &[(0, 10), (1, 11), (2, 12)];
+        for &(ppn, lpn) in ops {
+            let c = queued
+                .enqueue_program(ppn, OobData::mapped(lpn), SimTime::ZERO)
+                .unwrap();
+            let done = blocking
+                .program_page(ppn, OobData::mapped(lpn), SimTime::ZERO)
+                .unwrap();
+            assert_eq!(
+                c.completes_at, done,
+                "enqueue and blocking paths must agree"
+            );
+        }
+        let c = queued.enqueue_read(0, SimTime::ZERO).unwrap();
+        let done = blocking.read_page(0, SimTime::ZERO).unwrap();
+        assert_eq!(c.completes_at, done);
+        assert_eq!(c.op, FlashOp::Read);
+        assert!(c.latency() > Duration::ZERO);
+    }
+
+    #[test]
+    fn poll_reaps_in_completion_order() {
+        let mut d = dev();
+        let g = *d.geometry();
+        // One program per chip: they overlap, then a second on chip 0 queues.
+        let chip0 = 0;
+        let chip1 = g.pages_per_chip();
+        d.enqueue_program(chip1, OobData::mapped(1), SimTime::ZERO)
+            .unwrap();
+        d.enqueue_program(chip0, OobData::mapped(2), SimTime::ZERO)
+            .unwrap();
+        d.enqueue_program(chip0 + 1, OobData::mapped(3), SimTime::ZERO)
+            .unwrap();
+        assert_eq!(d.in_flight_commands(), 3);
+        let first = d.next_completion_time().expect("commands in flight");
+        assert!(
+            d.poll_completions(SimTime::ZERO).is_empty(),
+            "nothing done at t=0"
+        );
+        let done = d.poll_completions(first);
+        assert!(!done.is_empty());
+        let all = d.poll_completions(d.drain_time());
+        assert_eq!(
+            done.len() + all.len(),
+            3,
+            "every command completes exactly once"
+        );
+        let mut times: Vec<SimTime> = done
+            .iter()
+            .chain(all.iter())
+            .map(|c| c.completes_at)
+            .collect();
+        let mut sorted = times.clone();
+        sorted.sort();
+        assert_eq!(times, sorted, "completions must arrive in completion order");
+        times.dedup();
+        assert_eq!(
+            times.len(),
+            3,
+            "same-chip commands must not share completion times"
+        );
+        assert_eq!(d.in_flight_commands(), 0);
+    }
+
+    #[test]
+    fn enqueue_errors_leave_no_ghost_commands() {
+        let mut d = dev();
+        assert!(d.enqueue_read(5, SimTime::ZERO).is_err());
+        assert!(d
+            .enqueue_program(1, OobData::mapped(1), SimTime::ZERO)
+            .is_err());
+        assert_eq!(d.in_flight_commands(), 0);
+        assert_eq!(d.next_completion_time(), None);
     }
 
     #[test]

@@ -1,7 +1,7 @@
 //! Device-level operation accounting.
 
 /// The kind of a flash operation, used for statistics and the energy model.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
 pub enum FlashOp {
     /// Page read from the NAND array.
     Read,
@@ -78,7 +78,9 @@ impl DeviceStats {
             reads: self.reads.saturating_sub(earlier.reads),
             programs: self.programs.saturating_sub(earlier.programs),
             erases: self.erases.saturating_sub(earlier.erases),
-            translation_reads: self.translation_reads.saturating_sub(earlier.translation_reads),
+            translation_reads: self
+                .translation_reads
+                .saturating_sub(earlier.translation_reads),
             translation_programs: self
                 .translation_programs
                 .saturating_sub(earlier.translation_programs),

@@ -99,7 +99,12 @@ impl FilebenchWorkload {
     /// # Panics
     ///
     /// Panics if the device cannot hold even one file.
-    pub fn new(preset: FilebenchPreset, logical_pages: u64, ops_per_stream: u64, seed: u64) -> Self {
+    pub fn new(
+        preset: FilebenchPreset,
+        logical_pages: u64,
+        ops_per_stream: u64,
+        seed: u64,
+    ) -> Self {
         let file_pages = preset.file_pages();
         let max_files = logical_pages / u64::from(file_pages);
         assert!(max_files > 0, "device too small for the fileset");
@@ -235,6 +240,9 @@ mod tests {
             *counts.entry(req.lpn).or_insert(0u64) += 1;
         }
         let max = counts.values().max().copied().unwrap_or(0);
-        assert!(max > 20, "zipfian popularity must concentrate accesses, max={max}");
+        assert!(
+            max > 20,
+            "zipfian popularity must concentrate accesses, max={max}"
+        );
     }
 }

@@ -78,7 +78,10 @@ impl FioWorkload {
         assert!(logical_pages > 0, "logical space must be non-empty");
         assert!(streams > 0, "at least one stream required");
         assert!(io_pages > 0, "io size must be non-zero");
-        assert!(ops_per_stream > 0, "each stream must issue at least one request");
+        assert!(
+            ops_per_stream > 0,
+            "each stream must issue at least one request"
+        );
         let region = logical_pages / streams as u64;
         let cursors = (0..streams as u64).map(|s| s * region).collect();
         let rngs = (0..streams as u64)
@@ -165,9 +168,16 @@ mod tests {
             for _ in 0..50 {
                 let req = wl.next_request(stream).unwrap();
                 assert_eq!(req.op, HostOp::Write);
-                assert!(req.lpn >= start.min(end - 2) && req.lpn < end, "lpn {} not in [{start},{end})", req.lpn);
+                assert!(
+                    req.lpn >= start.min(end - 2) && req.lpn < end,
+                    "lpn {} not in [{start},{end})",
+                    req.lpn
+                );
             }
-            assert!(wl.next_request(stream).is_none(), "stream exhausted after its ops");
+            assert!(
+                wl.next_request(stream).is_none(),
+                "stream exhausted after its ops"
+            );
         }
     }
 

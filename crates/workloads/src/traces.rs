@@ -352,8 +352,15 @@ mod tests {
         let text = "# comment\n10,4,R\n20,1,W\n\n30,2,r\n";
         let trace = SyntheticTrace::from_csv(TraceKind::Systor17, text).unwrap();
         assert_eq!(trace.len(), 3);
-        assert_eq!(trace.records()[0], TraceRecord { lpn: 10, pages: 4, is_read: true });
-        assert_eq!(trace.records()[1].is_read, false);
+        assert_eq!(
+            trace.records()[0],
+            TraceRecord {
+                lpn: 10,
+                pages: 4,
+                is_read: true
+            }
+        );
+        assert!(!trace.records()[1].is_read);
         assert!(SyntheticTrace::from_csv(TraceKind::Systor17, "1,2,X").is_err());
         assert!(SyntheticTrace::from_csv(TraceKind::Systor17, "oops").is_err());
     }

@@ -14,7 +14,12 @@ use ssd_sim::SimTime;
 
 /// Sequentially writes the whole logical space `passes` times with `io_pages`
 /// sized requests. Returns the simulated completion time.
-pub fn sequential_fill<F: Ftl + ?Sized>(ftl: &mut F, io_pages: u32, passes: u32, start: SimTime) -> SimTime {
+pub fn sequential_fill<F: Ftl + ?Sized>(
+    ftl: &mut F,
+    io_pages: u32,
+    passes: u32,
+    start: SimTime,
+) -> SimTime {
     let logical = ftl.logical_pages();
     let io = u64::from(io_pages.max(1));
     let mut t = start;
@@ -152,7 +157,10 @@ mod tests {
         random_fill(&mut ftl, 16, 2, 1, SimTime::ZERO);
         let written = ftl.stats.host_write_pages;
         assert!(written >= ftl.logical * 2);
-        assert!(written < ftl.logical * 2 + 32, "overshoot bounded by one I/O");
+        assert!(
+            written < ftl.logical * 2 + 32,
+            "overshoot bounded by one I/O"
+        );
     }
 
     #[test]

@@ -145,7 +145,10 @@ mod tests {
             }
         }
         let fraction = head as f64 / samples as f64;
-        assert!(fraction < 0.3, "near-uniform head fraction {fraction} too large");
+        assert!(
+            fraction < 0.3,
+            "near-uniform head fraction {fraction} too large"
+        );
     }
 
     #[test]

@@ -3,8 +3,8 @@
 //!
 //! Run with: `cargo run --release --example fio_randread`
 
-use learnedftl_suite::prelude::*;
 use harness::experiments::{fio_read_run, ExperimentScale};
+use learnedftl_suite::prelude::*;
 use metrics::Table;
 use ssd_sim::SsdConfig;
 use workloads::FioPattern;
@@ -14,7 +14,10 @@ fn main() {
     let scale = ExperimentScale::quick();
     let threads = 4;
 
-    println!("FIO randread, {threads} threads, device {}", device.geometry);
+    println!(
+        "FIO randread, {threads} threads, device {}",
+        device.geometry
+    );
     println!("(use the bench crate's fig14_fio binary for the full-scale version)");
     println!();
 

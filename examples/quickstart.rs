@@ -39,7 +39,10 @@ fn main() {
     println!("  served by the CMT    : {}", stats.cmt_hits);
     println!("  served by the models : {}", stats.model_hits);
     println!("  double reads         : {}", stats.double_reads);
-    println!("write amplification    : {:.2}", stats.write_amplification());
+    println!(
+        "write amplification    : {:.2}",
+        stats.write_amplification()
+    );
     println!(
         "model coverage          : {:.1}% of LPNs predictable without a translation read",
         ftl.model_coverage() * 100.0
@@ -47,6 +50,6 @@ fn main() {
     println!(
         "model DRAM footprint    : {} KiB for {} GTD-entry models",
         ftl.model_memory_bytes() / 1024,
-        ftl.group_count() * 0 + ftl.model_memory_bytes() / 128
+        ftl.model_memory_bytes() / 128
     );
 }

@@ -22,7 +22,12 @@ fn main() {
         let mut table = Table::new(vec!["FTL", "MiB/s", "CMT hit", "model hit"]);
         let mut tpftl_mibs = 0.0;
         let mut learned_mibs = 0.0;
-        for kind in [FtlKind::Tpftl, FtlKind::LeaFtl, FtlKind::LearnedFtl, FtlKind::Ideal] {
+        for kind in [
+            FtlKind::Tpftl,
+            FtlKind::LeaFtl,
+            FtlKind::LearnedFtl,
+            FtlKind::Ideal,
+        ] {
             let result = rocksdb_run(kind, phase, device, scale);
             if kind == FtlKind::Tpftl {
                 tpftl_mibs = result.mib_per_sec();

@@ -27,7 +27,12 @@ fn main() {
 
     let mut table = Table::new(vec!["FTL", "P99 (us)", "P99.9 (us)", "mean (us)"]);
     let mut p99s = Vec::new();
-    for kind in [FtlKind::Tpftl, FtlKind::LeaFtl, FtlKind::LearnedFtl, FtlKind::Ideal] {
+    for kind in [
+        FtlKind::Tpftl,
+        FtlKind::LeaFtl,
+        FtlKind::LearnedFtl,
+        FtlKind::Ideal,
+    ] {
         let mut result = trace_run(kind, trace, streams, requests, device, scale);
         let p99 = result.p99();
         p99s.push((kind, p99));

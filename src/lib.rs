@@ -17,6 +17,7 @@ pub use harness;
 pub use learned_index;
 pub use learnedftl;
 pub use metrics;
+pub use ssd_sched;
 pub use ssd_sim;
 pub use workloads;
 
@@ -27,6 +28,7 @@ pub mod prelude {
     pub use harness::{FtlKind, Runner, RunnerConfig};
     pub use learnedftl::{LearnedFtl, LearnedFtlConfig};
     pub use metrics::{EnergyModel, LatencyHistogram};
+    pub use ssd_sched::{IoScheduler, QueuePair, SchedConfig};
     pub use ssd_sim::{FlashDevice, SsdConfig};
     pub use workloads::{FioPattern, FioWorkload};
 }

@@ -1,7 +1,9 @@
 //! Shape tests for the canned experiment routines: at quick scale the
 //! qualitative relationships behind the paper's figures must already hold.
 
-use harness::experiments::{fio_read_run, fio_write_run, filebench_run, trace_run, ExperimentScale};
+use harness::experiments::{
+    filebench_run, fio_read_run, fio_write_run, trace_run, ExperimentScale,
+};
 use harness::FtlKind;
 use ssd_sim::SsdConfig;
 use workloads::{FilebenchPreset, FioPattern, TraceKind};
@@ -95,7 +97,14 @@ fn fig20_shape_learnedftl_at_least_matches_baselines_on_filebench() {
 #[test]
 fn fig21_shape_learnedftl_cuts_tail_latency() {
     let (device, scale) = quick();
-    let mut tpftl = trace_run(FtlKind::Tpftl, TraceKind::WebSearch1, 4, 2_000, device, scale);
+    let mut tpftl = trace_run(
+        FtlKind::Tpftl,
+        TraceKind::WebSearch1,
+        4,
+        2_000,
+        device,
+        scale,
+    );
     let mut learned = trace_run(
         FtlKind::LearnedFtl,
         TraceKind::WebSearch1,
@@ -115,7 +124,14 @@ fn fig21_shape_learnedftl_cuts_tail_latency() {
 #[test]
 fn fig22_shape_learnedftl_reads_less_flash_on_read_heavy_traces() {
     let (device, scale) = quick();
-    let tpftl = trace_run(FtlKind::Tpftl, TraceKind::WebSearch2, 4, 2_000, device, scale);
+    let tpftl = trace_run(
+        FtlKind::Tpftl,
+        TraceKind::WebSearch2,
+        4,
+        2_000,
+        device,
+        scale,
+    );
     let learned = trace_run(
         FtlKind::LearnedFtl,
         TraceKind::WebSearch2,
@@ -138,8 +154,7 @@ fn fig22_shape_learnedftl_reads_less_flash_on_read_heavy_traces() {
 fn trace_generators_match_table2_read_ratios() {
     let (device, _) = quick();
     for kind in TraceKind::all() {
-        let trace =
-            workloads::SyntheticTrace::generate(kind, device.logical_pages(), 10_000, 3);
+        let trace = workloads::SyntheticTrace::generate(kind, device.logical_pages(), 10_000, 3);
         assert!(
             (trace.measured_read_ratio() - kind.read_ratio()).abs() < 0.03,
             "{}: generated read ratio {} too far from Table II {}",

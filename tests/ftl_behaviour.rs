@@ -10,9 +10,9 @@ fn drive(ftl: &mut dyn Ftl, wl: &mut dyn Workload) {
     let mut ready: Vec<SimTime> = vec![ftl.device().drain_time(); wl.streams()];
     loop {
         let mut progressed = false;
-        for stream in 0..wl.streams() {
+        for (stream, ready_at) in ready.iter_mut().enumerate() {
             if let Some(req) = wl.next_request(stream) {
-                ready[stream] = ftl.submit(req, ready[stream]);
+                *ready_at = ftl.submit(req, *ready_at);
                 progressed = true;
             }
         }
@@ -89,12 +89,12 @@ fn ideal_ftl_is_an_upper_bound_for_random_reads() {
         ftl.device_mut().reset_stats();
         let start = ftl.device().drain_time();
         let mut wl = FioWorkload::new(FioPattern::RandRead, ftl.logical_pages(), 4, 1, 400, 13);
-        let mut ready = vec![start; 4];
+        let mut ready = [start; 4];
         loop {
             let mut progressed = false;
-            for stream in 0..4 {
+            for (stream, ready_at) in ready.iter_mut().enumerate() {
                 if let Some(req) = wl.next_request(stream) {
-                    ready[stream] = ftl.submit(req, ready[stream]);
+                    *ready_at = ftl.submit(req, *ready_at);
                     progressed = true;
                 }
             }
@@ -106,7 +106,12 @@ fn ideal_ftl_is_an_upper_bound_for_random_reads() {
         (end - start).as_secs_f64()
     };
     let ideal = run(FtlKind::Ideal);
-    for kind in [FtlKind::Dftl, FtlKind::Tpftl, FtlKind::LeaFtl, FtlKind::LearnedFtl] {
+    for kind in [
+        FtlKind::Dftl,
+        FtlKind::Tpftl,
+        FtlKind::LeaFtl,
+        FtlKind::LearnedFtl,
+    ] {
         let elapsed = run(kind);
         assert!(
             elapsed + 1e-9 >= ideal * 0.95,
@@ -124,12 +129,12 @@ fn learnedftl_beats_tpftl_on_random_reads_after_warmup() {
         ftl.reset_stats();
         let start = ftl.device().drain_time();
         let mut wl = FioWorkload::new(FioPattern::RandRead, ftl.logical_pages(), 4, 1, 500, 17);
-        let mut ready = vec![start; 4];
+        let mut ready = [start; 4];
         loop {
             let mut progressed = false;
-            for stream in 0..4 {
+            for (stream, ready_at) in ready.iter_mut().enumerate() {
                 if let Some(req) = wl.next_request(stream) {
-                    ready[stream] = ftl.submit(req, ready[stream]);
+                    *ready_at = ftl.submit(req, *ready_at);
                     progressed = true;
                 }
             }
@@ -181,7 +186,10 @@ fn learnedftl_never_misses_when_the_bitmap_allows_a_prediction() {
     let mut wl = FioWorkload::new(FioPattern::RandRead, ftl.logical_pages(), 4, 1, 500, 23);
     drive(ftl.as_mut(), &mut wl);
     let s = ftl.stats();
-    assert!(s.model_hits > 0, "models must serve some reads after warm-up");
+    assert!(
+        s.model_hits > 0,
+        "models must serve some reads after warm-up"
+    );
     assert_eq!(
         s.model_predictions, s.model_hits,
         "every model prediction must be a hit (bitmap-filter guarantee)"
