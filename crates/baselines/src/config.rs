@@ -71,6 +71,24 @@ impl BaselineConfig {
         self
     }
 
+    /// The configuration for one shard of a frontend sharded `shards` ways.
+    ///
+    /// Fractional knobs (the CMT ratio) already scale with the shard's
+    /// logical space, but `buffer_pages` is an absolute DRAM budget for the
+    /// *whole device*: a sharded FTL instantiates one FTL (and so one LeaFTL
+    /// write buffer) per shard, so each shard gets an equal slice — otherwise
+    /// N shards would enjoy N× the paper's buffer and absorb whole write
+    /// phases in RAM. With one shard this is the identity.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `shards` is zero.
+    pub fn for_shard(mut self, shards: usize) -> Self {
+        assert!(shards > 0, "need at least one shard");
+        self.buffer_pages = (self.buffer_pages / shards).max(1);
+        self
+    }
+
     /// The CMT capacity in mapping entries for a device with `logical_pages`.
     pub fn cmt_entries(&self, logical_pages: u64) -> usize {
         ((logical_pages as f64) * self.cmt_ratio).round() as usize
@@ -110,6 +128,16 @@ mod tests {
         let c = BaselineConfig::default();
         assert_eq!(c.effective_gc_watermark(16), 16);
         assert_eq!(c.with_gc_watermark(5).effective_gc_watermark(16), 5);
+    }
+
+    #[test]
+    fn for_shard_splits_the_buffer_budget() {
+        let c = BaselineConfig::default();
+        assert_eq!(c.for_shard(1), c, "one shard is the identity");
+        assert_eq!(c.for_shard(4).buffer_pages, 512);
+        assert!((c.for_shard(4).cmt_ratio - c.cmt_ratio).abs() < 1e-12);
+        // Degenerate split never zeroes the buffer.
+        assert_eq!(c.with_buffer_pages(2).for_shard(8).buffer_pages, 1);
     }
 
     #[test]

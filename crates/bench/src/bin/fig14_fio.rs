@@ -7,20 +7,33 @@
 //! reads, and its group-based allocation keeps write amplification at or below
 //! the baselines'.
 
-use bench::{percent, print_header, print_table_with_verdict, Scale};
-use harness::experiments::{fio_read_run, fio_write_run};
+use bench::{percent, print_header, print_table_with_verdict, BenchArgs, Scale};
+use harness::experiments::{fio_read_sharded_run, fio_write_sharded_run};
 use harness::{FtlKind, RunResult};
 use metrics::Table;
 use workloads::FioPattern;
 
 fn main() {
+    let args = BenchArgs::from_env();
     let scale = Scale::from_env();
     print_header(
         "Fig. 14 — FIO throughput, hit ratios and write amplification (all FTLs)",
         "LearnedFTL wins random reads by 1.4-1.6x over the baselines and approaches the ideal FTL",
         scale,
     );
-    let device = scale.device();
+    // Sharded runs use the shard-ready geometry (8 channels, shard-sized
+    // block rows) so every design builds on every channel group.
+    let device = if args.shards > 1 {
+        let device = bench::shard_scaling_device(scale);
+        println!(
+            "running sharded: {} per-channel-group FTL shards per design \
+             (closed-loop streams share the shards' serial translation engines) on {}",
+            args.shards, device.geometry
+        );
+        device
+    } else {
+        scale.device()
+    };
     let experiment = scale.experiment();
     let threads = scale.fio_threads();
     let kinds = FtlKind::all();
@@ -36,9 +49,9 @@ fn main() {
         let mut per_kind = Vec::new();
         for kind in kinds {
             let result = if pattern.is_read() {
-                fio_read_run(kind, pattern, threads, device, experiment)
+                fio_read_sharded_run(kind, pattern, threads, args.shards, device, experiment)
             } else {
-                fio_write_run(kind, pattern, threads, device, experiment)
+                fio_write_sharded_run(kind, pattern, threads, args.shards, device, experiment)
             };
             per_kind.push(result);
         }

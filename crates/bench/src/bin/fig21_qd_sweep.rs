@@ -14,9 +14,9 @@
 //!   runner's latency totals on a single-stream workload (the bounded queue
 //!   is a strict generalisation, not a different model).
 
-use bench::{print_header, print_table_with_verdict, Scale};
-use harness::experiments::fio_qd_run;
-use harness::{FtlKind, Runner};
+use bench::{print_header, print_table_with_verdict, BenchArgs, Scale};
+use harness::experiments::{fio_qd_run, fio_qd_sharded_run};
+use harness::{FtlKind, RunResult, Runner};
 use metrics::Table;
 use ssd_sim::SsdConfig;
 use workloads::{FioPattern, FioWorkload};
@@ -24,6 +24,7 @@ use workloads::{FioPattern, FioWorkload};
 const DEPTHS: [usize; 4] = [1, 4, 16, 64];
 
 fn main() {
+    let args = BenchArgs::from_env();
     let scale = Scale::from_env();
     print_header(
         "Fig. 21 extension — queue-depth sweep, FIO randread 4 KiB",
@@ -31,7 +32,19 @@ fn main() {
          latency absorbs the queueing delay; LearnedFTL holds its lead at every depth",
         scale,
     );
-    let device = scale.device();
+    // Sharded runs use the shard-ready geometry (8 channels, shard-sized
+    // block rows) so every design builds on every channel group.
+    let device = if args.shards > 1 {
+        let device = bench::shard_scaling_device(scale);
+        println!(
+            "running sharded: {} per-channel-group FTL shards, each behind its own \
+             serial translation engine, on {}",
+            args.shards, device.geometry
+        );
+        device
+    } else {
+        scale.device()
+    };
     let experiment = scale.experiment();
     let threads = scale.fio_threads();
     let kinds = [
@@ -54,14 +67,30 @@ fn main() {
     for kind in kinds {
         let mut iops_at = [0.0f64; DEPTHS.len()];
         for (i, &depth) in DEPTHS.iter().enumerate() {
-            let mut r = fio_qd_run(
-                kind,
-                FioPattern::RandRead,
-                threads,
-                depth,
-                device,
-                experiment,
-            );
+            // With --shards N the sweep measures the sharded frontend (whose
+            // per-shard engines serialise translation); the default is the
+            // monolithic concurrent path, unchanged.
+            let mut r: RunResult = if args.shards > 1 {
+                fio_qd_sharded_run(
+                    kind,
+                    FioPattern::RandRead,
+                    threads,
+                    depth,
+                    args.shards,
+                    device,
+                    experiment,
+                )
+                .result
+            } else {
+                fio_qd_run(
+                    kind,
+                    FioPattern::RandRead,
+                    threads,
+                    depth,
+                    device,
+                    experiment,
+                )
+            };
             iops_at[i] = r.iops();
             table.add_row(vec![
                 kind.label().to_string(),

@@ -19,7 +19,7 @@
 
 use harness::experiments::ExperimentScale;
 use metrics::Table;
-use ssd_sim::SsdConfig;
+use ssd_sim::{Geometry, SsdConfig};
 
 /// The experiment size selected via `LEARNEDFTL_SCALE`.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -91,6 +91,83 @@ impl Scale {
     }
 }
 
+/// The device used by the shard-scaling experiment (`fig23_shard_scaling`):
+/// the same size classes as [`Scale::device`], but shaped so the 1/2/4/8
+/// shard sweep is healthy at every count:
+///
+/// * 8 channels, so every swept shard count divides the device into equal
+///   channel groups (the paper's geometry already has 8; the quick and
+///   standard presets have fewer),
+/// * an eighth of the device — a 2-chip shard — still holds at least one
+///   full translation-page span (512 mappings) per block row, which
+///   LearnedFTL's group-based allocation requires (`2 chips × 256
+///   pages/block = 512`), with enough block rows of over-provisioning left
+///   for group GC to breathe.
+pub fn shard_scaling_device(scale: Scale) -> SsdConfig {
+    match scale {
+        // 256 MiB raw; the generous OP (like SsdConfig::tiny's) keeps
+        // group-based allocation workable on 2-chip shards.
+        Scale::Quick => SsdConfig::tiny()
+            .with_geometry(Geometry::new(8, 2, 1, 16, 256, 4096))
+            .with_op_ratio(0.4),
+        // 1 GiB raw (the small class rounded up to keep 8-shard row slack).
+        Scale::Standard => SsdConfig::small()
+            .with_geometry(Geometry::new(8, 2, 1, 64, 256, 4096))
+            .with_op_ratio(0.125),
+        Scale::Paper => SsdConfig::paper(),
+    }
+}
+
+/// Command-line options shared by the figure binaries.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct BenchArgs {
+    /// Number of FTL shards (`--shards N`); `1` (the default) runs the
+    /// monolithic FTLs exactly as before.
+    pub shards: usize,
+}
+
+impl Default for BenchArgs {
+    fn default() -> Self {
+        BenchArgs { shards: 1 }
+    }
+}
+
+impl BenchArgs {
+    /// Parses the process's command line, exiting with a usage message on
+    /// malformed input. Binaries call this once at the top of `main`.
+    pub fn from_env() -> BenchArgs {
+        match Self::parse(std::env::args().skip(1)) {
+            Ok(args) => args,
+            Err(msg) => {
+                eprintln!("error: {msg}");
+                eprintln!("usage: <figure> [--shards N]");
+                std::process::exit(2);
+            }
+        }
+    }
+
+    /// Parses an argument list (`--shards N` or `--shards=N`).
+    pub fn parse<I: IntoIterator<Item = String>>(args: I) -> Result<BenchArgs, String> {
+        let mut parsed = BenchArgs::default();
+        let mut iter = args.into_iter();
+        while let Some(arg) = iter.next() {
+            let value = if arg == "--shards" {
+                iter.next().ok_or("--shards needs a value")?
+            } else if let Some(v) = arg.strip_prefix("--shards=") {
+                v.to_string()
+            } else {
+                return Err(format!("unknown argument `{arg}`"));
+            };
+            parsed.shards = value
+                .parse::<usize>()
+                .ok()
+                .filter(|&n| n >= 1)
+                .ok_or_else(|| format!("`--shards {value}`: expected a positive integer"))?;
+        }
+        Ok(parsed)
+    }
+}
+
 /// Prints the standard experiment header.
 pub fn print_header(figure: &str, claim: &str, scale: Scale) {
     println!("================================================================");
@@ -128,6 +205,42 @@ mod tests {
         assert_eq!(Scale::Quick.device(), SsdConfig::tiny());
         assert_eq!(Scale::Paper.device(), SsdConfig::paper());
         assert!(Scale::Standard.describe().contains("scale=Standard"));
+    }
+
+    #[test]
+    fn shard_scaling_device_always_has_eight_channels() {
+        for scale in [Scale::Quick, Scale::Standard, Scale::Paper] {
+            let dev = shard_scaling_device(scale);
+            assert_eq!(dev.geometry.channels, 8);
+            for shards in [1u32, 2, 4, 8] {
+                assert_eq!(dev.geometry.channels % shards, 0);
+            }
+        }
+        // An eighth of the device (a 2-chip shard) must still hold one full
+        // translation-page span per block row for LearnedFTL's groups.
+        for scale in [Scale::Quick, Scale::Standard, Scale::Paper] {
+            let g = shard_scaling_device(scale).geometry;
+            let chips_per_shard = g.total_chips() / 8;
+            assert!(chips_per_shard * u64::from(g.pages_per_block) >= 512);
+        }
+        // The standard class keeps small()'s chip count.
+        let std_dev = shard_scaling_device(Scale::Standard);
+        assert_eq!(
+            std_dev.geometry.total_chips(),
+            SsdConfig::small().geometry.total_chips()
+        );
+    }
+
+    #[test]
+    fn shards_flag_parses_both_spellings() {
+        let args = |v: &[&str]| BenchArgs::parse(v.iter().map(|s| s.to_string()));
+        assert_eq!(args(&[]).unwrap().shards, 1);
+        assert_eq!(args(&["--shards", "4"]).unwrap().shards, 4);
+        assert_eq!(args(&["--shards=8"]).unwrap().shards, 8);
+        assert!(args(&["--shards"]).is_err());
+        assert!(args(&["--shards", "0"]).is_err());
+        assert!(args(&["--shards", "x"]).is_err());
+        assert!(args(&["--frobnicate"]).is_err());
     }
 
     #[test]

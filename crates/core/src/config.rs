@@ -117,6 +117,49 @@ impl LearnedFtlConfig {
         let pages_per_row = total_chips * u64::from(pages_per_block);
         (pages_per_row / u64::from(mappings_per_page)).max(1) as usize
     }
+
+    /// Checks that a device (or one *shard* of a sharded frontend — any
+    /// shard-local geometry a constructor might receive) is large enough for
+    /// group-based allocation under this configuration: every group's
+    /// steady-state block rows plus the GC reserve must fit in the data
+    /// region.
+    ///
+    /// Returns the `(group_count, rows_needed, reserve_rows, data_rows)`
+    /// accounting on success, or a human-readable explanation of the
+    /// shortfall. `LearnedFtl::new` panics on the `Err`; sizing helpers
+    /// (e.g. the shard-scaling bench device) can call this to validate a
+    /// candidate geometry cheaply, without building the FTL.
+    pub fn group_capacity_check(
+        &self,
+        device: &ssd_sim::SsdConfig,
+    ) -> Result<(usize, usize, usize, usize), String> {
+        let geometry = device.geometry;
+        let mappings_per_page = geometry.page_size / ftl_base::MAPPING_ENTRY_BYTES;
+        let partition = ftl_base::BlockPartition::for_config(device, mappings_per_page);
+        let entries = device
+            .logical_pages()
+            .div_ceil(u64::from(mappings_per_page)) as usize;
+        let entries_per_group = self.effective_entries_per_group(
+            geometry.total_chips(),
+            geometry.pages_per_block,
+            mappings_per_page,
+        );
+        let pages_per_row = geometry.total_chips() * u64::from(geometry.pages_per_block);
+        let group_span_pages = entries_per_group as u64 * u64::from(mappings_per_page);
+        let rows_needed = group_span_pages.div_ceil(pages_per_row).max(1) as usize;
+        let reserve_rows = self.reserve_rows.max(rows_needed + 1);
+        let data_rows = partition.data_blocks_per_chip() as usize;
+        let group_count = entries.div_ceil(entries_per_group);
+        if group_count * rows_needed + reserve_rows <= data_rows {
+            Ok((group_count, rows_needed, reserve_rows, data_rows))
+        } else {
+            Err(format!(
+                "device too small for group-based allocation: {group_count} groups × \
+                 {rows_needed} rows + {reserve_rows} reserve rows exceeds the {data_rows} \
+                 data block rows; use a larger device or more over-provisioning"
+            ))
+        }
+    }
 }
 
 #[cfg(test)]
@@ -150,6 +193,31 @@ mod tests {
     fn cmt_entries_half_of_baseline() {
         let c = LearnedFtlConfig::default();
         assert_eq!(c.cmt_entries(100_000), 1500);
+    }
+
+    #[test]
+    fn group_capacity_check_accepts_shard_local_geometries() {
+        use ssd_sim::{Geometry, SsdConfig};
+        let c = LearnedFtlConfig::default();
+        // The standard presets pass.
+        assert!(c.group_capacity_check(&SsdConfig::tiny()).is_ok());
+        assert!(c.group_capacity_check(&SsdConfig::small()).is_ok());
+        // A 2-chip channel-group shard with 256-page blocks holds one full
+        // translation-page span per row: fine.
+        let shard = SsdConfig::tiny()
+            .with_geometry(Geometry::new(1, 2, 1, 16, 256, 4096))
+            .with_op_ratio(0.4);
+        let (groups, rows_needed, reserve, data_rows) =
+            c.group_capacity_check(&shard).expect("healthy shard");
+        assert_eq!(rows_needed, 1, "group span fits one block row");
+        assert!(groups + reserve <= data_rows);
+        // The same shard with 64-page blocks cannot host a 512-mapping span
+        // without multi-row groups, and runs out of rows.
+        let starved = SsdConfig::tiny()
+            .with_geometry(Geometry::new(1, 2, 1, 16, 64, 4096))
+            .with_op_ratio(0.4);
+        let err = c.group_capacity_check(&starved).unwrap_err();
+        assert!(err.contains("too small"), "{err}");
     }
 
     #[test]

@@ -51,24 +51,19 @@ impl LearnedFtl {
             device.geometry.pages_per_block,
             mappings_per_page,
         );
-        // One group allocation unit is a block row (one block per chip). A
-        // group whose LPN span needs `rows_needed` rows must be allowed to own
-        // at least one more than that, and GC needs that many rows of
-        // headroom to rewrite the group, so clamp the configured knobs.
-        let pages_per_row =
-            device.geometry.total_chips() * u64::from(device.geometry.pages_per_block);
-        let group_span_pages = entries_per_group as u64 * u64::from(mappings_per_page);
-        let rows_needed = group_span_pages.div_ceil(pages_per_row).max(1) as usize;
-        let reserve_rows = config.reserve_rows.max(rows_needed + 1);
+        // Any geometry may land here — the full device or one channel-group
+        // shard of a sharded frontend — so validate it carries the block
+        // rows this configuration needs, and build the allocator from the
+        // very numbers the check validated. A group whose LPN span needs
+        // `rows_needed` rows must be allowed to own at least one more than
+        // that (GC needs that much headroom to rewrite the group), so the
+        // configured knob is clamped.
+        let (_groups, rows_needed, reserve_rows, _data_rows) =
+            match config.group_capacity_check(&device) {
+                Ok(accounting) => accounting,
+                Err(why) => panic!("{why}"),
+            };
         let max_rows_per_group = config.max_rows_per_group.max(rows_needed + 1);
-        let data_rows = core.partition.data_blocks_per_chip() as usize;
-        let group_count = entries.div_ceil(entries_per_group);
-        assert!(
-            group_count * rows_needed + reserve_rows <= data_rows,
-            "device too small for group-based allocation: {group_count} groups × \
-             {rows_needed} rows + {reserve_rows} reserve rows exceeds the {data_rows} \
-             data block rows; use a larger device or more over-provisioning"
-        );
         let alloc = GroupAllocator::new(
             &core.partition,
             device.geometry,

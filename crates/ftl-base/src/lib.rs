@@ -53,10 +53,10 @@ pub use lru::LruCache;
 pub use mapping::MappingTable;
 pub use partition::BlockPartition;
 pub use request::{HostOp, HostRequest, Lpn, ReadClass};
-pub use stats::FtlStats;
+pub use stats::{FtlStats, FtlStatsSnapshot};
 pub use transpage::TransPageStore;
 
-use ssd_sim::{FlashDevice, SimTime};
+use ssd_sim::{DeviceStats, FlashDevice, SimTime};
 
 /// The interface every flash translation layer exposes to the experiment
 /// harness.
@@ -101,4 +101,76 @@ pub trait Ftl {
     /// Mutable access to the simulated device (used by the harness to reset
     /// device statistics between experiment phases).
     fn device_mut(&mut self) -> &mut FlashDevice;
+
+    /// Completion time of the latest in-flight flash operation across every
+    /// device this FTL owns. Monolithic FTLs own exactly one device; sharded
+    /// frontends override this to take the maximum across their shards.
+    fn drain_time(&self) -> SimTime {
+        self.device().drain_time()
+    }
+
+    /// Aggregate device statistics across every device this FTL owns (the
+    /// single device's counters by default; the field-wise sum for sharded
+    /// frontends).
+    fn device_stats(&self) -> DeviceStats {
+        *self.device().stats()
+    }
+
+    /// Resets the statistics of every device this FTL owns.
+    fn reset_device_stats(&mut self) {
+        self.device_mut().reset_stats();
+    }
+}
+
+/// Boxed FTLs are FTLs: forwarding impl so frontends generic over `F: Ftl`
+/// (e.g. a sharded router) can hold the trait objects the experiment
+/// harness's FTL registry produces.
+impl<F: Ftl + ?Sized> Ftl for Box<F> {
+    fn name(&self) -> &'static str {
+        (**self).name()
+    }
+
+    fn read(&mut self, lpn: Lpn, pages: u32, now: SimTime) -> SimTime {
+        (**self).read(lpn, pages, now)
+    }
+
+    fn write(&mut self, lpn: Lpn, pages: u32, now: SimTime) -> SimTime {
+        (**self).write(lpn, pages, now)
+    }
+
+    fn submit(&mut self, req: HostRequest, now: SimTime) -> SimTime {
+        (**self).submit(req, now)
+    }
+
+    fn stats(&self) -> &FtlStats {
+        (**self).stats()
+    }
+
+    fn reset_stats(&mut self) {
+        (**self).reset_stats()
+    }
+
+    fn logical_pages(&self) -> u64 {
+        (**self).logical_pages()
+    }
+
+    fn device(&self) -> &FlashDevice {
+        (**self).device()
+    }
+
+    fn device_mut(&mut self) -> &mut FlashDevice {
+        (**self).device_mut()
+    }
+
+    fn drain_time(&self) -> SimTime {
+        (**self).drain_time()
+    }
+
+    fn device_stats(&self) -> DeviceStats {
+        (**self).device_stats()
+    }
+
+    fn reset_device_stats(&mut self) {
+        (**self).reset_device_stats()
+    }
 }

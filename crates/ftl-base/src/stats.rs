@@ -134,6 +134,81 @@ impl FtlStats {
         self.gc_events.push(at);
     }
 
+    /// Takes a cheap, scalar-only snapshot of the current counters.
+    ///
+    /// Unlike cloning, this never copies the GC event history — it just
+    /// remembers how long it was — so a frontend that needs per-request
+    /// deltas (e.g. a sharded FTL merging shard counters into one aggregate
+    /// after every dispatch) stays O(1) per request instead of O(events).
+    pub fn snapshot(&self) -> FtlStatsSnapshot {
+        FtlStatsSnapshot {
+            host_read_pages: self.host_read_pages,
+            host_write_pages: self.host_write_pages,
+            cmt_hits: self.cmt_hits,
+            cmt_misses: self.cmt_misses,
+            model_hits: self.model_hits,
+            buffer_hits: self.buffer_hits,
+            unmapped_reads: self.unmapped_reads,
+            single_reads: self.single_reads,
+            double_reads: self.double_reads,
+            triple_reads: self.triple_reads,
+            data_page_writes: self.data_page_writes,
+            gc_page_writes: self.gc_page_writes,
+            gc_page_reads: self.gc_page_reads,
+            translation_writes: self.translation_writes,
+            translation_reads: self.translation_reads,
+            gc_count: self.gc_count,
+            blocks_erased: self.blocks_erased,
+            gc_events_len: self.gc_events.len(),
+            gc_flash_time: self.gc_flash_time,
+            sort_wall_time: self.sort_wall_time,
+            train_wall_time: self.train_wall_time,
+            models_trained: self.models_trained,
+            model_predictions: self.model_predictions,
+        }
+    }
+
+    /// Adds the growth of `current` since `snap` was taken into `self`.
+    ///
+    /// `snap` must be a snapshot of the *same* statistics object that
+    /// `current` refers to, taken earlier (counters are monotonic between
+    /// resets, so each field of `current` is `>=` the snapshot's).
+    ///
+    /// # Panics
+    ///
+    /// Debug-asserts that no counter moved backwards (which would indicate a
+    /// reset between snapshot and delta).
+    pub fn merge_delta(&mut self, snap: &FtlStatsSnapshot, current: &FtlStats) {
+        debug_assert!(
+            current.gc_events.len() >= snap.gc_events_len,
+            "stats were reset between snapshot and merge_delta"
+        );
+        self.host_read_pages += current.host_read_pages - snap.host_read_pages;
+        self.host_write_pages += current.host_write_pages - snap.host_write_pages;
+        self.cmt_hits += current.cmt_hits - snap.cmt_hits;
+        self.cmt_misses += current.cmt_misses - snap.cmt_misses;
+        self.model_hits += current.model_hits - snap.model_hits;
+        self.buffer_hits += current.buffer_hits - snap.buffer_hits;
+        self.unmapped_reads += current.unmapped_reads - snap.unmapped_reads;
+        self.single_reads += current.single_reads - snap.single_reads;
+        self.double_reads += current.double_reads - snap.double_reads;
+        self.triple_reads += current.triple_reads - snap.triple_reads;
+        self.data_page_writes += current.data_page_writes - snap.data_page_writes;
+        self.gc_page_writes += current.gc_page_writes - snap.gc_page_writes;
+        self.gc_page_reads += current.gc_page_reads - snap.gc_page_reads;
+        self.translation_writes += current.translation_writes - snap.translation_writes;
+        self.translation_reads += current.translation_reads - snap.translation_reads;
+        self.gc_count += current.gc_count - snap.gc_count;
+        self.blocks_erased += current.blocks_erased - snap.blocks_erased;
+        self.gc_events
+            .extend_from_slice(&current.gc_events[snap.gc_events_len..]);
+        self.gc_flash_time += current.gc_flash_time - snap.gc_flash_time;
+        self.sort_wall_time += current.sort_wall_time - snap.sort_wall_time;
+        self.train_wall_time += current.train_wall_time - snap.train_wall_time;
+        self.models_trained += current.models_trained - snap.models_trained;
+        self.model_predictions += current.model_predictions - snap.model_predictions;
+    }
+
     /// Merges another statistics object into this one (used when an
     /// experiment aggregates phases).
     pub fn merge(&mut self, other: &FtlStats) {
@@ -161,6 +236,38 @@ impl FtlStats {
         self.models_trained += other.models_trained;
         self.model_predictions += other.model_predictions;
     }
+}
+
+/// A scalar-only snapshot of an [`FtlStats`], taken with
+/// [`FtlStats::snapshot`] and consumed by [`FtlStats::merge_delta`].
+///
+/// Holds every counter by value plus the *length* of the GC event history
+/// (not the events themselves), so taking one is allocation-free.
+#[derive(Debug, Clone, Copy)]
+pub struct FtlStatsSnapshot {
+    host_read_pages: u64,
+    host_write_pages: u64,
+    cmt_hits: u64,
+    cmt_misses: u64,
+    model_hits: u64,
+    buffer_hits: u64,
+    unmapped_reads: u64,
+    single_reads: u64,
+    double_reads: u64,
+    triple_reads: u64,
+    data_page_writes: u64,
+    gc_page_writes: u64,
+    gc_page_reads: u64,
+    translation_writes: u64,
+    translation_reads: u64,
+    gc_count: u64,
+    blocks_erased: u64,
+    gc_events_len: usize,
+    gc_flash_time: Duration,
+    sort_wall_time: std::time::Duration,
+    train_wall_time: std::time::Duration,
+    models_trained: u64,
+    model_predictions: u64,
 }
 
 fn ratio(num: u64, den: u64) -> f64 {
@@ -218,6 +325,39 @@ mod tests {
         let s = FtlStats::new();
         assert_eq!(s.cmt_hit_ratio(), 0.0);
         assert_eq!(s.single_read_ratio(), 0.0);
+    }
+
+    #[test]
+    fn snapshot_delta_matches_full_merge() {
+        let mut live = FtlStats::new();
+        live.host_read_pages = 3;
+        live.record_gc(SimTime::from_micros(1));
+        let mut merged = FtlStats::new();
+        merged.host_read_pages = 100;
+
+        let snap = live.snapshot();
+        live.host_read_pages += 4;
+        live.cmt_hits += 2;
+        live.record_gc(SimTime::from_micros(9));
+        live.gc_flash_time += Duration::from_micros(5);
+
+        merged.merge_delta(&snap, &live);
+        assert_eq!(merged.host_read_pages, 104, "only the delta is added");
+        assert_eq!(merged.cmt_hits, 2);
+        assert_eq!(merged.gc_count, 1);
+        assert_eq!(merged.gc_events, vec![SimTime::from_micros(9)]);
+        assert_eq!(merged.gc_flash_time, Duration::from_micros(5));
+    }
+
+    #[test]
+    fn snapshot_delta_of_unchanged_stats_is_noop() {
+        let mut live = FtlStats::new();
+        live.host_write_pages = 7;
+        let snap = live.snapshot();
+        let mut merged = FtlStats::new();
+        merged.merge_delta(&snap, &live);
+        assert_eq!(merged.host_write_pages, 0);
+        assert!(merged.gc_events.is_empty());
     }
 
     #[test]

@@ -1,0 +1,195 @@
+//! Static striped partitioning of the logical page space across shards.
+
+use ftl_base::Lpn;
+
+/// One shard-local piece of a host request, produced by [`ShardMap::split`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ShardSegment {
+    /// The shard the piece routes to.
+    pub shard: usize,
+    /// The first shard-local LPN of the piece.
+    pub local_lpn: Lpn,
+    /// Number of consecutive shard-local pages.
+    pub pages: u32,
+}
+
+/// The LPN routing function: global LPNs are striped round-robin across `n`
+/// shards (`shard = lpn % n`, `local = lpn / n`).
+///
+/// Striping — rather than contiguous range partitioning — is what production
+/// FTLs do to spread both random *and* sequential host traffic across all
+/// translation engines: a run of consecutive LPNs touches every shard, and
+/// within each shard it lands on consecutive shard-local LPNs, so per-shard
+/// sequential locality (and with it the FTLs' learned/cached index behaviour)
+/// is preserved.
+///
+/// ```
+/// use ftl_shard::ShardMap;
+/// let map = ShardMap::new(4);
+/// assert_eq!(map.shard_of(9), 1);
+/// assert_eq!(map.local_lpn(9), 2);
+/// assert_eq!(map.global_lpn(1, 2), 9);
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ShardMap {
+    shards: u64,
+}
+
+impl ShardMap {
+    /// Creates a map striping across `shards` shards.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `shards` is zero.
+    pub fn new(shards: usize) -> Self {
+        assert!(shards > 0, "need at least one shard");
+        ShardMap {
+            shards: shards as u64,
+        }
+    }
+
+    /// Number of shards.
+    pub fn shards(&self) -> usize {
+        self.shards as usize
+    }
+
+    /// The shard that owns `lpn`.
+    pub fn shard_of(&self, lpn: Lpn) -> usize {
+        (lpn % self.shards) as usize
+    }
+
+    /// The shard-local LPN of `lpn` within its shard.
+    pub fn local_lpn(&self, lpn: Lpn) -> Lpn {
+        lpn / self.shards
+    }
+
+    /// The global LPN of a shard-local LPN (inverse of
+    /// [`ShardMap::shard_of`] + [`ShardMap::local_lpn`]).
+    pub fn global_lpn(&self, shard: usize, local: Lpn) -> Lpn {
+        local * self.shards + shard as u64
+    }
+
+    /// Splits a host request of `pages` consecutive global LPNs starting at
+    /// `lpn` into its per-shard pieces, ordered by first global LPN touched.
+    ///
+    /// Consecutive global LPNs stripe round-robin, so the piece for each
+    /// shard covers *consecutive shard-local* LPNs. With one shard the
+    /// request passes through unchanged.
+    pub fn split(&self, lpn: Lpn, pages: u32) -> Vec<ShardSegment> {
+        let n = self.shards;
+        if n == 1 {
+            return vec![ShardSegment {
+                shard: 0,
+                local_lpn: lpn,
+                pages,
+            }];
+        }
+        let span = u64::from(pages);
+        let touched = span.min(n);
+        let mut segments = Vec::with_capacity(touched as usize);
+        for offset in 0..touched {
+            let first = lpn + offset;
+            // Pages of this request owned by `first`'s shard: first, first+n, ...
+            let count = (span - offset).div_ceil(n);
+            segments.push(ShardSegment {
+                shard: self.shard_of(first),
+                local_lpn: self.local_lpn(first),
+                pages: count as u32,
+            });
+        }
+        segments
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    #[test]
+    fn single_shard_is_identity() {
+        let map = ShardMap::new(1);
+        assert_eq!(map.shard_of(123), 0);
+        assert_eq!(map.local_lpn(123), 123);
+        assert_eq!(
+            map.split(10, 7),
+            vec![ShardSegment {
+                shard: 0,
+                local_lpn: 10,
+                pages: 7
+            }]
+        );
+    }
+
+    #[test]
+    fn striping_round_robins_consecutive_lpns() {
+        let map = ShardMap::new(4);
+        let shards: Vec<usize> = (0..8).map(|l| map.shard_of(l)).collect();
+        assert_eq!(shards, vec![0, 1, 2, 3, 0, 1, 2, 3]);
+        assert_eq!(map.local_lpn(6), 1);
+    }
+
+    #[test]
+    fn split_covers_every_page_exactly_once() {
+        let map = ShardMap::new(4);
+        // 6 pages starting at LPN 5: shards 1,2,3,0 with 2,2,1,1 pages.
+        let segs = map.split(5, 6);
+        assert_eq!(segs.len(), 4);
+        assert_eq!(segs[0].shard, 1);
+        assert_eq!(segs[0].pages, 2);
+        let total: u32 = segs.iter().map(|s| s.pages).sum();
+        assert_eq!(total, 6);
+    }
+
+    #[test]
+    fn split_of_small_request_touches_few_shards() {
+        let map = ShardMap::new(8);
+        let segs = map.split(21, 1);
+        assert_eq!(segs.len(), 1);
+        assert_eq!(segs[0].shard, 5);
+        assert_eq!(segs[0].local_lpn, 2);
+        assert_eq!(segs[0].pages, 1);
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one shard")]
+    fn zero_shards_rejected() {
+        ShardMap::new(0);
+    }
+
+    proptest! {
+        #[test]
+        fn prop_roundtrip(lpn in 0u64..1_000_000, shards in 1usize..16) {
+            let map = ShardMap::new(shards);
+            let (s, local) = (map.shard_of(lpn), map.local_lpn(lpn));
+            prop_assert!(s < shards);
+            prop_assert_eq!(map.global_lpn(s, local), lpn);
+        }
+
+        #[test]
+        fn prop_split_partitions_request(
+            lpn in 0u64..100_000,
+            pages in 1u32..96,
+            shards in 1usize..12,
+        ) {
+            let map = ShardMap::new(shards);
+            let segs = map.split(lpn, pages);
+            // Rebuild the set of global LPNs from the segments.
+            let mut covered: Vec<u64> = segs
+                .iter()
+                .flat_map(|seg| {
+                    (0..u64::from(seg.pages))
+                        .map(move |k| map.global_lpn(seg.shard, seg.local_lpn + k))
+                })
+                .collect();
+            covered.sort_unstable();
+            let expected: Vec<u64> = (lpn..lpn + u64::from(pages)).collect();
+            prop_assert_eq!(covered, expected);
+            // No shard appears twice.
+            let mut seen: Vec<usize> = segs.iter().map(|s| s.shard).collect();
+            seen.sort_unstable();
+            seen.dedup();
+            prop_assert_eq!(seen.len(), segs.len());
+        }
+    }
+}

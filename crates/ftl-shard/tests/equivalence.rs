@@ -1,0 +1,190 @@
+//! The sharding layer's core contracts:
+//!
+//! * with one shard, `ShardedFtl` is a *transparent* wrapper — the same
+//!   single-stream request sequence produces bit-for-bit identical
+//!   completion times, FTL statistics and device counters as the bare FTL,
+//! * with several shards, concurrent single-page reads spread across the
+//!   shards' serial translation engines and finish earlier than through one
+//!   engine,
+//! * aggregate statistics are exactly the field-wise sum of the shards'.
+
+use baselines::{BaselineConfig, Dftl};
+use ftl_base::Ftl;
+use ftl_shard::{ShardMap, ShardedFtl};
+use ssd_sim::{SimTime, SsdConfig};
+use workloads::{FioPattern, FioWorkload, Workload};
+
+fn bare() -> Dftl {
+    Dftl::new(SsdConfig::tiny(), BaselineConfig::default())
+}
+
+fn sharded(n: usize) -> ShardedFtl<Dftl> {
+    ShardedFtl::build_with(SsdConfig::tiny(), n, |_, cfg| {
+        Dftl::new(cfg, BaselineConfig::default())
+    })
+}
+
+/// Drives a single-stream closed loop (each request issues at the previous
+/// completion, starting once the device has drained — exactly like the
+/// harness's runners) and returns every completion time.
+fn drive_single_stream(ftl: &mut dyn Ftl, wl: &mut dyn Workload) -> Vec<SimTime> {
+    assert_eq!(wl.streams(), 1);
+    let mut completions = Vec::new();
+    let mut t = ftl.drain_time();
+    while let Some(req) = wl.next_request(0) {
+        t = ftl.submit(req, t);
+        completions.push(t);
+    }
+    completions
+}
+
+fn mixed_workload() -> FioWorkload {
+    // Write-heavy then read phases both covered: random writes force CMT
+    // evictions, GC and translation flushes through the sharding layer.
+    FioWorkload::new(FioPattern::RandWrite, 4_000, 1, 4, 900, 7)
+}
+
+#[test]
+fn one_shard_is_bit_for_bit_transparent() {
+    let mut plain = bare();
+    let mut wrapped = sharded(1);
+    assert_eq!(plain.logical_pages(), wrapped.logical_pages());
+
+    let plain_done = drive_single_stream(&mut plain, &mut mixed_workload());
+    let wrapped_done = drive_single_stream(&mut wrapped, &mut mixed_workload());
+    assert_eq!(
+        plain_done, wrapped_done,
+        "every completion time must match exactly"
+    );
+
+    // Now a read phase over the written space.
+    let mut reads = FioWorkload::new(FioPattern::RandRead, 4_000, 1, 1, 600, 11);
+    let mut reads2 = FioWorkload::new(FioPattern::RandRead, 4_000, 1, 1, 600, 11);
+    let plain_done = drive_single_stream(&mut plain, &mut reads);
+    let wrapped_done = drive_single_stream(&mut wrapped, &mut reads2);
+    assert_eq!(plain_done, wrapped_done);
+
+    // Same statistics, field for field.
+    let (a, b) = (plain.stats(), wrapped.stats());
+    assert_eq!(a.host_read_pages, b.host_read_pages);
+    assert_eq!(a.host_write_pages, b.host_write_pages);
+    assert_eq!(a.cmt_hits, b.cmt_hits);
+    assert_eq!(a.cmt_misses, b.cmt_misses);
+    assert_eq!(a.double_reads, b.double_reads);
+    assert_eq!(a.data_page_writes, b.data_page_writes);
+    assert_eq!(a.translation_reads, b.translation_reads);
+    assert_eq!(a.translation_writes, b.translation_writes);
+    assert_eq!(a.gc_count, b.gc_count);
+    assert_eq!(a.gc_events, b.gc_events);
+    assert_eq!(a.gc_flash_time, b.gc_flash_time);
+    assert_eq!(plain.device_stats(), wrapped.device_stats());
+    // The sharded frontend's drain also covers its translation engines, which
+    // stay busy through a request's final channel transfer — so it may end a
+    // few microseconds after the bare device's chip-only drain, never before.
+    assert!(wrapped.drain_time() >= plain.drain_time());
+}
+
+#[test]
+fn shards_parallelise_concurrent_reads() {
+    let run = |n: usize| {
+        let mut ftl = sharded(n);
+        let logical = ftl.logical_pages();
+        // Populate every LPN so reads are mapped, then issue a burst of
+        // single-page reads that all arrive at the drained device.
+        let t0 = workloads::warmup::sequential_fill(&mut ftl, 8, 1, SimTime::ZERO);
+        let t0 = t0.max(ftl.drain_time());
+        let mut last = t0;
+        for k in 0..64u64 {
+            let lpn = (k * 97) % logical;
+            last = last.max(ftl.read(lpn, 1, t0));
+        }
+        last - t0
+    };
+    let serial = run(1);
+    let parallel = run(2);
+    assert!(
+        parallel < serial,
+        "two translation engines must finish a concurrent burst earlier \
+         ({parallel} vs {serial})"
+    );
+}
+
+#[test]
+fn merged_stats_are_the_sum_of_shard_stats() {
+    let mut ftl = sharded(2);
+    let mut wl = mixed_workload();
+    drive_single_stream(&mut ftl, &mut wl);
+
+    let merged = ftl.stats().clone();
+    let mut summed = ftl_base::FtlStats::new();
+    for i in 0..ftl.shard_count() {
+        summed.merge(ftl.shard(i).stats());
+    }
+    assert_eq!(merged.host_write_pages, summed.host_write_pages);
+    assert_eq!(merged.data_page_writes, summed.data_page_writes);
+    assert_eq!(merged.translation_writes, summed.translation_writes);
+    assert_eq!(merged.gc_count, summed.gc_count);
+    assert_eq!(merged.blocks_erased, summed.blocks_erased);
+
+    let mut dev_sum = ssd_sim::DeviceStats::new();
+    for i in 0..ftl.shard_count() {
+        dev_sum.merge(ftl.shard(i).device().stats());
+    }
+    assert_eq!(ftl.device_stats(), dev_sum);
+
+    // Both shards actually served traffic.
+    for i in 0..ftl.shard_count() {
+        assert!(
+            ftl.shard(i).stats().host_write_pages > 0,
+            "striping must route work to shard {i}"
+        );
+    }
+}
+
+#[test]
+fn reset_clears_shards_and_aggregate() {
+    let mut ftl = sharded(2);
+    drive_single_stream(&mut ftl, &mut mixed_workload());
+    assert!(ftl.stats().host_write_pages > 0);
+    ftl.reset_stats();
+    ftl.reset_device_stats();
+    assert_eq!(ftl.stats().host_write_pages, 0);
+    assert_eq!(ftl.device_stats().programs, 0);
+    for i in 0..ftl.shard_count() {
+        assert_eq!(ftl.shard(i).stats().host_write_pages, 0);
+    }
+}
+
+#[test]
+fn multi_page_requests_split_and_cover_all_shards() {
+    let mut ftl = sharded(2);
+    let t = ftl.write(0, 8, SimTime::ZERO);
+    assert!(t > SimTime::ZERO);
+    assert_eq!(ftl.stats().host_write_pages, 8);
+    assert_eq!(ftl.shard(0).stats().host_write_pages, 4);
+    assert_eq!(ftl.shard(1).stats().host_write_pages, 4);
+    let map = ShardMap::new(2);
+    assert_eq!(map.split(0, 8).len(), 2);
+}
+
+#[test]
+fn shard_config_divides_channel_groups() {
+    let base = SsdConfig::small(); // 4 channels
+    let cfg = ShardedFtl::<Dftl>::shard_config(base, 4);
+    assert_eq!(cfg.geometry.channels, 1);
+    assert_eq!(
+        cfg.geometry.chips_per_channel,
+        base.geometry.chips_per_channel
+    );
+    assert_eq!(
+        cfg.geometry.total_chips() * 4,
+        base.geometry.total_chips(),
+        "four shards partition the chips exactly"
+    );
+}
+
+#[test]
+#[should_panic(expected = "must divide")]
+fn shard_config_rejects_non_divisor() {
+    ShardedFtl::<Dftl>::shard_config(SsdConfig::tiny(), 3);
+}

@@ -5,14 +5,15 @@
 //! a steady state (Section IV-B), reset the statistics, then run the measured
 //! workload through the closed-loop [`Runner`].
 
-use ssd_sim::SsdConfig;
+use ftl_base::Ftl;
+use ssd_sim::{Duration, SsdConfig};
 use workloads::{
     warmup, FilebenchPreset, FilebenchWorkload, FioPattern, FioWorkload, RocksDbPhase,
     RocksDbWorkload, SyntheticTrace, TraceKind,
 };
 
 use crate::kind::FtlKind;
-use crate::result::RunResult;
+use crate::result::{RunResult, ShardedRunResult};
 use crate::runner::Runner;
 
 /// How much work each experiment does. The paper's runs write the device six
@@ -52,6 +53,65 @@ impl ExperimentScale {
     }
 }
 
+/// Warm-up seed shared by every FIO protocol. Kept in one place (with
+/// [`FIO_WORKLOAD_SEED`]) because the cross-protocol bit-for-bit comparisons
+/// — QD1 vs legacy, sharded shards=1 vs plain — require identically prepared
+/// devices and identical request streams.
+const FIO_WARMUP_SEED: u64 = 0xFEED;
+/// Measured-phase workload seed shared by every FIO protocol.
+const FIO_WORKLOAD_SEED: u64 = 0xBEEF;
+/// Arrival-process seed of the open-loop protocol.
+const OPEN_LOOP_ARRIVAL_SEED: u64 = 0xA11CE;
+
+/// The measured FIO phase every protocol runs: 4 KiB requests over the FTL's
+/// whole logical space from `threads` streams.
+fn fio_measured_workload(
+    logical_pages: u64,
+    pattern: FioPattern,
+    threads: usize,
+    scale: ExperimentScale,
+) -> FioWorkload {
+    FioWorkload::new(
+        pattern,
+        logical_pages,
+        threads,
+        1,
+        scale.ops_per_stream,
+        FIO_WORKLOAD_SEED,
+    )
+}
+
+/// Applies the paper's read-experiment warm-up and builds the measured
+/// workload. Every FIO *read* protocol — plain, queue-depth, sharded, open
+/// loop — goes through here, so they all measure the identically warmed
+/// device with the identical request stream.
+fn warm_and_workload_read(
+    ftl: &mut dyn Ftl,
+    pattern: FioPattern,
+    threads: usize,
+    scale: ExperimentScale,
+) -> FioWorkload {
+    warmup::paper_warmup(
+        ftl,
+        scale.warmup_io_pages,
+        scale.warmup_overwrites,
+        FIO_WARMUP_SEED,
+    );
+    fio_measured_workload(ftl.logical_pages(), pattern, threads, scale)
+}
+
+/// The write-experiment counterpart of [`warm_and_workload_read`]: one
+/// sequential fill, then the measured write phase.
+fn warm_and_workload_write(
+    ftl: &mut dyn Ftl,
+    pattern: FioPattern,
+    threads: usize,
+    scale: ExperimentScale,
+) -> FioWorkload {
+    warmup::sequential_fill(ftl, scale.warmup_io_pages, 1, ssd_sim::SimTime::ZERO);
+    fio_measured_workload(ftl.logical_pages(), pattern, threads, scale)
+}
+
 /// Warm-up + FIO read phase (the protocol behind Figures 2, 3, 6, 14-read).
 ///
 /// The device is first written over `scale.warmup_overwrites + 1` times with
@@ -82,20 +142,7 @@ fn warmed_fio_read_setup(
     scale: ExperimentScale,
 ) -> (Box<dyn ftl_base::Ftl>, FioWorkload) {
     let mut ftl = kind.build(device);
-    warmup::paper_warmup(
-        ftl.as_mut(),
-        scale.warmup_io_pages,
-        scale.warmup_overwrites,
-        0xFEED,
-    );
-    let wl = FioWorkload::new(
-        pattern,
-        ftl.logical_pages(),
-        threads,
-        1,
-        scale.ops_per_stream,
-        0xBEEF,
-    );
+    let wl = warm_and_workload_read(ftl.as_mut(), pattern, threads, scale);
     (ftl, wl)
 }
 
@@ -117,6 +164,78 @@ pub fn fio_qd_run(
     Runner::new().run_qd(ftl.as_mut(), &mut wl, depth)
 }
 
+/// Like [`fio_qd_run`], but through a sharded FTL frontend
+/// ([`FtlKind::build_sharded`]) and [`Runner::run_sharded_qd`], so the result
+/// carries the per-shard lane breakdown. `shards == 1` is the unsharded
+/// reference point of the shard-scaling sweep (`fig23_shard_scaling`): the
+/// one-shard frontend is a transparent wrapper around the plain FTL.
+pub fn fio_qd_sharded_run(
+    kind: FtlKind,
+    pattern: FioPattern,
+    threads: usize,
+    depth: usize,
+    shards: usize,
+    device: SsdConfig,
+    scale: ExperimentScale,
+) -> ShardedRunResult {
+    assert!(pattern.is_read(), "the shard-scaling sweep measures reads");
+    let mut ftl = kind.build_sharded(device, shards);
+    let mut wl = warm_and_workload_read(&mut ftl, pattern, threads, scale);
+    Runner::new().run_sharded_qd(&mut ftl, &mut wl, depth)
+}
+
+/// Warm-up + FIO read phase with *open-loop* Poisson arrivals
+/// ([`Runner::run_open_loop`]) through a sharded frontend: the
+/// latency-vs-offered-load protocol of `fig23_shard_scaling`. The offered
+/// load is `1 / mean_interarrival`; `shards == 1` gives the unsharded
+/// reference curve.
+pub fn fio_open_loop_run(
+    kind: FtlKind,
+    pattern: FioPattern,
+    threads: usize,
+    shards: usize,
+    mean_interarrival: Duration,
+    device: SsdConfig,
+    scale: ExperimentScale,
+) -> RunResult {
+    assert!(pattern.is_read(), "the open-loop sweep measures reads");
+    let mut ftl = kind.build_sharded(device, shards);
+    let mut wl = warm_and_workload_read(&mut ftl, pattern, threads, scale);
+    Runner::new().run_open_loop(&mut ftl, &mut wl, mean_interarrival, OPEN_LOOP_ARRIVAL_SEED)
+}
+
+/// Warm-up + closed-loop FIO read phase against an FTL sharded `shards` ways
+/// (`1` = the plain monolithic FTL): what `fig14 --shards N` runs.
+pub fn fio_read_sharded_run(
+    kind: FtlKind,
+    pattern: FioPattern,
+    threads: usize,
+    shards: usize,
+    device: SsdConfig,
+    scale: ExperimentScale,
+) -> RunResult {
+    assert!(pattern.is_read(), "use fio_write_sharded_run for writes");
+    let mut ftl = kind.build_maybe_sharded(device, shards);
+    let mut wl = warm_and_workload_read(ftl.as_mut(), pattern, threads, scale);
+    Runner::new().run(ftl.as_mut(), &mut wl)
+}
+
+/// Warm-up + closed-loop FIO write phase against an FTL sharded `shards`
+/// ways (`1` = the plain monolithic FTL).
+pub fn fio_write_sharded_run(
+    kind: FtlKind,
+    pattern: FioPattern,
+    threads: usize,
+    shards: usize,
+    device: SsdConfig,
+    scale: ExperimentScale,
+) -> RunResult {
+    assert!(!pattern.is_read(), "use fio_read_sharded_run for reads");
+    let mut ftl = kind.build_maybe_sharded(device, shards);
+    let mut wl = warm_and_workload_write(ftl.as_mut(), pattern, threads, scale);
+    Runner::new().run(ftl.as_mut(), &mut wl)
+}
+
 /// Warm-up + FIO write phase (Figures 14-write, 16, 17, 18a).
 pub fn fio_write_run(
     kind: FtlKind,
@@ -127,20 +246,7 @@ pub fn fio_write_run(
 ) -> RunResult {
     assert!(!pattern.is_read(), "use fio_read_run for read patterns");
     let mut ftl = kind.build(device);
-    warmup::sequential_fill(
-        ftl.as_mut(),
-        scale.warmup_io_pages,
-        1,
-        ssd_sim::SimTime::ZERO,
-    );
-    let mut wl = FioWorkload::new(
-        pattern,
-        ftl.logical_pages(),
-        threads,
-        1,
-        scale.ops_per_stream,
-        0xBEEF,
-    );
+    let mut wl = warm_and_workload_write(ftl.as_mut(), pattern, threads, scale);
     Runner::new().run(ftl.as_mut(), &mut wl)
 }
 

@@ -2,6 +2,7 @@
 
 use baselines::{BaselineConfig, Dftl, IdealFtl, LeaFtl, Tpftl};
 use ftl_base::Ftl;
+use ftl_shard::ShardedFtl;
 use learnedftl::{LearnedFtl, LearnedFtlConfig};
 use ssd_sim::SsdConfig;
 
@@ -55,6 +56,41 @@ impl FtlKind {
             BaselineConfig::default(),
             LearnedFtlConfig::default(),
         )
+    }
+
+    /// Builds the FTL sharded across `shards` per-channel-group partitions:
+    /// each shard is a complete instance of this design over its channel
+    /// group's geometry, with the paper's default parameters scaled to the
+    /// shard (fractional knobs follow the shard's logical space on their
+    /// own; absolute DRAM budgets like LeaFTL's write buffer are split
+    /// evenly — [`BaselineConfig::for_shard`]).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `shards` is zero or does not divide the device's channel
+    /// count.
+    pub fn build_sharded(self, device: SsdConfig, shards: usize) -> ShardedFtl<Box<dyn Ftl>> {
+        let baseline = BaselineConfig::default().for_shard(shards);
+        let learned = LearnedFtlConfig::default();
+        ShardedFtl::build_with(device, shards, |_, shard_cfg| {
+            self.build_with(shard_cfg, baseline, learned)
+        })
+    }
+
+    /// Builds either the plain FTL (`shards == 1`) or the sharded frontend
+    /// boxed behind the [`Ftl`] trait, for callers that only need the common
+    /// interface (e.g. the `--shards N` flag of the figure binaries).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `shards` is zero or does not divide the device's channel
+    /// count.
+    pub fn build_maybe_sharded(self, device: SsdConfig, shards: usize) -> Box<dyn Ftl> {
+        if shards == 1 {
+            self.build(device)
+        } else {
+            Box::new(self.build_sharded(device, shards))
+        }
     }
 
     /// Builds the FTL with explicit baseline / LearnedFTL parameters.

@@ -4,11 +4,15 @@
 //! device and measures what the paper's figures report.
 //!
 //! * [`FtlKind`] — the five FTL designs under comparison, buildable by name,
-//! * [`Runner`] — the closed-loop host model: N streams (FIO threads), each
-//!   issuing its next request when the previous one completes, with chip
-//!   contention emerging from the device's per-chip timelines,
+//!   plain or sharded across per-channel-group partitions
+//!   ([`FtlKind::build_sharded`]),
+//! * [`Runner`] — the host models: the closed-loop reference (`run`), the
+//!   queue-depth-bounded NVMe model (`run_qd`), the shard-aware variant with
+//!   per-shard lanes (`run_sharded_qd`) and open-loop Poisson arrivals
+//!   (`run_open_loop`),
 //! * [`RunResult`] — throughput, latency percentiles, hit ratios, multi-read
-//!   breakdown, write amplification, GC and energy inputs for one run,
+//!   breakdown, write amplification, GC and energy inputs for one run
+//!   ([`ShardedRunResult`] adds the per-shard breakdown),
 //! * [`experiments`] — canned warm-up + measurement routines shared by the
 //!   figure-reproduction binaries and the integration tests.
 //!
@@ -33,5 +37,5 @@ mod result;
 mod runner;
 
 pub use kind::FtlKind;
-pub use result::RunResult;
+pub use result::{RunResult, ShardLane, ShardedRunResult};
 pub use runner::{Runner, RunnerConfig};

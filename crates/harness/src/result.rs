@@ -104,6 +104,43 @@ impl RunResult {
     }
 }
 
+/// The measurements attributed to one shard of a sharded run: how many
+/// requests routed to it and their latency distribution.
+#[derive(Debug, Clone)]
+pub struct ShardLane {
+    /// The shard index.
+    pub shard: usize,
+    /// Requests whose first LPN routed to this shard.
+    pub requests: u64,
+    /// Arrival-to-completion latencies of those requests.
+    pub latencies: LatencyHistogram,
+}
+
+/// A [`RunResult`] plus the per-shard breakdown recorded by
+/// [`crate::Runner::run_sharded_qd`]. The aggregate result's latency
+/// histogram is the merge of the lanes'.
+#[derive(Debug, Clone)]
+pub struct ShardedRunResult {
+    /// The whole-run measurements (what an unsharded run would report).
+    pub result: RunResult,
+    /// One lane per shard, indexed by shard.
+    pub lanes: Vec<ShardLane>,
+}
+
+impl ShardedRunResult {
+    /// Ratio of the busiest lane's request count to the ideal uniform share
+    /// (`1.0` = perfectly balanced, `shards` = everything on one shard).
+    /// Zero when the run had no requests.
+    pub fn lane_imbalance(&self) -> f64 {
+        let total: u64 = self.lanes.iter().map(|l| l.requests).sum();
+        if total == 0 {
+            return 0.0;
+        }
+        let busiest = self.lanes.iter().map(|l| l.requests).max().unwrap_or(0);
+        busiest as f64 * self.lanes.len() as f64 / total as f64
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -130,6 +167,30 @@ mod tests {
         assert!((a.mib_per_sec() - 2.0).abs() < 1e-9);
         assert!((a.normalized_throughput(&b) - 2.0).abs() < 1e-9);
         assert_eq!(a.normalized_throughput(&result(0, 1000)), 0.0);
+    }
+
+    #[test]
+    fn lane_imbalance_measures_skew() {
+        let lane = |shard: usize, requests: u64| ShardLane {
+            shard,
+            requests,
+            latencies: LatencyHistogram::new(),
+        };
+        let balanced = ShardedRunResult {
+            result: result(0, 1),
+            lanes: vec![lane(0, 50), lane(1, 50)],
+        };
+        assert!((balanced.lane_imbalance() - 1.0).abs() < 1e-9);
+        let skewed = ShardedRunResult {
+            result: result(0, 1),
+            lanes: vec![lane(0, 100), lane(1, 0)],
+        };
+        assert!((skewed.lane_imbalance() - 2.0).abs() < 1e-9);
+        let empty = ShardedRunResult {
+            result: result(0, 1),
+            lanes: vec![lane(0, 0)],
+        };
+        assert_eq!(empty.lane_imbalance(), 0.0);
     }
 
     #[test]

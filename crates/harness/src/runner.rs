@@ -4,11 +4,14 @@ use std::cmp::Reverse;
 use std::collections::BinaryHeap;
 
 use ftl_base::{Ftl, HostOp};
+use ftl_shard::ShardedFtl;
 use metrics::LatencyHistogram;
-use ssd_sim::SimTime;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use ssd_sim::{Duration, SimTime};
 use workloads::Workload;
 
-use crate::result::RunResult;
+use crate::result::{RunResult, ShardLane, ShardedRunResult};
 
 /// Options for a measurement run.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -62,12 +65,12 @@ impl Runner {
     pub fn run(&self, ftl: &mut dyn Ftl, workload: &mut dyn Workload) -> RunResult {
         if self.config.reset_stats_before_run {
             ftl.reset_stats();
-            ftl.device_mut().reset_stats();
+            ftl.reset_device_stats();
         }
         // Never issue the first requests "in the past" of a device that is
         // still draining warm-up traffic: that would bill warm-up queueing to
         // the measured phase.
-        let start = self.config.start.max(ftl.device().drain_time());
+        let start = self.config.start.max(ftl.drain_time());
         let page_size = ftl.device().geometry().page_size;
 
         let mut ready: BinaryHeap<Reverse<(SimTime, usize)>> = (0..workload.streams())
@@ -106,7 +109,7 @@ impl Runner {
             latencies,
             queueing: LatencyHistogram::new(),
             stats: ftl.stats().clone(),
-            device: *ftl.device().stats(),
+            device: ftl.device_stats(),
         }
     }
 
@@ -137,9 +140,9 @@ impl Runner {
         assert!(depth > 0, "queue depth must be at least 1");
         if self.config.reset_stats_before_run {
             ftl.reset_stats();
-            ftl.device_mut().reset_stats();
+            ftl.reset_device_stats();
         }
-        let start = self.config.start.max(ftl.device().drain_time());
+        let start = self.config.start.max(ftl.drain_time());
         let page_size = ftl.device().geometry().page_size;
 
         let mut queue = ssd_sched::QueuePair::new(depth);
@@ -181,9 +184,198 @@ impl Runner {
             latencies,
             queueing,
             stats: ftl.stats().clone(),
-            device: *ftl.device().stats(),
+            device: ftl.device_stats(),
         }
     }
+
+    /// Runs the workload through a sharded FTL frontend with a bounded host
+    /// queue, recording a per-shard breakdown on top of everything
+    /// [`Runner::run_qd`] measures.
+    ///
+    /// The host model is identical to [`Runner::run_qd`] — `depth` slots
+    /// shared by all streams, recycled at the earliest completion — but each
+    /// request is also attributed to the shard that owns its first LPN, so
+    /// the result exposes per-shard request counts and latency distributions
+    /// (the aggregate histogram is their merge, which stays sorted and cheap
+    /// because each lane records in completion order). Shard imbalance and
+    /// per-engine queueing are exactly what the shard-scaling experiment
+    /// (`fig23_shard_scaling`) needs to explain its curves.
+    ///
+    /// Like [`Runner::run`] vs [`Runner::run_qd`], this deliberately repeats
+    /// the bounded-queue loop rather than sharing it: the two paths must
+    /// stay independently auditable, and the
+    /// `run_sharded_qd_agrees_with_run_qd_on_the_same_frontend` test pins
+    /// them together. Behavioral changes to the accounting in either must be
+    /// mirrored in the other.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `depth` is zero.
+    pub fn run_sharded_qd<F: Ftl>(
+        &self,
+        ftl: &mut ShardedFtl<F>,
+        workload: &mut dyn Workload,
+        depth: usize,
+    ) -> ShardedRunResult {
+        assert!(depth > 0, "queue depth must be at least 1");
+        if self.config.reset_stats_before_run {
+            ftl.reset_stats();
+            ftl.reset_device_stats();
+        }
+        let start = self.config.start.max(ftl.drain_time());
+        let page_size = ftl.device().geometry().page_size;
+
+        let mut queue = ssd_sched::QueuePair::new(depth);
+        let mut ready: BinaryHeap<Reverse<(SimTime, usize)>> = (0..workload.streams())
+            .map(|s| Reverse((start, s)))
+            .collect();
+        let mut lanes: Vec<ShardLane> = (0..ftl.shard_count())
+            .map(|shard| ShardLane {
+                shard,
+                requests: 0,
+                latencies: LatencyHistogram::new(),
+            })
+            .collect();
+        let mut queueing = LatencyHistogram::new();
+        let mut requests = 0u64;
+        let mut read_pages = 0u64;
+        let mut write_pages = 0u64;
+        let mut bytes = 0u64;
+        let mut last_completion = start;
+
+        while let Some(Reverse((arrival, stream))) = ready.pop() {
+            let Some(req) = workload.next_request(stream) else {
+                continue; // stream exhausted; do not re-queue
+            };
+            let (issue, completion) = queue.submit(arrival, |issue| ftl.submit(req, issue));
+            let lane = ftl.map().shard_of(req.lpn);
+            lanes[lane].requests += 1;
+            lanes[lane].latencies.record(completion - arrival);
+            queueing.record(issue - arrival);
+            requests += 1;
+            bytes += req.bytes(page_size);
+            match req.op {
+                HostOp::Read => read_pages += u64::from(req.pages),
+                HostOp::Write => write_pages += u64::from(req.pages),
+            }
+            last_completion = last_completion.max(completion);
+            ready.push(Reverse((completion, stream)));
+        }
+
+        let mut latencies = LatencyHistogram::new();
+        for lane in &mut lanes {
+            lane.latencies.finalize();
+            latencies.merge(&lane.latencies);
+        }
+        ShardedRunResult {
+            result: RunResult {
+                ftl_name: ftl.name().to_string(),
+                requests,
+                read_pages,
+                write_pages,
+                bytes,
+                elapsed: last_completion - start,
+                latencies,
+                queueing,
+                stats: ftl.stats().clone(),
+                device: ftl.device_stats(),
+            },
+            lanes,
+        }
+    }
+
+    /// Runs the workload with *open-loop* arrivals: requests arrive on a
+    /// seeded Poisson process (exponential inter-arrival times with the given
+    /// mean) independent of when earlier requests complete, cycling
+    /// round-robin over the workload's streams.
+    ///
+    /// Where the closed-loop runners measure *saturation* throughput, this
+    /// measures latency at an *offered load* (`1 / mean_interarrival`
+    /// requests per second): below saturation latencies sit near service
+    /// time, and as the offered load approaches the device's capacity the
+    /// queueing in the device and the FTL frontend blows the tail up. There
+    /// is no host queue bound — arrivals are exogenous — so
+    /// [`RunResult::queueing`] stays empty; frontend waiting is part of each
+    /// request's latency.
+    ///
+    /// The arrival process is deterministic for a given `seed`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `mean_interarrival` is zero.
+    pub fn run_open_loop(
+        &self,
+        ftl: &mut dyn Ftl,
+        workload: &mut dyn Workload,
+        mean_interarrival: Duration,
+        seed: u64,
+    ) -> RunResult {
+        assert!(
+            mean_interarrival > Duration::ZERO,
+            "mean inter-arrival time must be positive"
+        );
+        if self.config.reset_stats_before_run {
+            ftl.reset_stats();
+            ftl.reset_device_stats();
+        }
+        let start = self.config.start.max(ftl.drain_time());
+        let page_size = ftl.device().geometry().page_size;
+        let streams = workload.streams();
+
+        let mut rng = StdRng::seed_from_u64(seed);
+        let mut latencies = LatencyHistogram::new();
+        let mut requests = 0u64;
+        let mut read_pages = 0u64;
+        let mut write_pages = 0u64;
+        let mut bytes = 0u64;
+        let mut arrival = start;
+        let mut last_completion = start;
+        let mut exhausted = 0usize;
+        let mut stream = 0usize;
+
+        while exhausted < streams {
+            let Some(req) = workload.next_request(stream) else {
+                exhausted += 1;
+                stream = (stream + 1) % streams;
+                continue;
+            };
+            exhausted = 0;
+            stream = (stream + 1) % streams;
+            let completion = ftl.submit(req, arrival);
+            latencies.record(completion - arrival);
+            requests += 1;
+            bytes += req.bytes(page_size);
+            match req.op {
+                HostOp::Read => read_pages += u64::from(req.pages),
+                HostOp::Write => write_pages += u64::from(req.pages),
+            }
+            last_completion = last_completion.max(completion);
+            arrival += exponential(&mut rng, mean_interarrival);
+        }
+
+        RunResult {
+            ftl_name: ftl.name().to_string(),
+            requests,
+            read_pages,
+            write_pages,
+            bytes,
+            elapsed: last_completion - start,
+            latencies,
+            queueing: LatencyHistogram::new(),
+            stats: ftl.stats().clone(),
+            device: ftl.device_stats(),
+        }
+    }
+}
+
+/// Draws one exponentially distributed inter-arrival gap with the given mean
+/// (the increment of a Poisson arrival process), never shorter than 1 ns so
+/// the arrival clock always advances.
+fn exponential(rng: &mut StdRng, mean: Duration) -> Duration {
+    let u: f64 = rng.gen();
+    // u is uniform in [0, 1); 1-u is in (0, 1], so ln is finite.
+    let gap = -(1.0 - u).ln() * mean.as_nanos() as f64;
+    Duration::from_nanos((gap as u64).max(1))
 }
 
 #[cfg(test)]
@@ -301,6 +493,116 @@ mod tests {
         assert!(
             shallow.mean_queueing() > deep.mean_queueing(),
             "a shallow queue must show more queueing delay"
+        );
+    }
+
+    fn warmed_sharded(kind: FtlKind, shards: usize) -> ShardedFtl<Box<dyn Ftl>> {
+        let mut ftl = kind.build_sharded(SsdConfig::tiny(), shards);
+        let mut fill = FioWorkload::new(FioPattern::SeqWrite, 4000, 1, 8, 500, 1);
+        Runner::new().run(&mut ftl, &mut fill);
+        ftl
+    }
+
+    #[test]
+    fn sharded_qd1_single_stream_matches_legacy_bit_for_bit() {
+        // The shards=1 mirror of qd1_single_stream_matches_legacy_run: one
+        // shard, one stream, depth 1 must reproduce the plain FTL's blocking
+        // closed loop exactly — the sharding layer adds no distortion.
+        let wl = || FioWorkload::new(FioPattern::RandRead, 4000, 1, 1, 300, 11);
+        let mut legacy_ftl = warmed_ftl(FtlKind::Dftl);
+        let legacy = Runner::new().run(legacy_ftl.as_mut(), &mut wl());
+        let mut sharded_ftl = warmed_sharded(FtlKind::Dftl, 1);
+        let sharded = Runner::new().run_sharded_qd(&mut sharded_ftl, &mut wl(), 1);
+        let qd = &sharded.result;
+        assert_eq!(qd.requests, legacy.requests);
+        assert_eq!(qd.elapsed, legacy.elapsed);
+        assert_eq!(qd.latencies.mean(), legacy.latencies.mean());
+        assert_eq!(qd.latencies.max(), legacy.latencies.max());
+        assert_eq!(qd.stats.host_read_pages, legacy.stats.host_read_pages);
+        assert_eq!(qd.stats.cmt_hits, legacy.stats.cmt_hits);
+        assert_eq!(qd.stats.double_reads, legacy.stats.double_reads);
+        assert_eq!(qd.device.reads, legacy.device.reads);
+        assert_eq!(sharded.lanes.len(), 1);
+        assert_eq!(sharded.lanes[0].requests, legacy.requests);
+    }
+
+    #[test]
+    fn run_sharded_qd_agrees_with_run_qd_on_the_same_frontend() {
+        // run_sharded_qd is run_qd plus lane bookkeeping: driving identical
+        // sharded frontends through both paths must measure the same run.
+        let wl = || FioWorkload::new(FioPattern::RandRead, 4000, 4, 1, 100, 13);
+        let mut a = warmed_sharded(FtlKind::Dftl, 2);
+        let plain = Runner::new().run_qd(&mut a, &mut wl(), 4);
+        let mut b = warmed_sharded(FtlKind::Dftl, 2);
+        let sharded = Runner::new().run_sharded_qd(&mut b, &mut wl(), 4);
+        assert_eq!(sharded.result.requests, plain.requests);
+        assert_eq!(sharded.result.elapsed, plain.elapsed);
+        assert_eq!(sharded.result.latencies.mean(), plain.latencies.mean());
+        assert_eq!(sharded.result.latencies.max(), plain.latencies.max());
+        let lane_total: u64 = sharded.lanes.iter().map(|l| l.requests).sum();
+        assert_eq!(lane_total, plain.requests);
+        assert!(sharded.lane_imbalance() >= 1.0);
+    }
+
+    #[test]
+    fn two_shards_outperform_one_at_depth() {
+        let run = |shards: usize| {
+            let mut ftl = warmed_sharded(FtlKind::Dftl, shards);
+            let mut wl = FioWorkload::new(FioPattern::RandRead, 4000, 8, 1, 50, 17);
+            Runner::new().run_sharded_qd(&mut ftl, &mut wl, 8)
+        };
+        let one = run(1);
+        let two = run(2);
+        assert!(
+            two.result.iops() > one.result.iops(),
+            "two translation engines must beat one at depth 8 ({} vs {})",
+            two.result.iops(),
+            one.result.iops()
+        );
+    }
+
+    #[test]
+    fn open_loop_latency_grows_with_offered_load() {
+        let run = |mean_us: u64| {
+            let mut ftl = warmed_ftl(FtlKind::Ideal);
+            let mut wl = FioWorkload::new(FioPattern::RandRead, 4000, 4, 1, 250, 23);
+            Runner::new().run_open_loop(ftl.as_mut(), &mut wl, Duration::from_micros(mean_us), 42)
+        };
+        // 1 request per 400us is far below tiny's capacity; 1 per 5us is far
+        // above it (a 4-chip device serves roughly one read per 10us).
+        let light = run(400);
+        let heavy = run(5);
+        assert_eq!(light.requests, heavy.requests);
+        assert!(
+            heavy.latencies.mean() > light.latencies.mean().saturating_mul(3),
+            "offered load beyond capacity must inflate latency ({} vs {})",
+            heavy.latencies.mean(),
+            light.latencies.mean()
+        );
+        assert!(
+            light.latencies.max() < Duration::from_millis(1),
+            "light load must stay near service time, saw {}",
+            light.latencies.max()
+        );
+        assert_eq!(light.queueing.count(), 0, "open loop has no host queue");
+    }
+
+    #[test]
+    fn open_loop_arrivals_are_deterministic_per_seed() {
+        let run = |seed: u64| {
+            let mut ftl = warmed_ftl(FtlKind::Ideal);
+            let mut wl = FioWorkload::new(FioPattern::RandRead, 4000, 2, 1, 200, 29);
+            Runner::new().run_open_loop(ftl.as_mut(), &mut wl, Duration::from_micros(50), seed)
+        };
+        let a = run(7);
+        let b = run(7);
+        assert_eq!(a.elapsed, b.elapsed);
+        assert_eq!(a.latencies.mean(), b.latencies.mean());
+        assert_eq!(a.latencies.max(), b.latencies.max());
+        let c = run(8);
+        assert!(
+            c.elapsed != a.elapsed || c.latencies.mean() != a.latencies.mean(),
+            "a different seed must produce a different arrival process"
         );
     }
 

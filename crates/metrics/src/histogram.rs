@@ -8,6 +8,13 @@ use ssd_sim::Duration;
 /// keeps every sample (the experiments issue at most a few million requests)
 /// so percentiles are exact rather than bucketed approximations.
 ///
+/// The histogram tracks whether its samples are already in order, so sorting
+/// work is only ever paid once: recording a non-decreasing stream never
+/// sorts, [`LatencyHistogram::merge`] of two sorted histograms performs an
+/// O(n+m) merge instead of invalidating the order, and a percentile query
+/// after out-of-order inserts sorts exactly once (or eagerly via
+/// [`LatencyHistogram::finalize`]).
+///
 /// ```
 /// use metrics::LatencyHistogram;
 /// use ssd_sim::Duration;
@@ -16,13 +23,24 @@ use ssd_sim::Duration;
 /// for us in 1..=100 {
 ///     h.record(Duration::from_micros(us));
 /// }
+/// assert!(h.is_sorted(), "monotone recording never needs a sort");
 /// assert_eq!(h.percentile(0.99), Duration::from_micros(99));
 /// assert_eq!(h.max(), Duration::from_micros(100));
 /// ```
-#[derive(Debug, Clone, Default)]
+#[derive(Debug, Clone)]
 pub struct LatencyHistogram {
     samples: Vec<Duration>,
     sorted: bool,
+}
+
+impl Default for LatencyHistogram {
+    fn default() -> Self {
+        LatencyHistogram {
+            samples: Vec::new(),
+            // An empty sample set is trivially ordered.
+            sorted: true,
+        }
+    }
 }
 
 impl LatencyHistogram {
@@ -31,10 +49,13 @@ impl LatencyHistogram {
         Self::default()
     }
 
-    /// Records one latency sample.
+    /// Records one latency sample. Appending in non-decreasing order keeps
+    /// the histogram sorted, so percentile queries stay free of sorting.
     pub fn record(&mut self, latency: Duration) {
+        if self.sorted && self.samples.last().is_some_and(|&last| last > latency) {
+            self.sorted = false;
+        }
         self.samples.push(latency);
-        self.sorted = false;
     }
 
     /// Number of samples recorded.
@@ -56,9 +77,28 @@ impl LatencyHistogram {
         Duration::from_nanos((total / self.samples.len() as u128) as u64)
     }
 
-    /// The maximum latency, or zero when empty.
+    /// The maximum latency, or zero when empty. O(1) once sorted.
     pub fn max(&self) -> Duration {
+        if self.sorted {
+            return self.samples.last().copied().unwrap_or(Duration::ZERO);
+        }
         self.samples.iter().copied().max().unwrap_or(Duration::ZERO)
+    }
+
+    /// Whether the samples are currently held in non-decreasing order (so a
+    /// percentile query would not need to sort).
+    pub fn is_sorted(&self) -> bool {
+        self.sorted
+    }
+
+    /// Sorts the samples now, so later [`LatencyHistogram::percentile`] /
+    /// [`LatencyHistogram::p99`] / [`LatencyHistogram::p999`] calls are pure
+    /// lookups. Idempotent; a no-op when already sorted.
+    pub fn finalize(&mut self) {
+        if !self.sorted {
+            self.samples.sort_unstable();
+            self.sorted = true;
+        }
     }
 
     /// The latency at quantile `q` in `[0, 1]` (e.g. `0.99` for P99), or zero
@@ -72,10 +112,7 @@ impl LatencyHistogram {
         if self.samples.is_empty() {
             return Duration::ZERO;
         }
-        if !self.sorted {
-            self.samples.sort_unstable();
-            self.sorted = true;
-        }
+        self.finalize();
         let rank = ((self.samples.len() as f64) * q).ceil() as usize;
         let idx = rank.clamp(1, self.samples.len()) - 1;
         self.samples[idx]
@@ -92,7 +129,38 @@ impl LatencyHistogram {
     }
 
     /// Merges another histogram's samples into this one.
+    ///
+    /// When both sides are already sorted (the common case when aggregating
+    /// per-shard histograms that each recorded in completion order) the two
+    /// runs are merged in O(n+m) and the result stays sorted, so the P99 /
+    /// P99.9 / percentile reads that follow never pay a full re-sort.
     pub fn merge(&mut self, other: &LatencyHistogram) {
+        if other.samples.is_empty() {
+            return;
+        }
+        if self.samples.is_empty() {
+            self.samples.extend_from_slice(&other.samples);
+            self.sorted = other.sorted;
+            return;
+        }
+        if self.sorted && other.sorted {
+            let mut merged = Vec::with_capacity(self.samples.len() + other.samples.len());
+            let (a, b) = (&self.samples, &other.samples);
+            let (mut i, mut j) = (0, 0);
+            while i < a.len() && j < b.len() {
+                if a[i] <= b[j] {
+                    merged.push(a[i]);
+                    i += 1;
+                } else {
+                    merged.push(b[j]);
+                    j += 1;
+                }
+            }
+            merged.extend_from_slice(&a[i..]);
+            merged.extend_from_slice(&b[j..]);
+            self.samples = merged;
+            return;
+        }
         self.samples.extend_from_slice(&other.samples);
         self.sorted = false;
     }
@@ -149,6 +217,70 @@ mod tests {
         a.merge(&b);
         assert_eq!(a.count(), 2);
         assert_eq!(a.mean(), Duration::from_micros(20));
+    }
+
+    #[test]
+    fn monotone_recording_stays_sorted() {
+        let mut h = LatencyHistogram::new();
+        assert!(h.is_sorted());
+        for us in [1u64, 1, 2, 5, 5, 9] {
+            h.record(Duration::from_micros(us));
+        }
+        assert!(h.is_sorted(), "non-decreasing stream must not invalidate");
+        h.record(Duration::from_micros(3));
+        assert!(!h.is_sorted());
+        h.finalize();
+        assert!(h.is_sorted());
+        assert_eq!(h.max(), Duration::from_micros(9));
+    }
+
+    #[test]
+    fn merge_of_sorted_histograms_stays_sorted() {
+        let mut a = LatencyHistogram::new();
+        let mut b = LatencyHistogram::new();
+        for us in [1u64, 4, 9] {
+            a.record(Duration::from_micros(us));
+        }
+        for us in [2u64, 3, 20] {
+            b.record(Duration::from_micros(us));
+        }
+        a.merge(&b);
+        assert!(a.is_sorted(), "sorted runs must merge without a re-sort");
+        assert_eq!(a.count(), 6);
+        assert_eq!(a.percentile(0.5), Duration::from_micros(3));
+        assert_eq!(a.max(), Duration::from_micros(20));
+    }
+
+    #[test]
+    fn merge_into_empty_adopts_other_order() {
+        let mut unsorted = LatencyHistogram::new();
+        unsorted.record(Duration::from_micros(9));
+        unsorted.record(Duration::from_micros(1));
+        assert!(!unsorted.is_sorted());
+        let mut empty = LatencyHistogram::new();
+        empty.merge(&unsorted);
+        assert!(!empty.is_sorted());
+        assert_eq!(empty.percentile(0.0), Duration::from_micros(1));
+
+        let mut sorted = LatencyHistogram::new();
+        sorted.record(Duration::from_micros(1));
+        sorted.record(Duration::from_micros(2));
+        let mut empty2 = LatencyHistogram::new();
+        empty2.merge(&sorted);
+        assert!(empty2.is_sorted());
+    }
+
+    #[test]
+    fn merge_with_unsorted_side_still_correct() {
+        let mut a = LatencyHistogram::new();
+        a.record(Duration::from_micros(7));
+        a.record(Duration::from_micros(2)); // unsorted now
+        let mut b = LatencyHistogram::new();
+        b.record(Duration::from_micros(5));
+        a.merge(&b);
+        assert_eq!(a.count(), 3);
+        assert_eq!(a.percentile(0.5), Duration::from_micros(5));
+        assert_eq!(a.max(), Duration::from_micros(7));
     }
 
     #[test]

@@ -12,6 +12,10 @@
 //! * [`QueuePair`] — an NVMe-style bounded submission/completion queue pair
 //!   modelling the host interface at a configurable queue depth; the
 //!   experiment harness threads this through its `run_qd` mode,
+//! * [`MultiIssuer`] — a bank of serial issue engines modelling the FTL
+//!   frontend's translation cores: one issuer per FTL shard, each processing
+//!   one request at a time (the `ftl-shard` crate routes every shard's
+//!   traffic through one of these),
 //! * [`IoScheduler`] — per-chip command queues with out-of-order completion
 //!   and host-vs-GC arbitration: GC commands yield to host commands on the
 //!   same chip, but never more than [`SchedConfig::gc_starvation_bound`]
@@ -48,10 +52,12 @@
 
 mod cmd;
 mod event;
+mod multi;
 mod queue;
 mod sched;
 
 pub use cmd::{CmdId, CmdKind, Command, Completion, Priority};
 pub use event::EventQueue;
+pub use multi::{MultiIssuer, MultiIssuerStats};
 pub use queue::QueuePair;
 pub use sched::{IoScheduler, SchedConfig, SchedError, SchedStats};

@@ -69,6 +69,18 @@ impl DeviceStats {
         self.programs - self.translation_programs
     }
 
+    /// Adds another device's counters into this one, field by field.
+    ///
+    /// Used by multi-device frontends (e.g. a sharded FTL, where each shard
+    /// owns its own device) to report one aggregate `DeviceStats`.
+    pub fn merge(&mut self, other: &DeviceStats) {
+        self.reads += other.reads;
+        self.programs += other.programs;
+        self.erases += other.erases;
+        self.translation_reads += other.translation_reads;
+        self.translation_programs += other.translation_programs;
+    }
+
     /// Returns the difference `self - earlier`, field by field.
     ///
     /// Useful for computing the traffic of a single experiment phase after a
@@ -119,6 +131,23 @@ mod tests {
         assert_eq!(d.reads, 1);
         assert_eq!(d.programs, 1);
         assert_eq!(d.erases, 0);
+    }
+
+    #[test]
+    fn merge_adds_every_field() {
+        let mut a = DeviceStats::new();
+        a.record(FlashOp::Read, true);
+        a.record(FlashOp::Program, false);
+        let mut b = DeviceStats::new();
+        b.record(FlashOp::Read, false);
+        b.record(FlashOp::Program, true);
+        b.record(FlashOp::Erase, false);
+        a.merge(&b);
+        assert_eq!(a.reads, 2);
+        assert_eq!(a.translation_reads, 1);
+        assert_eq!(a.programs, 2);
+        assert_eq!(a.translation_programs, 1);
+        assert_eq!(a.erases, 1);
     }
 
     #[test]

@@ -13,6 +13,7 @@
 
 pub use baselines;
 pub use ftl_base;
+pub use ftl_shard;
 pub use harness;
 pub use learned_index;
 pub use learnedftl;
@@ -25,10 +26,11 @@ pub use workloads;
 pub mod prelude {
     pub use baselines::{Dftl, IdealFtl, LeaFtl, Tpftl};
     pub use ftl_base::{Ftl, FtlStats, HostOp, HostRequest};
-    pub use harness::{FtlKind, Runner, RunnerConfig};
+    pub use ftl_shard::{ShardMap, ShardedFtl};
+    pub use harness::{FtlKind, Runner, RunnerConfig, ShardedRunResult};
     pub use learnedftl::{LearnedFtl, LearnedFtlConfig};
     pub use metrics::{EnergyModel, LatencyHistogram};
-    pub use ssd_sched::{IoScheduler, QueuePair, SchedConfig};
+    pub use ssd_sched::{IoScheduler, MultiIssuer, QueuePair, SchedConfig};
     pub use ssd_sim::{FlashDevice, SsdConfig};
     pub use workloads::{FioPattern, FioWorkload};
 }
