@@ -1,5 +1,7 @@
 //! Shared configuration knobs for the baseline FTLs.
 
+use ftl_base::GcMode;
+
 /// Tunables shared by the baseline FTLs.
 ///
 /// The defaults reproduce the paper's experimental setup (Section IV-A):
@@ -19,6 +21,10 @@ pub struct BaselineConfig {
     pub buffer_pages: usize,
     /// LeaFTL's learned-segment error bound γ.
     pub gamma: f64,
+    /// How garbage collection executes: as the legacy blocking detour, or
+    /// scheduled through the I/O scheduler's GC priority class so it
+    /// contends with host traffic per chip.
+    pub gc_mode: GcMode,
 }
 
 impl Default for BaselineConfig {
@@ -29,6 +35,7 @@ impl Default for BaselineConfig {
             gc_watermark: 0,
             buffer_pages: 2048,
             gamma: 4.0,
+            gc_mode: GcMode::Blocking,
         }
     }
 }
@@ -68,6 +75,12 @@ impl BaselineConfig {
     pub fn with_gamma(mut self, gamma: f64) -> Self {
         assert!(gamma.is_finite() && gamma >= 0.0, "gamma must be >= 0");
         self.gamma = gamma;
+        self
+    }
+
+    /// Returns a copy with a different GC execution mode.
+    pub fn with_gc_mode(mut self, mode: GcMode) -> Self {
+        self.gc_mode = mode;
         self
     }
 

@@ -1,6 +1,6 @@
 //! DFTL: demand-based page-level FTL with an entry-granular mapping cache.
 
-use ftl_base::{DynamicDataPool, EntryCmt, Ftl, FtlCore, FtlStats, Lpn, ReadClass};
+use ftl_base::{DynamicDataPool, EntryCmt, Ftl, FtlCore, FtlStats, GcMode, Lpn, ReadClass};
 use ssd_sim::{FlashDevice, SimTime, SsdConfig};
 
 use crate::config::BaselineConfig;
@@ -24,7 +24,7 @@ pub struct Dftl {
 impl Dftl {
     /// Creates a DFTL instance over a fresh device.
     pub fn new(config: SsdConfig, baseline: BaselineConfig) -> Self {
-        let core = FtlCore::new(config);
+        let core = FtlCore::with_gc_mode(config, baseline.gc_mode);
         let pool = DynamicDataPool::new(
             &core.partition,
             config.geometry.pages_per_block,
@@ -41,14 +41,20 @@ impl Dftl {
 
     fn collect_garbage(&mut self, now: SimTime) -> SimTime {
         let cmt = &mut self.cmt;
-        gc_until_headroom(&mut self.core, &mut self.pool, now, |core, outcome, t| {
+        // Under scheduled GC the collection is planned inside a staging
+        // window (state commits, flash time becomes a background GcJob) and
+        // the host barrier stays at `now`; under blocking GC the window is a
+        // no-op and the barrier advances to the collection's end.
+        self.core.begin_background_gc();
+        let done = gc_until_headroom(&mut self.core, &mut self.pool, now, |core, outcome, t| {
             // Keep cached copies of moved mappings coherent, then persist the
             // affected translation pages.
             for mv in &outcome.moves {
                 cmt.refresh_if_cached(mv.lpn, mv.new_ppn);
             }
             core.flush_translation_entries(&outcome.dirty_entries, t)
-        })
+        });
+        self.core.finish_background_gc(now, done)
     }
 
     /// Handles an eviction from the CMT: if the evicted mapping is dirty, all
@@ -84,6 +90,7 @@ impl Ftl for Dftl {
     }
 
     fn read(&mut self, lpn: Lpn, pages: u32, now: SimTime) -> SimTime {
+        self.core.begin_host_batch();
         let mut done = now;
         for l in lpn..lpn + u64::from(pages) {
             if l >= self.core.logical_pages() {
@@ -109,10 +116,11 @@ impl Ftl for Dftl {
             let t = self.core.read_data(ppn, t_evict);
             done = done.max(t);
         }
-        done
+        self.core.finish_host_batch(done)
     }
 
     fn write(&mut self, lpn: Lpn, pages: u32, now: SimTime) -> SimTime {
+        self.core.begin_host_batch();
         let mut barrier = now;
         let mut done = now;
         for l in lpn..lpn + u64::from(pages) {
@@ -134,7 +142,7 @@ impl Ftl for Dftl {
             }
             done = done.max(t_write).max(barrier);
         }
-        done
+        self.core.finish_host_batch(done)
     }
 
     fn stats(&self) -> &FtlStats {
@@ -155,6 +163,14 @@ impl Ftl for Dftl {
 
     fn device_mut(&mut self) -> &mut FlashDevice {
         &mut self.core.dev
+    }
+
+    fn gc_mode(&self) -> GcMode {
+        self.core.gc_mode()
+    }
+
+    fn drain_gc(&mut self) -> SimTime {
+        self.core.drain_gc()
     }
 }
 

@@ -1,6 +1,6 @@
 //! The ideal FTL: a full page-level mapping table held entirely in DRAM.
 
-use ftl_base::{DynamicDataPool, Ftl, FtlCore, FtlStats, Lpn, ReadClass};
+use ftl_base::{DynamicDataPool, Ftl, FtlCore, FtlStats, GcMode, Lpn, ReadClass};
 use ssd_sim::{FlashDevice, SimTime, SsdConfig};
 
 use crate::config::BaselineConfig;
@@ -22,7 +22,7 @@ pub struct IdealFtl {
 impl IdealFtl {
     /// Creates an ideal FTL over a fresh device.
     pub fn new(config: SsdConfig, baseline: BaselineConfig) -> Self {
-        let core = FtlCore::new(config);
+        let core = FtlCore::with_gc_mode(config, baseline.gc_mode);
         let pool = DynamicDataPool::new(
             &core.partition,
             config.geometry.pages_per_block,
@@ -34,7 +34,9 @@ impl IdealFtl {
     fn collect_garbage(&mut self, now: SimTime) -> SimTime {
         // The ideal FTL keeps its whole mapping in DRAM, so GC never charges
         // translation-page traffic.
-        gc_until_headroom(&mut self.core, &mut self.pool, now, |_core, _outcome, t| t)
+        self.core.begin_background_gc();
+        let done = gc_until_headroom(&mut self.core, &mut self.pool, now, |_core, _outcome, t| t);
+        self.core.finish_background_gc(now, done)
     }
 }
 
@@ -44,6 +46,7 @@ impl Ftl for IdealFtl {
     }
 
     fn read(&mut self, lpn: Lpn, pages: u32, now: SimTime) -> SimTime {
+        self.core.begin_host_batch();
         let mut done = now;
         for l in lpn..lpn + u64::from(pages) {
             if l >= self.core.logical_pages() {
@@ -58,10 +61,11 @@ impl Ftl for IdealFtl {
             let t = self.core.read_data(ppn, now);
             done = done.max(t);
         }
-        done
+        self.core.finish_host_batch(done)
     }
 
     fn write(&mut self, lpn: Lpn, pages: u32, now: SimTime) -> SimTime {
+        self.core.begin_host_batch();
         let mut barrier = now;
         let mut done = now;
         for l in lpn..lpn + u64::from(pages) {
@@ -77,7 +81,7 @@ impl Ftl for IdealFtl {
             let t = self.core.program_data(l, ppn, barrier);
             done = done.max(t);
         }
-        done
+        self.core.finish_host_batch(done)
     }
 
     fn stats(&self) -> &FtlStats {
@@ -98,6 +102,14 @@ impl Ftl for IdealFtl {
 
     fn device_mut(&mut self) -> &mut FlashDevice {
         &mut self.core.dev
+    }
+
+    fn gc_mode(&self) -> GcMode {
+        self.core.gc_mode()
+    }
+
+    fn drain_gc(&mut self) -> SimTime {
+        self.core.drain_gc()
     }
 }
 

@@ -2,7 +2,7 @@
 
 use std::collections::HashSet;
 
-use ftl_base::{DynamicDataPool, Ftl, FtlCore, FtlStats, Lpn, LruCache, ReadClass};
+use ftl_base::{DynamicDataPool, Ftl, FtlCore, FtlStats, GcMode, Lpn, LruCache, ReadClass};
 use learned_index::{GreedyPlr, LogStructuredSegments, Point};
 use ssd_sim::{ppn_to_vppn, vppn_to_ppn, FlashDevice, PageState, SimTime, SsdConfig};
 
@@ -46,7 +46,7 @@ pub struct LeaFtl {
 impl LeaFtl {
     /// Creates a LeaFTL instance over a fresh device.
     pub fn new(config: SsdConfig, baseline: BaselineConfig) -> Self {
-        let core = FtlCore::new(config);
+        let core = FtlCore::with_gc_mode(config, baseline.gc_mode);
         let pool = DynamicDataPool::new(
             &core.partition,
             config.geometry.pages_per_block,
@@ -199,7 +199,10 @@ impl LeaFtl {
         let model_cache = &mut self.model_cache;
         let cached_cost = &mut self.cached_cost;
         let gamma = self.gamma;
-        gc_until_headroom(&mut self.core, &mut self.pool, now, |core, outcome, t| {
+        // See Dftl::collect_garbage: staging window + background job under
+        // scheduled GC, plain blocking detour otherwise.
+        self.core.begin_background_gc();
+        let done = gc_until_headroom(&mut self.core, &mut self.pool, now, |core, outcome, t| {
             // Moved pages invalidate the affected groups' segments: retrain
             // each group from the authoritative mapping table and drop it from
             // the model cache (it must be re-read from flash on next use).
@@ -221,7 +224,8 @@ impl LeaFtl {
                 }
             }
             core.flush_translation_entries(&outcome.dirty_entries, t)
-        })
+        });
+        self.core.finish_background_gc(now, done)
     }
 }
 
@@ -231,6 +235,7 @@ impl Ftl for LeaFtl {
     }
 
     fn read(&mut self, lpn: Lpn, pages: u32, now: SimTime) -> SimTime {
+        self.core.begin_host_batch();
         let mut done = now;
         for l in lpn..lpn + u64::from(pages) {
             if l >= self.core.logical_pages() {
@@ -290,10 +295,11 @@ impl Ftl for LeaFtl {
             self.core.stats.record_read_class(class);
             done = done.max(t);
         }
-        done
+        self.core.finish_host_batch(done)
     }
 
     fn write(&mut self, lpn: Lpn, pages: u32, now: SimTime) -> SimTime {
+        self.core.begin_host_batch();
         let mut done = now;
         for l in lpn..lpn + u64::from(pages) {
             if l >= self.core.logical_pages() {
@@ -305,7 +311,7 @@ impl Ftl for LeaFtl {
                 done = done.max(self.flush_buffer(now));
             }
         }
-        done
+        self.core.finish_host_batch(done)
     }
 
     fn stats(&self) -> &FtlStats {
@@ -326,6 +332,14 @@ impl Ftl for LeaFtl {
 
     fn device_mut(&mut self) -> &mut FlashDevice {
         &mut self.core.dev
+    }
+
+    fn gc_mode(&self) -> GcMode {
+        self.core.gc_mode()
+    }
+
+    fn drain_gc(&mut self) -> SimTime {
+        self.core.drain_gc()
     }
 }
 

@@ -1,7 +1,7 @@
 //! TPFTL: a two-level CMT with spatial-locality prefetching.
 
 use ftl_base::{
-    dirty_mappings, DynamicDataPool, Ftl, FtlCore, FtlStats, Lpn, PageNodeCmt, ReadClass,
+    dirty_mappings, DynamicDataPool, Ftl, FtlCore, FtlStats, GcMode, Lpn, PageNodeCmt, ReadClass,
 };
 use ssd_sim::{FlashDevice, SimTime, SsdConfig};
 
@@ -31,7 +31,7 @@ pub struct Tpftl {
 impl Tpftl {
     /// Creates a TPFTL instance over a fresh device.
     pub fn new(config: SsdConfig, baseline: BaselineConfig) -> Self {
-        let core = FtlCore::new(config);
+        let core = FtlCore::with_gc_mode(config, baseline.gc_mode);
         let pool = DynamicDataPool::new(
             &core.partition,
             config.geometry.pages_per_block,
@@ -61,14 +61,18 @@ impl Tpftl {
 
     fn collect_garbage(&mut self, now: SimTime) -> SimTime {
         let cmt = &mut self.cmt;
-        gc_until_headroom(&mut self.core, &mut self.pool, now, |core, outcome, t| {
+        // See Dftl::collect_garbage: staging window + background job under
+        // scheduled GC, plain blocking detour otherwise.
+        self.core.begin_background_gc();
+        let done = gc_until_headroom(&mut self.core, &mut self.pool, now, |core, outcome, t| {
             for mv in &outcome.moves {
                 let tpn = core.entry_of_lpn(mv.lpn);
                 let offset = core.offset_of_lpn(mv.lpn);
                 cmt.refresh_if_cached(tpn, offset, mv.new_ppn);
             }
             core.flush_translation_entries(&outcome.dirty_entries, t)
-        })
+        });
+        self.core.finish_background_gc(now, done)
     }
 
     /// Writes back the dirty mappings of evicted CMT nodes. Each node costs
@@ -115,6 +119,7 @@ impl Ftl for Tpftl {
     }
 
     fn read(&mut self, lpn: Lpn, pages: u32, now: SimTime) -> SimTime {
+        self.core.begin_host_batch();
         let mut done = now;
         for l in lpn..lpn + u64::from(pages) {
             if l >= self.core.logical_pages() {
@@ -138,10 +143,11 @@ impl Ftl for Tpftl {
             let t = self.core.read_data(ppn, ready);
             done = done.max(t);
         }
-        done
+        self.core.finish_host_batch(done)
     }
 
     fn write(&mut self, lpn: Lpn, pages: u32, now: SimTime) -> SimTime {
+        self.core.begin_host_batch();
         let mut barrier = now;
         let mut done = now;
         for l in lpn..lpn + u64::from(pages) {
@@ -163,7 +169,7 @@ impl Ftl for Tpftl {
             }
             done = done.max(t_write).max(barrier);
         }
-        done
+        self.core.finish_host_batch(done)
     }
 
     fn stats(&self) -> &FtlStats {
@@ -184,6 +190,14 @@ impl Ftl for Tpftl {
 
     fn device_mut(&mut self) -> &mut FlashDevice {
         &mut self.core.dev
+    }
+
+    fn gc_mode(&self) -> GcMode {
+        self.core.gc_mode()
+    }
+
+    fn drain_gc(&mut self) -> SimTime {
+        self.core.drain_gc()
     }
 }
 

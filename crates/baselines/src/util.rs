@@ -8,6 +8,17 @@ use ssd_sim::SimTime;
 /// with no garbage). `on_outcome` is invoked after every collected block so
 /// the concrete FTL can refresh its cached mappings / models and charge any
 /// translation-page writes; it returns the new simulated time.
+///
+/// Each collected victim is reported to the core as one finished collection
+/// unit ([`FtlCore::note_gc_unit_end`]), which feeds the GC timeline: under
+/// blocking GC the unit ends when its translation flush returns; under
+/// scheduled GC (the core's device is inside a staging window) the unit's
+/// boundary is attached to the staged command stream and the event fires when
+/// the scheduler completes the matching charge.
+///
+/// Giving up while the pool still wants GC — four consecutive rounds freed
+/// nothing, or no victim exists — is counted in
+/// [`ftl_base::FtlStats::gc_stalled_exits`] instead of failing silently.
 pub(crate) fn gc_until_headroom<F>(
     core: &mut FtlCore,
     pool: &mut DynamicDataPool,
@@ -25,11 +36,15 @@ where
             break;
         };
         t = on_outcome(core, &outcome, outcome.done);
+        core.note_gc_unit_end(t);
         if pool.free_block_count() <= free_before {
             stalled_rounds += 1;
         } else {
             stalled_rounds = 0;
         }
+    }
+    if pool.needs_gc() {
+        core.stats.gc_stalled_exits += 1;
     }
     t
 }
@@ -63,5 +78,36 @@ mod tests {
             t
         });
         assert!(done >= t);
+    }
+
+    #[test]
+    fn stalled_exit_is_counted_not_silent() {
+        // Provoke the no-garbage case: every page in every used block is
+        // valid, so each GC round relocates a whole block and frees nothing.
+        let cfg = SsdConfig::tiny();
+        let mut core = FtlCore::new(cfg);
+        let mut pool = DynamicDataPool::new(&core.partition, cfg.geometry.pages_per_block, 10_000);
+        let ppb = u64::from(cfg.geometry.pages_per_block);
+        let mut t = SimTime::ZERO;
+        for lpn in 0..ppb * 2 {
+            let ppn = pool.allocate(&core.dev).unwrap();
+            t = core.program_data(lpn, ppn, t);
+        }
+        assert_eq!(core.stats.gc_stalled_exits, 0);
+        gc_until_headroom(&mut core, &mut pool, t, |_, _, t| t);
+        assert!(
+            pool.needs_gc(),
+            "the absurd watermark keeps the pool below headroom"
+        );
+        assert_eq!(
+            core.stats.gc_stalled_exits, 1,
+            "giving up with needs_gc still true must be counted"
+        );
+        // Every completed round is visible as a finished collection unit.
+        assert_eq!(
+            core.stats.gc_complete_events.len() as u64,
+            core.stats.gc_count,
+            "each collected victim records one completion event"
+        );
     }
 }

@@ -1,5 +1,7 @@
 //! LearnedFTL configuration.
 
+use ftl_base::GcMode;
+
 /// Tunables for [`crate::LearnedFtl`].
 ///
 /// Defaults reproduce the paper's setup (Section IV-A): the CMT holds 1.5 %
@@ -37,6 +39,14 @@ pub struct LearnedFtlConfig {
     /// Whether predictions are bypassed and the in-memory mapping is used
     /// directly whenever the bitmap allows it ("ideal LearnedFTL", Fig. 18b).
     pub ideal_prediction: bool,
+    /// How group GC executes: as the legacy blocking detour, or scheduled
+    /// through the I/O scheduler's GC priority class so a collection's flash
+    /// traffic contends with host commands per chip. Note that scheduled
+    /// mode charges only *flash* time through the scheduler; the
+    /// sorting/training compute of `charge_training_time` applies to the
+    /// blocking path only (the wall-clock statistics are recorded either
+    /// way).
+    pub gc_mode: GcMode,
 }
 
 impl Default for LearnedFtlConfig {
@@ -52,6 +62,7 @@ impl Default for LearnedFtlConfig {
             seq_init_min_run: 4,
             charge_training_time: true,
             ideal_prediction: false,
+            gc_mode: GcMode::Blocking,
         }
     }
 }
@@ -95,6 +106,12 @@ impl LearnedFtlConfig {
     /// Returns a copy configured as the "ideal LearnedFTL" of Fig. 18b.
     pub fn with_ideal_prediction(mut self, ideal: bool) -> Self {
         self.ideal_prediction = ideal;
+        self
+    }
+
+    /// Returns a copy with a different GC execution mode.
+    pub fn with_gc_mode(mut self, mode: GcMode) -> Self {
+        self.gc_mode = mode;
         self
     }
 

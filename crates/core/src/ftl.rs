@@ -3,7 +3,9 @@
 use std::collections::{BTreeSet, HashMap};
 use std::time::Instant;
 
-use ftl_base::{dirty_mappings, Ftl, FtlCore, FtlStats, Lpn, PageNodeCmt, ReadClass, TransNode};
+use ftl_base::{
+    dirty_mappings, Ftl, FtlCore, FtlStats, GcMode, Lpn, PageNodeCmt, ReadClass, TransNode,
+};
 use learned_index::Point;
 use ssd_sim::{vppn_to_ppn, Duration, FlashDevice, SimTime, SsdConfig};
 
@@ -43,7 +45,7 @@ pub struct LearnedFtl {
 impl LearnedFtl {
     /// Creates a LearnedFTL instance over a fresh device.
     pub fn new(device: SsdConfig, config: LearnedFtlConfig) -> Self {
-        let core = FtlCore::new(device);
+        let core = FtlCore::with_gc_mode(device, config.gc_mode);
         let entries = core.gtd.entries();
         let mappings_per_page = core.mappings_per_page();
         let entries_per_group = config.effective_entries_per_group(
@@ -158,14 +160,14 @@ impl LearnedFtl {
             match self.alloc.allocate(group) {
                 Ok(slot) => return (slot, barrier),
                 Err(GcRequest::CollectGroup(g)) => {
-                    barrier = self.gc_group(g, barrier);
+                    barrier = self.collect_group(g, barrier);
                 }
                 Err(GcRequest::CollectMostInvalid) => {
                     let victim = self
                         .alloc
                         .most_invalid_group(&self.core.dev)
                         .expect("a full device must have at least one group with rows");
-                    barrier = self.gc_group(victim, barrier);
+                    barrier = self.collect_group(victim, barrier);
                 }
             }
         }
@@ -194,6 +196,18 @@ impl LearnedFtl {
             }
             idx = end;
         }
+    }
+
+    /// Runs one group collection in the configured GC mode: blocking GC
+    /// charges the whole collection to the caller's barrier, while scheduled
+    /// GC commits the collection's outcome inside a staging window and
+    /// replays its flash traffic as a background `Priority::Gc` job — the
+    /// barrier stays put and sibling traffic contends with the collection
+    /// chip by chip.
+    fn collect_group(&mut self, group: usize, barrier: SimTime) -> SimTime {
+        self.core.begin_background_gc();
+        let done = self.gc_group(group, barrier);
+        self.core.finish_background_gc(barrier, done)
     }
 
     /// Collects one GTD entry group: relocates its valid pages in sorted LPN
@@ -313,7 +327,10 @@ impl LearnedFtl {
         // Erase whatever detached rows are still pending and hand them back.
         t = self.erase_drained_rows(&mut pending_rows, &remaining, t, true);
 
-        if self.config.charge_training_time {
+        if self.config.charge_training_time && !self.core.gc_is_scheduled() {
+            // The compute charge only exists on the blocking timeline; a
+            // scheduled collection's cost is its flash charges (the wall
+            // clock is still recorded in sort_wall_time / train_wall_time).
             let compute = Duration::from_nanos(
                 (sort_elapsed.as_nanos() + train_elapsed.as_nanos()).min(u128::from(u64::MAX))
                     as u64,
@@ -321,6 +338,7 @@ impl LearnedFtl {
             t += compute;
         }
         self.core.stats.gc_flash_time += t - now;
+        self.core.note_gc_unit_end(t);
         t
     }
 
@@ -392,6 +410,7 @@ impl Ftl for LearnedFtl {
     }
 
     fn read(&mut self, lpn: Lpn, pages: u32, now: SimTime) -> SimTime {
+        self.core.begin_host_batch();
         let mut done = now;
         for l in lpn..lpn + u64::from(pages) {
             if l >= self.core.logical_pages() {
@@ -440,10 +459,11 @@ impl Ftl for LearnedFtl {
             let t = self.core.read_data(true_ppn, ready);
             done = done.max(t);
         }
-        done
+        self.core.finish_host_batch(done)
     }
 
     fn write(&mut self, lpn: Lpn, pages: u32, now: SimTime) -> SimTime {
+        self.core.begin_host_batch();
         let mut barrier = now;
         let mut done = now;
         let mut run: Vec<Point> = Vec::new();
@@ -498,7 +518,7 @@ impl Ftl for LearnedFtl {
             let finished = std::mem::take(&mut run);
             self.sequential_init(&finished);
         }
-        done
+        self.core.finish_host_batch(done)
     }
 
     fn stats(&self) -> &FtlStats {
@@ -519,6 +539,14 @@ impl Ftl for LearnedFtl {
 
     fn device_mut(&mut self) -> &mut FlashDevice {
         &mut self.core.dev
+    }
+
+    fn gc_mode(&self) -> GcMode {
+        self.core.gc_mode()
+    }
+
+    fn drain_gc(&mut self) -> SimTime {
+        self.core.drain_gc()
     }
 }
 

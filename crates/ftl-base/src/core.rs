@@ -3,6 +3,7 @@
 use std::collections::BTreeSet;
 
 use crate::alloc::{DynamicDataPool, GcMove};
+use crate::gc::{GcEngine, GcMode};
 use crate::gtd::Gtd;
 use crate::mapping::MappingTable;
 use crate::partition::BlockPartition;
@@ -38,14 +39,46 @@ pub struct FtlCore {
     /// The data/translation block partition.
     pub partition: BlockPartition,
     logical_pages: u64,
+    gc_mode: GcMode,
+    /// The scheduled-GC engine (`Some` exactly in [`GcMode::Scheduled`]).
+    engine: Option<GcEngine>,
+    /// Collection-unit boundaries recorded while a GC staging window is open
+    /// (indices into the staged-op list; see [`FtlCore::note_gc_unit_end`]).
+    gc_unit_bounds: Vec<usize>,
+    /// The open per-request host batch, when one is active in scheduled
+    /// mode: command ids of the request's independent data-page charges,
+    /// submitted immediately (so they occupy their chips concurrently, like
+    /// the blocking path's barrier-issued fan-out) but awaited only at the
+    /// end of the request.
+    host_batch: Option<Vec<ssd_sched::CmdId>>,
 }
 
 impl FtlCore {
-    /// Creates the shared engine for a device configuration.
+    /// Creates the shared engine for a device configuration, with blocking
+    /// (fully serial) garbage collection.
     pub fn new(config: SsdConfig) -> Self {
+        Self::with_gc_mode(config, GcMode::Blocking)
+    }
+
+    /// Creates the shared engine with an explicit GC execution mode.
+    ///
+    /// Under [`GcMode::Scheduled`] the core owns an [`GcEngine`] over its
+    /// device: GC flash traffic is planned eagerly (state committed, no time
+    /// charged) and replayed as `Priority::Gc` commands, while every
+    /// host-path flash operation is routed through the same scheduler at
+    /// `Priority::Host` so the two classes contend per chip under the
+    /// scheduler's starvation-bounded arbitration.
+    pub fn with_gc_mode(config: SsdConfig, gc_mode: GcMode) -> Self {
         let mappings_per_page = config.geometry.page_size / MAPPING_ENTRY_BYTES;
         let partition = BlockPartition::for_config(&config, mappings_per_page);
         let logical_pages = config.logical_pages();
+        let engine = match gc_mode {
+            GcMode::Blocking => None,
+            GcMode::Scheduled => Some(GcEngine::new(
+                config.geometry,
+                ssd_sched::SchedConfig::default().gc_starvation_bound,
+            )),
+        };
         FtlCore {
             dev: FlashDevice::new(config),
             mapping: MappingTable::new(logical_pages),
@@ -54,6 +87,152 @@ impl FtlCore {
             stats: FtlStats::new(),
             partition,
             logical_pages,
+            gc_mode,
+            engine,
+            gc_unit_bounds: Vec::new(),
+            host_batch: None,
+        }
+    }
+
+    /// The GC execution mode this core was built with.
+    pub fn gc_mode(&self) -> GcMode {
+        self.gc_mode
+    }
+
+    /// Whether GC flash traffic is scheduled rather than blocking.
+    pub fn gc_is_scheduled(&self) -> bool {
+        self.engine.is_some()
+    }
+
+    /// Whether host-path flash operations must be routed through the
+    /// scheduler (scheduled mode, and not inside a GC staging window).
+    fn scheduled_host(&self) -> bool {
+        self.engine.is_some() && !self.dev.is_staging()
+    }
+
+    /// Ends the open host staging window and charges the recorded operations
+    /// through the scheduler at host priority, returning the completion time
+    /// of the batch.
+    fn charge_host(&mut self, now: SimTime) -> SimTime {
+        let ops: Vec<(ssd_sim::StagedOp, SimTime)> = self
+            .dev
+            .end_staging()
+            .into_iter()
+            .map(|op| (op, now))
+            .collect();
+        let engine = self
+            .engine
+            .as_mut()
+            .expect("host charging requires the scheduled-GC engine");
+        engine.run_host_charges(&mut self.dev, &ops, now, &mut self.stats)
+    }
+
+    /// Ends the open host staging window, submits the recorded operations as
+    /// host charges **without waiting** and records their ids in the
+    /// request's batch; falls back to the synchronous charge when no batch
+    /// is open. Only independent data-page operations take this path: in
+    /// blocking mode they all issue at their barrier and overlap across
+    /// chips (and with the request's later translation work), so
+    /// submit-now/await-at-request-end is the faithful replay — and runs of
+    /// same-chip host charges are what actually exercise the scheduler's GC
+    /// starvation bound.
+    fn charge_host_deferred(&mut self, now: SimTime) -> SimTime {
+        if self.host_batch.is_none() {
+            return self.charge_host(now);
+        }
+        let ops: Vec<(ssd_sim::StagedOp, SimTime)> = self
+            .dev
+            .end_staging()
+            .into_iter()
+            .map(|op| (op, now))
+            .collect();
+        let engine = self
+            .engine
+            .as_mut()
+            .expect("a host batch only opens in scheduled mode");
+        let ids = engine.submit_host_async(&ops);
+        self.host_batch.as_mut().expect("checked above").extend(ids);
+        now
+    }
+
+    /// Opens a per-request host batch in scheduled mode (no-op otherwise):
+    /// until [`FtlCore::finish_host_batch`], independent data-page charges
+    /// are submitted fire-and-forget and awaited together at the end of the
+    /// request. Dependencies (translation-page reads/writes) still wait
+    /// individually — the FTL chains on their completion times.
+    pub fn begin_host_batch(&mut self) {
+        if self.engine.is_some() && self.host_batch.is_none() && !self.dev.is_staging() {
+            self.host_batch = Some(Vec::new());
+        }
+    }
+
+    /// Awaits every in-flight charge of the open host batch and closes it,
+    /// returning the request's completion time (at least `done`, the latest
+    /// time the request's waited operations reached).
+    pub fn finish_host_batch(&mut self, done: SimTime) -> SimTime {
+        let Some(ids) = self.host_batch.take() else {
+            return done;
+        };
+        if ids.is_empty() {
+            return done;
+        }
+        let engine = self
+            .engine
+            .as_mut()
+            .expect("a host batch only opens in scheduled mode");
+        engine.await_host(&mut self.dev, &ids, done, &mut self.stats)
+    }
+
+    /// Opens the GC staging window in scheduled mode (no-op when blocking):
+    /// between this call and [`FtlCore::finish_background_gc`], every flash
+    /// operation commits its state immediately and records its timing for
+    /// later replay at GC priority.
+    pub fn begin_background_gc(&mut self) {
+        if self.engine.is_some() {
+            self.dev.begin_staging();
+            self.gc_unit_bounds.clear();
+        }
+    }
+
+    /// Closes the GC staging window and submits the staged flash work as a
+    /// background [`crate::GcJob`] (no-op when blocking). Returns the
+    /// caller's new barrier time: `blocking_done` under blocking GC, `now`
+    /// under scheduled GC — the collection no longer blocks the host.
+    pub fn finish_background_gc(&mut self, now: SimTime, blocking_done: SimTime) -> SimTime {
+        if self.engine.is_none() {
+            return blocking_done;
+        }
+        let ops = self.dev.end_staging();
+        let bounds = std::mem::take(&mut self.gc_unit_bounds);
+        let engine = self.engine.as_mut().expect("checked above");
+        engine.submit_job(&ops, &bounds, now);
+        now
+    }
+
+    /// Records that one collection unit (a victim block or a group) finished
+    /// at `done`: inside a GC staging window the boundary is attached to the
+    /// staged command stream (the matching charge's completion becomes the
+    /// event); otherwise the event is recorded directly.
+    pub fn note_gc_unit_end(&mut self, done: SimTime) {
+        if self.dev.is_staging() {
+            self.gc_unit_bounds.push(self.dev.staged_len());
+        } else {
+            self.stats.gc_complete_events.push(done);
+        }
+    }
+
+    /// Completes every outstanding background-GC flash command and returns
+    /// the time the device quiesces.
+    pub fn drain_gc(&mut self) -> SimTime {
+        // A well-formed request always closed its batch; flush defensively so
+        // a drain can never discard deferred host charges.
+        let flushed = self.finish_host_batch(SimTime::ZERO);
+        match &mut self.engine {
+            None => flushed.max(self.dev.drain_time()),
+            Some(engine) => {
+                let t = engine.drain(&mut self.dev, &mut self.stats);
+                t.max(flushed).max(self.dev.drain_time())
+            }
         }
     }
 
@@ -85,6 +264,14 @@ impl FtlCore {
     /// Panics if the page is not readable (free or out of range); callers
     /// only pass PPNs obtained from the mapping table.
     pub fn read_data(&mut self, ppn: Ppn, now: SimTime) -> SimTime {
+        if self.scheduled_host() {
+            self.dev.begin_staging();
+            let _ = self
+                .dev
+                .read_page(ppn, now)
+                .expect("mapped data page must be readable");
+            return self.charge_host_deferred(now);
+        }
         self.dev
             .read_page(ppn, now)
             .expect("mapped data page must be readable")
@@ -93,6 +280,16 @@ impl FtlCore {
     /// Reads the translation page covering GTD entry `tpn`. Returns the
     /// completion time (equal to `now` if the page was never written).
     pub fn read_translation(&mut self, tpn: usize, now: SimTime) -> SimTime {
+        if self.scheduled_host() {
+            // A translation read is a dependency for whatever follows it:
+            // wait for it (any in-flight data charges keep their chips busy
+            // meanwhile, exactly like the blocking path's overlap).
+            self.dev.begin_staging();
+            let _ = self
+                .trans
+                .read_page(tpn, &self.gtd, &mut self.dev, &mut self.stats, now);
+            return self.charge_host(now);
+        }
         self.trans
             .read_page(tpn, &self.gtd, &mut self.dev, &mut self.stats, now)
     }
@@ -100,6 +297,15 @@ impl FtlCore {
     /// Writes a fresh copy of the translation page covering GTD entry `tpn`.
     /// Returns the completion time.
     pub fn write_translation(&mut self, tpn: usize, now: SimTime) -> SimTime {
+        if self.scheduled_host() {
+            // See read_translation: dependencies wait, in-flight data
+            // charges overlap.
+            self.dev.begin_staging();
+            let _ = self
+                .trans
+                .write_page(tpn, &mut self.gtd, &mut self.dev, &mut self.stats, now);
+            return self.charge_host(now);
+        }
         self.trans
             .write_page(tpn, &mut self.gtd, &mut self.dev, &mut self.stats, now)
     }
@@ -132,10 +338,18 @@ impl FtlCore {
     ///
     /// Panics if the page cannot be programmed (allocation bug).
     pub fn program_data(&mut self, lpn: Lpn, ppn: Ppn, now: SimTime) -> SimTime {
-        let done = self
-            .dev
-            .program_page(ppn, OobData::mapped(lpn), now)
-            .expect("allocated data page must be programmable");
+        let done = if self.scheduled_host() {
+            self.dev.begin_staging();
+            let _ = self
+                .dev
+                .program_page(ppn, OobData::mapped(lpn), now)
+                .expect("allocated data page must be programmable");
+            self.charge_host_deferred(now)
+        } else {
+            self.dev
+                .program_page(ppn, OobData::mapped(lpn), now)
+                .expect("allocated data page must be programmable")
+        };
         if let Some(old) = self.mapping.update(lpn, ppn) {
             self.dev
                 .invalidate_page(old)

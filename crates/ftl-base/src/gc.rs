@@ -1,0 +1,297 @@
+//! Scheduled garbage collection: the engine that turns a blocking GC detour
+//! into `Priority::Gc` flash commands contending with host traffic.
+//!
+//! Every FTL in this workspace historically ran GC as a fully serial detour:
+//! the write path called into the collector, which charged every page read,
+//! page program and erase to the simulated timeline before the triggering
+//! host write could proceed. [`GcMode::Scheduled`] splits that detour in two:
+//!
+//! 1. **Plan** — the existing GC logic runs unchanged with the device in
+//!    *staging* mode ([`ssd_sim::FlashDevice::begin_staging`]): victim
+//!    selection, page relocation, mapping/CMT updates, model retraining and
+//!    translation flushes all commit their logical and physical state
+//!    immediately, but no flash time is charged. The decision sequence is
+//!    therefore identical to blocking mode, which is what makes the two
+//!    modes' aggregate flash work comparable (bit-identical for FTLs whose
+//!    allocation ignores device timing, e.g. LearnedFTL's group allocator).
+//! 2. **Charge** — the recorded operations become a [`GcJob`]: a batch of
+//!    [`CmdKind::Charge`] commands submitted to the engine's
+//!    [`IoScheduler`] at [`Priority::Gc`]. They drain over simulated time,
+//!    per chip, while the FTL's host commands (submitted at
+//!    [`Priority::Host`] through the same scheduler) bypass them up to the
+//!    configured `gc_starvation_bound` — the host-vs-GC arbitration built in
+//!    the `ssd-sched` crate, finally exercised by real FTL traffic.
+//!
+//! The job is *resumable*: it survives across scheduler steps, draining a
+//! little every time the host path waits for one of its own commands, and an
+//! explicit [`GcEngine::drain`] completes whatever is left (end of run).
+
+use std::collections::{BTreeMap, BTreeSet};
+
+use ssd_sched::{CmdId, CmdKind, IoScheduler, Priority, SchedConfig};
+use ssd_sim::{FlashDevice, Geometry, SimTime, StagedOp};
+
+use crate::stats::FtlStats;
+
+/// How an FTL executes its garbage-collection flash traffic.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum GcMode {
+    /// GC runs as a blocking, fully serial detour on the triggering host
+    /// request (the legacy behaviour, and the default).
+    #[default]
+    Blocking,
+    /// GC flash traffic is emitted as `Priority::Gc` commands through an
+    /// [`IoScheduler`], contending per chip with the FTL's host commands
+    /// under the scheduler's starvation-bounded arbitration.
+    Scheduled,
+}
+
+/// The in-flight background collection work of one FTL: which scheduled GC
+/// commands are still outstanding and where each collection unit (one victim
+/// block / one group) ends. The job survives across scheduler steps — it
+/// drains whenever the host path runs the event loop — and is extended in
+/// place when a new collection is planned before the previous one finished.
+#[derive(Debug, Clone, Default)]
+pub struct GcJob {
+    /// Scheduled GC commands not yet completed.
+    outstanding: usize,
+    /// Command ids that end one collection unit; their completion times feed
+    /// the GC timeline ([`FtlStats::gc_complete_events`]).
+    unit_ends: BTreeSet<CmdId>,
+    /// `gc_yields` already folded into [`FtlStats`].
+    seen_yields: u64,
+    /// `gc_forced` already folded into [`FtlStats`].
+    seen_forced: u64,
+}
+
+impl GcJob {
+    /// Scheduled GC commands not yet completed.
+    pub fn outstanding(&self) -> usize {
+        self.outstanding
+    }
+}
+
+/// The scheduled-GC engine owned by an `FtlCore` in [`GcMode::Scheduled`]:
+/// one [`IoScheduler`] over the FTL's device plus the resumable [`GcJob`].
+#[derive(Debug, Clone)]
+pub struct GcEngine {
+    sched: IoScheduler,
+    job: GcJob,
+    /// Host completions observed while the event loop ran for *other*
+    /// commands, parked until their submitter awaits them (a request's
+    /// in-flight data charges complete while a translation dependency is
+    /// being waited on).
+    host_done: BTreeMap<CmdId, SimTime>,
+}
+
+impl GcEngine {
+    /// Creates an engine over a device with the given geometry.
+    ///
+    /// The scheduler's queue depth is effectively unbounded: the FTL's host
+    /// path keeps at most a handful of commands in flight (it waits for each
+    /// one), while a planned collection may stage hundreds of charges at
+    /// once.
+    pub fn new(geometry: Geometry, gc_starvation_bound: u32) -> Self {
+        GcEngine {
+            sched: IoScheduler::new(
+                geometry,
+                SchedConfig {
+                    queue_depth: usize::MAX,
+                    gc_starvation_bound,
+                },
+            ),
+            job: GcJob::default(),
+            host_done: BTreeMap::new(),
+        }
+    }
+
+    /// The current background job.
+    pub fn job(&self) -> &GcJob {
+        &self.job
+    }
+
+    /// Submits one batch of staged GC operations as `Priority::Gc` charges at
+    /// time `now`, extending the background job. `unit_bounds` holds indices
+    /// into `ops` marking the end (exclusive) of each collection unit, so the
+    /// matching completions can be recorded as GC-finished events.
+    ///
+    /// The call is non-blocking: the charges drain as the event loop runs
+    /// (host waits, or [`GcEngine::drain`]).
+    pub fn submit_job(&mut self, ops: &[StagedOp], unit_bounds: &[usize], now: SimTime) {
+        for (i, &op) in ops.iter().enumerate() {
+            let id = self
+                .sched
+                .submit(CmdKind::charge(op), Priority::Gc, now)
+                .expect("the GC scheduler's queue is unbounded");
+            self.job.outstanding += 1;
+            if unit_bounds.contains(&(i + 1)) {
+                self.job.unit_ends.insert(id);
+            }
+        }
+    }
+
+    /// Submits staged host-path operations (each with its own submit time)
+    /// as `Priority::Host` charges **without waiting**, returning their
+    /// command ids for a later [`GcEngine::await_host`].
+    ///
+    /// This is how a request's independent data-page operations stay
+    /// overlapped the way the blocking path overlaps them: a multi-page
+    /// write's programs occupy their chips while the request's translation
+    /// dependencies are being waited on, and runs of same-chip host charges
+    /// are exactly what drives the GC starvation bound — queued GC yields
+    /// per dispatch until the bound forces it through.
+    pub fn submit_host_async(&mut self, ops: &[(StagedOp, SimTime)]) -> Vec<CmdId> {
+        ops.iter()
+            .map(|&(op, at)| {
+                self.sched
+                    .submit(CmdKind::charge(op), Priority::Host, at)
+                    .expect("the GC scheduler's queue is unbounded")
+            })
+            .collect()
+    }
+
+    /// Runs the event loop until every command in `ids` has completed,
+    /// returning their latest completion time (`now` if `ids` is empty).
+    /// Completions that were already reaped while other commands were being
+    /// waited on are picked up from the parked set.
+    pub fn await_host(
+        &mut self,
+        dev: &mut FlashDevice,
+        ids: &[CmdId],
+        now: SimTime,
+        stats: &mut FtlStats,
+    ) -> SimTime {
+        let mut done = now;
+        for &id in ids {
+            let completed = match self.host_done.remove(&id) {
+                Some(t) => t,
+                None => {
+                    let completion = self.sched.run_until_complete(dev, id);
+                    debug_assert!(completion.is_ok(), "host charges can never be rejected");
+                    // Park everything the loop completed (including this
+                    // command), then claim it.
+                    self.reap(stats);
+                    self.host_done
+                        .remove(&id)
+                        .expect("the completion was just observed")
+                }
+            };
+            done = done.max(completed);
+        }
+        self.reap(stats);
+        done
+    }
+
+    /// Submits a batch of staged host-path operations and waits for all of
+    /// them: the synchronous form used for dependencies (translation-page
+    /// reads and writes) whose completion time the FTL chains on.
+    pub fn run_host_charges(
+        &mut self,
+        dev: &mut FlashDevice,
+        ops: &[(StagedOp, SimTime)],
+        now: SimTime,
+        stats: &mut FtlStats,
+    ) -> SimTime {
+        if ops.is_empty() {
+            return now;
+        }
+        let ids = self.submit_host_async(ops);
+        self.await_host(dev, &ids, now, stats)
+    }
+
+    /// Runs the event loop to quiescence — every outstanding GC charge (and
+    /// host command, though the host path never leaves one behind)
+    /// completes — and returns the time the engine went idle.
+    pub fn drain(&mut self, dev: &mut FlashDevice, stats: &mut FtlStats) -> SimTime {
+        let t = self.sched.drain(dev);
+        self.reap(stats);
+        debug_assert_eq!(self.job.outstanding, 0, "drain must finish the job");
+        // Any still-parked host completions were claimed by value before the
+        // drain (a well-formed request awaits everything it submits).
+        self.host_done.clear();
+        t
+    }
+
+    /// Folds newly recorded completions and arbitration counters into the
+    /// FTL's statistics; host completions are parked for their awaiter.
+    fn reap(&mut self, stats: &mut FtlStats) {
+        for c in self.sched.pop_completions() {
+            if c.priority != Priority::Gc {
+                self.host_done.insert(c.id, c.completed);
+                continue;
+            }
+            debug_assert!(c.is_ok(), "GC charges can never be rejected");
+            self.job.outstanding -= 1;
+            stats.gc_flash_time += c.service();
+            if self.job.unit_ends.remove(&c.id) {
+                stats.gc_complete_events.push(c.completed);
+            }
+        }
+        let s = self.sched.stats();
+        stats.gc_yields += s.gc_yields - self.job.seen_yields;
+        stats.gc_forced += s.gc_forced - self.job.seen_forced;
+        self.job.seen_yields = s.gc_yields;
+        self.job.seen_forced = s.gc_forced;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ssd_sim::{OobData, SsdConfig};
+
+    #[test]
+    fn job_drains_and_feeds_stats() {
+        let cfg = SsdConfig::tiny();
+        let mut dev = FlashDevice::new(cfg);
+        let mut stats = FtlStats::new();
+        let mut engine = GcEngine::new(cfg.geometry, 2);
+
+        // Stage a tiny "collection": program two pages, then read them back.
+        dev.begin_staging();
+        dev.program_page(0, OobData::mapped(1), SimTime::ZERO)
+            .unwrap();
+        dev.program_page(1, OobData::mapped(2), SimTime::ZERO)
+            .unwrap();
+        dev.read_page(0, SimTime::ZERO).unwrap();
+        let ops = dev.end_staging();
+        engine.submit_job(&ops, &[ops.len()], SimTime::ZERO);
+        assert_eq!(engine.job().outstanding(), 3);
+
+        let end = engine.drain(&mut dev, &mut stats);
+        assert!(end > SimTime::ZERO);
+        assert_eq!(engine.job().outstanding(), 0);
+        assert_eq!(stats.gc_complete_events, vec![end]);
+        assert!(stats.gc_flash_time > ssd_sim::Duration::ZERO);
+    }
+
+    #[test]
+    fn host_commands_bypass_queued_gc_charges() {
+        let cfg = SsdConfig::tiny();
+        let mut dev = FlashDevice::new(cfg);
+        let mut stats = FtlStats::new();
+        let mut engine = GcEngine::new(cfg.geometry, 4);
+
+        // Put readable data on chip 0, then queue GC charges for that chip.
+        let mut t = SimTime::ZERO;
+        for ppn in 0..4 {
+            t = dev.program_page(ppn, OobData::mapped(ppn), t).unwrap();
+        }
+        dev.begin_staging();
+        for ppn in 0..3 {
+            dev.read_page(ppn, t).unwrap();
+        }
+        let ops = dev.end_staging();
+        engine.submit_job(&ops, &[ops.len()], t);
+
+        // A host read on the same chip bypasses the queued GC work.
+        dev.begin_staging();
+        dev.read_page(3, t).unwrap();
+        let host_ops: Vec<_> = dev.end_staging().into_iter().map(|op| (op, t)).collect();
+        let done = engine.run_host_charges(&mut dev, &host_ops, t, &mut stats);
+        assert!(done > t);
+        assert!(stats.gc_yields >= 1, "host must have bypassed queued GC");
+        engine.drain(&mut dev, &mut stats);
+        assert_eq!(stats.gc_complete_events.len(), 1);
+    }
+}

@@ -37,6 +37,7 @@
 mod alloc;
 mod cmt;
 mod core;
+mod gc;
 mod gtd;
 mod lru;
 mod mapping;
@@ -48,6 +49,7 @@ mod transpage;
 pub use crate::core::{run_greedy_gc, FtlCore, GcOutcome, MAPPING_ENTRY_BYTES};
 pub use alloc::{DynamicDataPool, GcMove};
 pub use cmt::{dirty_mappings, CmtEntry, EntryCmt, PageNodeCmt, TransNode};
+pub use gc::{GcEngine, GcJob, GcMode};
 pub use gtd::Gtd;
 pub use lru::LruCache;
 pub use mapping::MappingTable;
@@ -120,6 +122,22 @@ pub trait Ftl {
     fn reset_device_stats(&mut self) {
         self.device_mut().reset_stats();
     }
+
+    /// The garbage-collection execution mode this FTL runs under. The default
+    /// is the legacy blocking mode; FTLs built over [`FtlCore`] report their
+    /// configured mode.
+    fn gc_mode(&self) -> GcMode {
+        GcMode::Blocking
+    }
+
+    /// Completes every outstanding background (scheduled-GC) flash command
+    /// and returns the time this FTL's devices quiesce. Blocking-GC FTLs
+    /// have no background work, so the default just reports the drain time.
+    /// Experiments call this between phases (and before comparing aggregate
+    /// flash timings) so scheduled collections do not leak across windows.
+    fn drain_gc(&mut self) -> SimTime {
+        self.drain_time()
+    }
 }
 
 /// Boxed FTLs are FTLs: forwarding impl so frontends generic over `F: Ftl`
@@ -172,5 +190,13 @@ impl<F: Ftl + ?Sized> Ftl for Box<F> {
 
     fn reset_device_stats(&mut self) {
         (**self).reset_device_stats()
+    }
+
+    fn gc_mode(&self) -> GcMode {
+        (**self).gc_mode()
+    }
+
+    fn drain_gc(&mut self) -> SimTime {
+        (**self).drain_gc()
     }
 }

@@ -48,6 +48,22 @@ pub struct FtlStats {
     pub blocks_erased: u64,
     /// Simulated times at which each GC was triggered (for Fig. 16).
     pub gc_events: Vec<SimTime>,
+    /// Simulated times at which each collection unit's flash work finished:
+    /// the erase's completion as observed by the I/O scheduler under
+    /// scheduled GC, or the end of the blocking detour otherwise. Together
+    /// with [`FtlStats::gc_events`] this bounds how long collections stay in
+    /// flight (`metrics::GcTimeline` buckets either series).
+    pub gc_complete_events: Vec<SimTime>,
+    /// Times the collector gave up with the pool still below its watermark
+    /// (several consecutive rounds freed no space — victims with no garbage).
+    /// A non-zero value flags an over-committed or mis-watermarked device.
+    pub gc_stalled_exits: u64,
+    /// Times a scheduled GC command was bypassed by a host command on the
+    /// same chip (zero under blocking GC).
+    pub gc_yields: u64,
+    /// Times a scheduled GC command was forced through by the scheduler's
+    /// starvation bound (zero under blocking GC).
+    pub gc_forced: u64,
     /// Simulated time spent inside GC (flash operations).
     pub gc_flash_time: Duration,
     /// Wall-clock time spent sorting LPNs during GC/model training.
@@ -160,6 +176,10 @@ impl FtlStats {
             gc_count: self.gc_count,
             blocks_erased: self.blocks_erased,
             gc_events_len: self.gc_events.len(),
+            gc_complete_events_len: self.gc_complete_events.len(),
+            gc_stalled_exits: self.gc_stalled_exits,
+            gc_yields: self.gc_yields,
+            gc_forced: self.gc_forced,
             gc_flash_time: self.gc_flash_time,
             sort_wall_time: self.sort_wall_time,
             train_wall_time: self.train_wall_time,
@@ -202,6 +222,11 @@ impl FtlStats {
         self.blocks_erased += current.blocks_erased - snap.blocks_erased;
         self.gc_events
             .extend_from_slice(&current.gc_events[snap.gc_events_len..]);
+        self.gc_complete_events
+            .extend_from_slice(&current.gc_complete_events[snap.gc_complete_events_len..]);
+        self.gc_stalled_exits += current.gc_stalled_exits - snap.gc_stalled_exits;
+        self.gc_yields += current.gc_yields - snap.gc_yields;
+        self.gc_forced += current.gc_forced - snap.gc_forced;
         self.gc_flash_time += current.gc_flash_time - snap.gc_flash_time;
         self.sort_wall_time += current.sort_wall_time - snap.sort_wall_time;
         self.train_wall_time += current.train_wall_time - snap.train_wall_time;
@@ -230,6 +255,11 @@ impl FtlStats {
         self.gc_count += other.gc_count;
         self.blocks_erased += other.blocks_erased;
         self.gc_events.extend_from_slice(&other.gc_events);
+        self.gc_complete_events
+            .extend_from_slice(&other.gc_complete_events);
+        self.gc_stalled_exits += other.gc_stalled_exits;
+        self.gc_yields += other.gc_yields;
+        self.gc_forced += other.gc_forced;
         self.gc_flash_time += other.gc_flash_time;
         self.sort_wall_time += other.sort_wall_time;
         self.train_wall_time += other.train_wall_time;
@@ -263,6 +293,10 @@ pub struct FtlStatsSnapshot {
     gc_count: u64,
     blocks_erased: u64,
     gc_events_len: usize,
+    gc_complete_events_len: usize,
+    gc_stalled_exits: u64,
+    gc_yields: u64,
+    gc_forced: u64,
     gc_flash_time: Duration,
     sort_wall_time: std::time::Duration,
     train_wall_time: std::time::Duration,

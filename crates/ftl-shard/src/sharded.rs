@@ -1,6 +1,6 @@
 //! The sharded FTL frontend.
 
-use ftl_base::{Ftl, FtlStats, Lpn};
+use ftl_base::{Ftl, FtlStats, GcMode, Lpn};
 use ssd_sched::MultiIssuer;
 use ssd_sim::{DeviceStats, FlashDevice, SimTime, SsdConfig};
 
@@ -238,5 +238,26 @@ impl<F: Ftl> Ftl for ShardedFtl<F> {
         for shard in &mut self.shards {
             shard.reset_device_stats();
         }
+    }
+
+    fn gc_mode(&self) -> GcMode {
+        self.shards[0].gc_mode()
+    }
+
+    /// Completes every shard's outstanding background-GC job. Shards collect
+    /// independently — one shard's scheduled collection contends only with
+    /// its own host traffic while sibling shards keep serving — so draining
+    /// is simply the max across shards. The sharded statistics merge is
+    /// snapshot-based, so the drains' completions (GC timeline events, GC
+    /// flash time, arbitration counters) are folded into the aggregate here.
+    fn drain_gc(&mut self) -> SimTime {
+        let mut t = self.engines.drain_time();
+        for shard_idx in 0..self.shards.len() {
+            let snap = self.shards[shard_idx].stats().snapshot();
+            t = t.max(self.shards[shard_idx].drain_gc());
+            self.merged
+                .merge_delta(&snap, self.shards[shard_idx].stats());
+        }
+        t
     }
 }

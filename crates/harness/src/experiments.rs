@@ -5,7 +5,9 @@
 //! a steady state (Section IV-B), reset the statistics, then run the measured
 //! workload through the closed-loop [`Runner`].
 
-use ftl_base::Ftl;
+use baselines::BaselineConfig;
+use ftl_base::{Ftl, GcMode};
+use learnedftl::LearnedFtlConfig;
 use ssd_sim::{Duration, SsdConfig};
 use workloads::{
     warmup, FilebenchPreset, FilebenchWorkload, FioPattern, FioWorkload, RocksDbPhase,
@@ -202,6 +204,69 @@ pub fn fio_open_loop_run(
     let mut ftl = kind.build_sharded(device, shards);
     let mut wl = warm_and_workload_read(&mut ftl, pattern, threads, scale);
     Runner::new().run_open_loop(&mut ftl, &mut wl, mean_interarrival, OPEN_LOOP_ARRIVAL_SEED)
+}
+
+/// The GC-interference protocol behind `fig24_gc_interference`: a sharded
+/// frontend whose shards run either blocking or scheduled garbage collection
+/// serves *open-loop* Poisson random-write traffic (`write_pages` pages per
+/// request — the paper's warm-up-style large writes, not the 4 KiB probe
+/// stream) after a sequential fill. Large requests matter beyond raw bytes:
+/// one request's page programs land several-deep on each chip, which is what
+/// makes queued GC charges yield repeatedly and the starvation bound
+/// actually force collections through (`gc_forced`).
+///
+/// Writes over a filled device force steady collections during the measured
+/// phase, which is exactly where the two GC modes diverge: blocking GC
+/// serialises each collection onto the triggering write (tail-latency
+/// spikes), scheduled GC lets the collection's flash commands contend with
+/// host commands chip by chip under the scheduler's starvation bound. Open
+/// loop matters twice over — it models load that does not politely pause for
+/// GC, and it keeps the request stream identical across modes (arrivals are
+/// seeded, not completion-driven), so for FTLs whose allocation ignores
+/// device timing (LearnedFTL's group allocator) the two modes must perform
+/// **bit-identical aggregate flash work**; the workspace GC-scheduling test
+/// and the fig24 binary assert exactly that.
+///
+/// Outstanding scheduled collections are drained into the result before it
+/// is returned, so its statistics cover each run's complete GC work.
+#[allow(clippy::too_many_arguments)]
+pub fn fio_gc_interference_run(
+    kind: FtlKind,
+    threads: usize,
+    write_pages: u32,
+    shards: usize,
+    gc_mode: GcMode,
+    mean_interarrival: Duration,
+    device: SsdConfig,
+    scale: ExperimentScale,
+) -> RunResult {
+    let baseline = BaselineConfig::default()
+        .for_shard(shards)
+        .with_gc_mode(gc_mode);
+    // Charge only *flash* time in both modes: scheduled GC never bills the
+    // trainer's wall clock to the simulated timeline, so the blocking
+    // reference must not either — this keeps the mode comparison
+    // apples-to-apples and the whole protocol bit-for-bit deterministic.
+    let learned = LearnedFtlConfig::default()
+        .with_gc_mode(gc_mode)
+        .with_charge_training_time(false);
+    let mut ftl = kind.build_sharded_with(device, shards, baseline, learned);
+    warmup::sequential_fill(&mut ftl, scale.warmup_io_pages, 1, ssd_sim::SimTime::ZERO);
+    ftl.drain_gc();
+    let mut wl = FioWorkload::new(
+        FioPattern::RandWrite,
+        ftl.logical_pages(),
+        threads,
+        write_pages,
+        scale.ops_per_stream,
+        FIO_WORKLOAD_SEED,
+    );
+    let mut result =
+        Runner::new().run_open_loop(&mut ftl, &mut wl, mean_interarrival, OPEN_LOOP_ARRIVAL_SEED);
+    ftl.drain_gc();
+    result.stats = ftl.stats().clone();
+    result.device = ftl.device_stats();
+    result
 }
 
 /// Warm-up + closed-loop FIO read phase against an FTL sharded `shards` ways

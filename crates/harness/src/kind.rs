@@ -70,8 +70,31 @@ impl FtlKind {
     /// Panics if `shards` is zero or does not divide the device's channel
     /// count.
     pub fn build_sharded(self, device: SsdConfig, shards: usize) -> ShardedFtl<Box<dyn Ftl>> {
-        let baseline = BaselineConfig::default().for_shard(shards);
-        let learned = LearnedFtlConfig::default();
+        self.build_sharded_with(
+            device,
+            shards,
+            BaselineConfig::default().for_shard(shards),
+            LearnedFtlConfig::default(),
+        )
+    }
+
+    /// Builds the FTL sharded across `shards` per-channel-group partitions
+    /// with explicit per-shard parameters (`baseline` is used as given —
+    /// apply [`BaselineConfig::for_shard`] yourself when splitting absolute
+    /// budgets). This is how the GC-interference experiment builds frontends
+    /// whose shards run scheduled instead of blocking garbage collection.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `shards` is zero or does not divide the device's channel
+    /// count.
+    pub fn build_sharded_with(
+        self,
+        device: SsdConfig,
+        shards: usize,
+        baseline: BaselineConfig,
+        learned: LearnedFtlConfig,
+    ) -> ShardedFtl<Box<dyn Ftl>> {
         ShardedFtl::build_with(device, shards, |_, shard_cfg| {
             self.build_with(shard_cfg, baseline, learned)
         })

@@ -588,6 +588,39 @@ mod tests {
     }
 
     #[test]
+    fn exponential_gaps_never_collapse_to_zero() {
+        // Regression: with a sub-nanosecond mean almost every raw draw
+        // truncates to 0 ns, which would freeze the arrival clock and create
+        // spurious simultaneous arrivals at high offered load. The sampler
+        // clamps every gap to >= 1 ns, so the arrival sequence is strictly
+        // increasing no matter how heavy the offered load is.
+        let mut rng = StdRng::seed_from_u64(99);
+        let mean = Duration::from_nanos(1);
+        let mut arrival = SimTime::ZERO;
+        for _ in 0..10_000 {
+            let gap = exponential(&mut rng, mean);
+            assert!(gap >= Duration::from_nanos(1), "gap must never be zero");
+            let next = arrival + gap;
+            assert!(next > arrival, "arrivals must strictly increase");
+            arrival = next;
+        }
+        // Sanity at a realistic mean too: gaps stay positive and average
+        // near the configured mean.
+        let mean = Duration::from_micros(10);
+        let mut total = Duration::ZERO;
+        for _ in 0..10_000 {
+            let gap = exponential(&mut rng, mean);
+            assert!(gap >= Duration::from_nanos(1));
+            total += gap;
+        }
+        let avg_ns = total.as_nanos() as f64 / 10_000.0;
+        assert!(
+            (avg_ns - 10_000.0).abs() < 1_000.0,
+            "mean gap should be near 10us, got {avg_ns} ns"
+        );
+    }
+
+    #[test]
     fn open_loop_arrivals_are_deterministic_per_seed() {
         let run = |seed: u64| {
             let mut ftl = warmed_ftl(FtlKind::Ideal);

@@ -91,6 +91,19 @@ mod tests {
     }
 
     #[test]
+    fn mean_per_bucket_is_finite_for_every_timeline() {
+        // Regression: without the empty-timeline guard the mean would be
+        // 0/0 = NaN, which poisons any table or comparison it flows into.
+        // A run with GC disabled (or a measurement window with no
+        // collections) produces exactly this empty timeline.
+        let empty = GcTimeline::from_events(&[], Duration::from_millis(10));
+        assert!(empty.mean_per_bucket().is_finite());
+        let one = GcTimeline::from_events(&[SimTime::from_millis(5)], Duration::from_millis(10));
+        assert!(one.mean_per_bucket().is_finite());
+        assert!((one.mean_per_bucket() - 1.0).abs() < 1e-9);
+    }
+
+    #[test]
     fn events_land_in_correct_buckets() {
         let events = vec![
             SimTime::from_millis(0),

@@ -1,7 +1,7 @@
 //! Flash commands as the scheduler sees them: identity, payload, priority
 //! class and the completion record handed back to the submitter.
 
-use ssd_sim::{DeviceError, Duration, OobData, Ppn, SimTime};
+use ssd_sim::{DeviceError, Duration, FlashOp, OobData, Ppn, SimTime};
 
 /// Scheduler-assigned command identifier, unique for a scheduler's lifetime.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
@@ -46,6 +46,31 @@ pub enum CmdKind {
         /// The block to erase.
         flat_block: u64,
     },
+    /// Charge the flash *time* of an operation whose state effects were
+    /// already applied under [`ssd_sim::FlashDevice::begin_staging`]. This is
+    /// how scheduled garbage collection replays a staged collection's page
+    /// reads, page programs and erases through the scheduler's GC priority
+    /// class: the command occupies the recorded chip (and channel) for the
+    /// operation's latency but touches no page state.
+    Charge {
+        /// The NAND operation whose timing is charged.
+        op: FlashOp,
+        /// Flat index of the chip the operation occupies.
+        chip: u64,
+        /// Channel the operation's data crosses.
+        channel: u32,
+    },
+}
+
+impl CmdKind {
+    /// The charge command replaying `staged`'s timing.
+    pub fn charge(staged: ssd_sim::StagedOp) -> Self {
+        CmdKind::Charge {
+            op: staged.op,
+            chip: staged.chip,
+            channel: staged.channel,
+        }
+    }
 }
 
 /// A command waiting in (or moving through) the scheduler.

@@ -9,6 +9,7 @@ use std::collections::BinaryHeap;
 
 use ssd_sim::SimTime;
 
+#[derive(Debug, Clone)]
 struct Entry<T> {
     time: SimTime,
     seq: u64,
@@ -50,6 +51,7 @@ impl<T> Ord for Entry<T> {
 /// assert_eq!(q.pop(), Some((SimTime::from_micros(40), "late")));
 /// assert_eq!(q.pop(), None);
 /// ```
+#[derive(Debug, Clone)]
 pub struct EventQueue<T> {
     heap: BinaryHeap<Reverse<Entry<T>>>,
     seq: u64,

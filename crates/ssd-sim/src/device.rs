@@ -53,6 +53,21 @@ pub struct FlashDevice {
     stats: DeviceStats,
     next_cmd_id: u64,
     in_flight: BinaryHeap<Reverse<QueuedCommand>>,
+    staging: Option<Vec<StagedOp>>,
+}
+
+/// One flash operation whose state effects have been applied under
+/// [`FlashDevice::begin_staging`] but whose flash *time* has not been charged
+/// yet. The recorded parallel units let a scheduler replay the timing later
+/// with [`FlashDevice::charge_op`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct StagedOp {
+    /// The NAND operation that was staged.
+    pub op: FlashOp,
+    /// Flat index of the chip the operation occupies.
+    pub chip: u64,
+    /// Channel the operation's data crosses (the chip's channel for erases).
+    pub channel: u32,
 }
 
 /// A flash command accepted by the enqueue/poll interface
@@ -101,6 +116,68 @@ impl FlashDevice {
             stats: DeviceStats::new(),
             next_cmd_id: 0,
             in_flight: BinaryHeap::new(),
+            staging: None,
+        }
+    }
+
+    /// Enters *staging* mode: subsequent `read_page` / `program_page` /
+    /// `erase_block` calls apply their state effects and statistics
+    /// immediately but charge **no flash time** (they return their `issue`
+    /// argument unchanged) and are recorded instead. [`FlashDevice::end_staging`]
+    /// hands the recorded operations back so a scheduler can replay their
+    /// timing later with [`FlashDevice::charge_op`] — this is how scheduled
+    /// garbage collection commits a collection's logical outcome atomically
+    /// while its flash traffic contends with host commands over time.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the device is already staging.
+    pub fn begin_staging(&mut self) {
+        assert!(self.staging.is_none(), "staging windows must not nest");
+        self.staging = Some(Vec::new());
+    }
+
+    /// Leaves staging mode, returning every operation staged since
+    /// [`FlashDevice::begin_staging`] in execution order.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the device is not staging.
+    pub fn end_staging(&mut self) -> Vec<StagedOp> {
+        self.staging
+            .take()
+            .expect("end_staging requires an open staging window")
+    }
+
+    /// Whether a staging window is open.
+    pub fn is_staging(&self) -> bool {
+        self.staging.is_some()
+    }
+
+    /// Number of operations recorded in the open staging window (zero when
+    /// not staging). Callers use this to mark boundaries inside a staged
+    /// batch, e.g. the end of one GC victim's work.
+    pub fn staged_len(&self) -> usize {
+        self.staging.as_ref().map_or(0, Vec::len)
+    }
+
+    /// Occupies the timing resources of one flash operation — the chip for
+    /// its NAND phase and the channel for its transfer phase, in the same
+    /// order as the blocking calls — without touching page state or
+    /// statistics. This is the replay half of the stage/charge split: state
+    /// was already applied under [`FlashDevice::begin_staging`].
+    pub fn charge_op(&mut self, op: FlashOp, chip: u64, channel: u32, issue: SimTime) -> SimTime {
+        let lat = self.config.latency;
+        match op {
+            FlashOp::Read => {
+                let nand_done = self.chips[chip as usize].occupy(issue, lat.read);
+                self.occupy_channel(channel, nand_done, lat.channel_transfer)
+            }
+            FlashOp::Program => {
+                let bus_done = self.occupy_channel(channel, issue, lat.channel_transfer);
+                self.chips[chip as usize].occupy(bus_done, lat.program)
+            }
+            FlashOp::Erase => self.chips[chip as usize].occupy(issue, lat.erase),
         }
     }
 
@@ -137,8 +214,16 @@ impl FlashDevice {
         }
         let translation = self.oob[ppn as usize].is_translation;
         self.stats.record(FlashOp::Read, translation);
-        // NAND array read on the chip, then the page crosses the channel bus.
         let g = self.config.geometry;
+        if let Some(staged) = &mut self.staging {
+            staged.push(StagedOp {
+                op: FlashOp::Read,
+                chip: addr.chip_index(&g),
+                channel: addr.channel,
+            });
+            return Ok(issue);
+        }
+        // NAND array read on the chip, then the page crosses the channel bus.
         let lat = self.config.latency;
         let chip = &mut self.chips[addr.chip_index(&g) as usize];
         let nand_done = chip.occupy(issue, lat.read);
@@ -172,6 +257,14 @@ impl FlashDevice {
         }
         self.oob[ppn as usize] = oob;
         self.stats.record(FlashOp::Program, oob.is_translation);
+        if let Some(staged) = &mut self.staging {
+            staged.push(StagedOp {
+                op: FlashOp::Program,
+                chip: chip_idx as u64,
+                channel: addr.channel,
+            });
+            return Ok(issue);
+        }
         // Data crosses the channel bus first, then the NAND array programs it.
         let bus_done = self.occupy_channel(addr.channel, issue, lat.channel_transfer);
         let chip = &mut self.chips[chip_idx];
@@ -232,6 +325,15 @@ impl FlashDevice {
             self.oob[(first_ppn + p) as usize] = OobData::default();
         }
         self.stats.record(FlashOp::Erase, false);
+        if let Some(staged) = &mut self.staging {
+            let channel = (chip_idx as u64 / u64::from(g.chips_per_channel)) as u32;
+            staged.push(StagedOp {
+                op: FlashOp::Erase,
+                chip: chip_idx as u64,
+                channel,
+            });
+            return Ok(issue);
+        }
         let lat = self.config.latency;
         Ok(self.chips[chip_idx].occupy(issue, lat.erase))
     }
@@ -336,6 +438,10 @@ impl FlashDevice {
         issued: SimTime,
         completes_at: SimTime,
     ) -> QueuedCommand {
+        debug_assert!(
+            self.staging.is_none(),
+            "the enqueue/poll interface must not be used inside a staging window"
+        );
         let cmd = QueuedCommand {
             completes_at,
             id: self.next_cmd_id,
@@ -715,6 +821,74 @@ mod tests {
             .is_err());
         assert_eq!(d.in_flight_commands(), 0);
         assert_eq!(d.next_completion_time(), None);
+    }
+
+    #[test]
+    fn staging_applies_state_without_charging_time() {
+        let mut d = dev();
+        d.begin_staging();
+        let t = d
+            .program_page(0, OobData::mapped(7), SimTime::from_micros(5))
+            .unwrap();
+        assert_eq!(t, SimTime::from_micros(5), "staged ops take no time");
+        let t = d.read_page(0, t).unwrap();
+        assert_eq!(t, SimTime::from_micros(5));
+        d.invalidate_page(0).unwrap();
+        let t = d.erase_block(0, t).unwrap();
+        assert_eq!(t, SimTime::from_micros(5));
+        let ops = d.end_staging();
+        assert_eq!(
+            ops.iter().map(|o| o.op).collect::<Vec<_>>(),
+            vec![FlashOp::Program, FlashOp::Read, FlashOp::Erase]
+        );
+        assert!(ops.iter().all(|o| o.chip == 0 && o.channel == 0));
+        // State and statistics were applied eagerly...
+        assert_eq!(d.page_state(0).unwrap(), PageState::Free);
+        assert_eq!(d.stats().programs, 1);
+        assert_eq!(d.stats().reads, 1);
+        assert_eq!(d.stats().erases, 1);
+        // ...but no chip time was consumed.
+        assert_eq!(d.drain_time(), SimTime::ZERO);
+    }
+
+    #[test]
+    fn charge_op_matches_blocking_timing() {
+        // Replaying a staged sequence through charge_op lands on the same
+        // completion times as the blocking calls on a twin device.
+        let mut staged_dev = dev();
+        let mut blocking_dev = dev();
+        staged_dev.begin_staging();
+        staged_dev
+            .program_page(0, OobData::mapped(1), SimTime::ZERO)
+            .unwrap();
+        staged_dev
+            .program_page(1, OobData::mapped(2), SimTime::ZERO)
+            .unwrap();
+        staged_dev.read_page(0, SimTime::ZERO).unwrap();
+        let ops = staged_dev.end_staging();
+
+        let mut t_charge = SimTime::ZERO;
+        for op in &ops {
+            t_charge = staged_dev.charge_op(op.op, op.chip, op.channel, t_charge);
+        }
+        let mut t_block = SimTime::ZERO;
+        t_block = blocking_dev
+            .program_page(0, OobData::mapped(1), t_block)
+            .unwrap();
+        t_block = blocking_dev
+            .program_page(1, OobData::mapped(2), t_block)
+            .unwrap();
+        t_block = blocking_dev.read_page(0, t_block).unwrap();
+        assert_eq!(t_charge, t_block, "charge replay must equal blocking time");
+        assert_eq!(staged_dev.drain_time(), blocking_dev.drain_time());
+    }
+
+    #[test]
+    #[should_panic(expected = "must not nest")]
+    fn nested_staging_rejected() {
+        let mut d = dev();
+        d.begin_staging();
+        d.begin_staging();
     }
 
     #[test]
