@@ -7,7 +7,7 @@
 //! reads, and its group-based allocation keeps write amplification at or below
 //! the baselines'.
 
-use bench::{percent, print_header, print_table_with_verdict, BenchArgs, Scale};
+use bench::{percent, print_header, print_table_with_verdict, BenchArgs};
 use harness::experiments::{fio_read_sharded_run, fio_write_sharded_run};
 use harness::{FtlKind, RunResult};
 use metrics::Table;
@@ -15,7 +15,7 @@ use workloads::FioPattern;
 
 fn main() {
     let args = BenchArgs::from_env();
-    let scale = Scale::from_env();
+    let scale = args.scale();
     print_header(
         "Fig. 14 — FIO throughput, hit ratios and write amplification (all FTLs)",
         "LearnedFTL wins random reads by 1.4-1.6x over the baselines and approaches the ideal FTL",

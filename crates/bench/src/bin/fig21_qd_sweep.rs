@@ -14,7 +14,7 @@
 //!   runner's latency totals on a single-stream workload (the bounded queue
 //!   is a strict generalisation, not a different model).
 
-use bench::{print_header, print_table_with_verdict, BenchArgs, Scale};
+use bench::{print_header, print_table_with_verdict, BenchArgs};
 use harness::experiments::{fio_qd_run, fio_qd_sharded_run};
 use harness::{FtlKind, RunResult, Runner};
 use metrics::Table;
@@ -25,7 +25,7 @@ const DEPTHS: [usize; 4] = [1, 4, 16, 64];
 
 fn main() {
     let args = BenchArgs::from_env();
-    let scale = Scale::from_env();
+    let scale = args.scale();
     print_header(
         "Fig. 21 extension — queue-depth sweep, FIO randread 4 KiB",
         "deeper queues expose chip parallelism: IOPS rises with QD while per-request \

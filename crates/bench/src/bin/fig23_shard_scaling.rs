@@ -24,7 +24,7 @@
 //! Run with `--shards N` to sweep `{1, N}` instead of the default
 //! `{1, 2, 4, 8}`.
 
-use bench::{print_header, print_table_with_verdict, shard_scaling_device, BenchArgs, Scale};
+use bench::{print_header, print_table_with_verdict, shard_scaling_device, BenchArgs};
 use harness::experiments::{fio_open_loop_run, fio_qd_sharded_run};
 use harness::FtlKind;
 use metrics::Table;
@@ -35,7 +35,7 @@ const QDS: [usize; 2] = [1, 16];
 
 fn main() {
     let args = BenchArgs::from_env();
-    let scale = Scale::from_env();
+    let scale = args.scale();
     let device = shard_scaling_device(scale);
     print_header(
         "Fig. 23 (extension) — shard-scaling sweep, FIO randread 4 KiB",

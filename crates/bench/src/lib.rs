@@ -124,11 +124,17 @@ pub struct BenchArgs {
     /// Number of FTL shards (`--shards N`); `1` (the default) runs the
     /// monolithic FTLs exactly as before.
     pub shards: usize,
+    /// Force the quick (smoke-test) scale regardless of `LEARNEDFTL_SCALE`
+    /// (`--quick`); what CI passes to the wall-clock scaling check.
+    pub quick: bool,
 }
 
 impl Default for BenchArgs {
     fn default() -> Self {
-        BenchArgs { shards: 1 }
+        BenchArgs {
+            shards: 1,
+            quick: false,
+        }
     }
 }
 
@@ -140,17 +146,31 @@ impl BenchArgs {
             Ok(args) => args,
             Err(msg) => {
                 eprintln!("error: {msg}");
-                eprintln!("usage: <figure> [--shards N]");
+                eprintln!("usage: <figure> [--shards N] [--quick]");
                 std::process::exit(2);
             }
         }
     }
 
-    /// Parses an argument list (`--shards N` or `--shards=N`).
+    /// The scale this invocation runs at: `--quick` wins, the
+    /// `LEARNEDFTL_SCALE` environment variable otherwise.
+    pub fn scale(&self) -> Scale {
+        if self.quick {
+            Scale::Quick
+        } else {
+            Scale::from_env()
+        }
+    }
+
+    /// Parses an argument list (`--shards N` / `--shards=N` / `--quick`).
     pub fn parse<I: IntoIterator<Item = String>>(args: I) -> Result<BenchArgs, String> {
         let mut parsed = BenchArgs::default();
         let mut iter = args.into_iter();
         while let Some(arg) = iter.next() {
+            if arg == "--quick" {
+                parsed.quick = true;
+                continue;
+            }
             let value = if arg == "--shards" {
                 iter.next().ok_or("--shards needs a value")?
             } else if let Some(v) = arg.strip_prefix("--shards=") {
@@ -237,6 +257,11 @@ mod tests {
         assert_eq!(args(&[]).unwrap().shards, 1);
         assert_eq!(args(&["--shards", "4"]).unwrap().shards, 4);
         assert_eq!(args(&["--shards=8"]).unwrap().shards, 8);
+        assert!(args(&["--quick"]).unwrap().quick);
+        assert_eq!(args(&["--quick"]).unwrap().scale(), Scale::Quick);
+        let both = args(&["--quick", "--shards", "2"]).unwrap();
+        assert!(both.quick);
+        assert_eq!(both.shards, 2);
         assert!(args(&["--shards"]).is_err());
         assert!(args(&["--shards", "0"]).is_err());
         assert!(args(&["--shards", "x"]).is_err());

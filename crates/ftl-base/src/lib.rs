@@ -67,7 +67,14 @@ use ssd_sim::{DeviceStats, FlashDevice, SimTime};
 /// an issue time and receives the simulated completion time back; everything
 /// else (latency percentiles, throughput, hit ratios) is derived from those
 /// two timestamps plus [`Ftl::stats`] and the device counters.
-pub trait Ftl {
+///
+/// `Send` is a supertrait: the thread-parallel execution backend
+/// (`ftl-shard`'s `run_threaded`) moves exclusive references to shard FTLs
+/// onto worker threads, so every FTL — including `Box<dyn Ftl>` trait
+/// objects — must be transferable across threads. FTLs are plain owned data
+/// (maps, pools, RNG state), so implementations get this for free; the bound
+/// exists to keep it that way.
+pub trait Ftl: Send {
     /// A short, human-readable name ("DFTL", "LearnedFTL", ...).
     fn name(&self) -> &'static str;
 

@@ -23,14 +23,26 @@
 //! runners and figure binaries drive it unchanged; with one shard it is a
 //! transparent wrapper (bit-for-bit identical to the wrapped FTL — enforced
 //! by this crate's tests). The `fig23_shard_scaling` bench sweeps shard
-//! counts against queue depth; the async-runtime ROADMAP item will replace
-//! the simulated engines with real threads at this exact seam.
+//! counts against queue depth.
+//!
+//! Two execution backends drive the shards:
+//!
+//! * the *simulated* backend — every shard's engine advanced from the
+//!   calling thread ([`ShardedFtl`]'s `Ftl` impl; what `run_sharded_qd`
+//!   uses),
+//! * the *thread-parallel* backend ([`ShardedFtl::run_threaded`] /
+//!   [`ThreadedDispatcher`]) — each shard's FTL and engine owned by a
+//!   dedicated worker thread, fed over bounded channels, with bit-for-bit
+//!   identical simulated-time results (the workspace `threaded_equivalence`
+//!   suite enforces this).
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
 mod map;
+mod par;
 mod sharded;
 
 pub use map::{ShardMap, ShardSegment};
+pub use par::{ReqId, ThreadedDispatcher};
 pub use sharded::ShardedFtl;

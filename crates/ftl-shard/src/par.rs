@@ -1,0 +1,736 @@
+//! The thread-parallel execution backend.
+//!
+//! [`ShardedFtl::run_threaded`] replaces the simulated backend's serial loop
+//! with real host concurrency while keeping the *simulated-time* semantics
+//! bit-for-bit identical:
+//!
+//! * every shard's FTL and its [`SerialEngine`] move (as exclusive borrows)
+//!   onto one of `workers` dedicated worker threads,
+//! * a dispatcher on the calling thread feeds each worker over a bounded
+//!   channel, preserving the [`crate::ShardMap`] striping and each shard's
+//!   FIFO order exactly as the simulated backend's dispatch loop would,
+//! * each worker replays its shards' request streams through the identical
+//!   per-engine arithmetic (`issue = max(host_issue, free_at)`), so every
+//!   per-request completion time, statistic and device counter comes out
+//!   equal to the simulated backend's — only host wall-clock changes.
+//!
+//! Shards share no state, so the only cross-thread coupling is the request /
+//! completion traffic itself. The caller's host model (the harness's
+//! `run_threaded_qd`) *does* couple shards through completion times; the
+//! dispatcher therefore exposes conservative completion **lower bounds**
+//! ([`ThreadedDispatcher::lower_bound`]) so the host loop can prove a
+//! decision's outcome before all in-flight completions are known — classic
+//! conservative parallel discrete-event simulation, with the per-shard FIFO
+//! chain providing the lookahead.
+//!
+//! Scheduled garbage collection needs no extra machinery here: a shard's
+//! `GcEngine` lives inside its FTL and is pumped by the FTL's own submit
+//! path (staged jobs drain as host requests charge through the shard's
+//! `IoScheduler`), so the worker thread pumps background GC between host
+//! requests simply by executing them.
+//!
+//! # Panic safety
+//!
+//! A worker that panics mid-request (a poisoned FTL, an allocation bug)
+//! forwards the panic payload to the dispatcher instead of deadlocking it:
+//! the dispatcher re-raises the panic on the calling thread the next time it
+//! needs a completion, the remaining workers exit as their channels close,
+//! and `std::thread::scope` unwinds cleanly.
+
+use std::collections::VecDeque;
+use std::panic::{catch_unwind, resume_unwind, AssertUnwindSafe};
+use std::sync::mpsc::{Receiver, Sender, SyncSender};
+
+use ftl_base::{Ftl, HostOp, HostRequest, Lpn};
+use ssd_sched::{SerialEngine, ShardEngine};
+use ssd_sim::SimTime;
+
+use crate::map::ShardMap;
+use crate::sharded::ShardedFtl;
+
+/// Identifies one host request dispatched through a [`ThreadedDispatcher`]
+/// (dense, in dispatch order).
+pub type ReqId = usize;
+
+/// Bound on each worker's request channel. Deep enough that workers keep a
+/// backlog while the dispatcher runs ahead, small enough to backpressure a
+/// runaway open-loop dispatch instead of buffering the whole workload.
+const WORK_CHANNEL_DEPTH: usize = 1024;
+
+/// One shard-local piece of a host request, in flight to a worker.
+struct WorkItem {
+    /// Global dispatch sequence number (index into the dispatch log).
+    seq: usize,
+    /// The owning request.
+    req: ReqId,
+    /// The shard this piece routes to.
+    shard: usize,
+    local_lpn: Lpn,
+    pages: u32,
+    op: HostOp,
+    /// Host-level issue time; the shard's engine applies its own
+    /// serialisation on top (`max(issue, free_at)`).
+    issue: SimTime,
+}
+
+/// A worker's report back to the dispatcher.
+enum Reply {
+    /// One piece finished; `gc_events` / `gc_complete_events` count the GC
+    /// history entries the shard appended while executing it (the dispatcher
+    /// uses the counts to rebuild the aggregate event history in dispatch
+    /// order).
+    Done {
+        seq: usize,
+        req: ReqId,
+        shard: usize,
+        completion: SimTime,
+        gc_events: usize,
+        gc_complete_events: usize,
+    },
+    /// The worker panicked executing a piece; the payload is re-raised on
+    /// the dispatcher's thread.
+    Panicked(Box<dyn std::any::Any + Send + 'static>),
+}
+
+/// Dispatch-log entry: which shard ran the `seq`-th piece and how many GC
+/// history events it appended (filled in when the piece resolves).
+struct SegRecord {
+    shard: usize,
+    gc_events: usize,
+    gc_complete_events: usize,
+}
+
+/// Bookkeeping for one in-flight request.
+struct ReqState {
+    /// `(shard, host_issue)` of every still-unresolved piece.
+    pending: Vec<(usize, SimTime)>,
+    /// Max completion over the resolved pieces (the request's completion
+    /// once `pending` empties).
+    completion: SimTime,
+}
+
+/// The dispatcher half of a threaded run: routes host requests to the worker
+/// threads and resolves their completion times back, preserving per-shard
+/// FIFO order.
+///
+/// Handed by [`ShardedFtl::run_threaded`] to its body closure. The body
+/// dispatches requests ([`ThreadedDispatcher::dispatch`]), blocks for
+/// resolved completions ([`ThreadedDispatcher::wait_resolved`]), and may
+/// consult [`ThreadedDispatcher::lower_bound`] to prove that an unresolved
+/// completion cannot precede some already-known time.
+pub struct ThreadedDispatcher {
+    map: ShardMap,
+    work_txs: Vec<SyncSender<WorkItem>>,
+    /// shard index → worker index (round-robin).
+    shard_worker: Vec<usize>,
+    replies: Receiver<Reply>,
+    reqs: Vec<ReqState>,
+    /// Requests dispatched but not yet fully resolved.
+    outstanding: usize,
+    /// Per shard: completion time of its latest *resolved* piece. Workers
+    /// resolve each shard's pieces in FIFO order and engine completions are
+    /// non-decreasing along that order, so this is a valid lower bound for
+    /// every still-unresolved piece on the shard.
+    shard_resolved_free_at: Vec<SimTime>,
+    log: Vec<SegRecord>,
+    /// Fully resolved requests not yet returned by `wait_resolved`.
+    ready: VecDeque<(ReqId, SimTime)>,
+}
+
+impl ThreadedDispatcher {
+    /// The LPN routing map of the frontend this dispatcher feeds.
+    pub fn map(&self) -> &ShardMap {
+        &self.map
+    }
+
+    /// Number of requests dispatched and not yet fully resolved.
+    pub fn outstanding(&self) -> usize {
+        self.outstanding
+    }
+
+    /// Dispatches one host request at host-level issue time `issue`,
+    /// splitting it into per-shard pieces exactly like the simulated
+    /// backend's dispatch loop. Returns the request's id; its completion
+    /// arrives later via [`ThreadedDispatcher::wait_resolved`].
+    pub fn dispatch(&mut self, request: HostRequest, issue: SimTime) -> ReqId {
+        let req = self.reqs.len();
+        let mut pending = Vec::with_capacity(1);
+        // Mirror the simulated dispatch fast path: single-page requests and
+        // one-shard frontends produce exactly one piece.
+        if request.pages == 1 || self.map.shards() == 1 {
+            let shard = self.map.shard_of(request.lpn);
+            let local = self.map.local_lpn(request.lpn);
+            self.send_piece(req, shard, local, request.pages, request.op, issue);
+            pending.push((shard, issue));
+        } else {
+            for seg in self.map.split(request.lpn, request.pages) {
+                self.send_piece(req, seg.shard, seg.local_lpn, seg.pages, request.op, issue);
+                pending.push((seg.shard, issue));
+            }
+        }
+        self.reqs.push(ReqState {
+            pending,
+            // Every piece completes at or after its host issue time, so the
+            // request completion (their max) is at least `issue` — the same
+            // `now.max(...)` the simulated dispatch applies.
+            completion: issue,
+        });
+        self.outstanding += 1;
+        req
+    }
+
+    /// A conservative lower bound on `req`'s completion time: the bound
+    /// never exceeds the completion eventually reported, and it tightens as
+    /// other pieces on the same shards resolve. For a resolved request it
+    /// equals the exact completion.
+    pub fn lower_bound(&self, req: ReqId) -> SimTime {
+        let state = &self.reqs[req];
+        let mut bound = state.completion;
+        for &(shard, issue) in &state.pending {
+            bound = bound.max(issue).max(self.shard_resolved_free_at[shard]);
+        }
+        bound
+    }
+
+    /// Blocks until some request is fully resolved and returns
+    /// `(request, completion)`. Requests resolve in the order their last
+    /// piece completes on the workers; the *values* returned are
+    /// deterministic regardless of that order.
+    ///
+    /// # Panics
+    ///
+    /// Re-raises a worker's panic, and panics if called with no requests in
+    /// flight or if the workers died without reporting.
+    pub fn wait_resolved(&mut self) -> (ReqId, SimTime) {
+        loop {
+            if let Some(done) = self.ready.pop_front() {
+                return done;
+            }
+            assert!(
+                self.outstanding > 0,
+                "wait_resolved called with no requests in flight"
+            );
+            match self.replies.recv() {
+                Ok(reply) => self.absorb(reply),
+                Err(_) => panic!("worker threads exited with requests still in flight"),
+            }
+        }
+    }
+
+    /// Non-blocking [`ThreadedDispatcher::wait_resolved`]: returns the next
+    /// fully resolved request if one is available right now.
+    ///
+    /// # Panics
+    ///
+    /// Re-raises a worker's panic.
+    pub fn try_resolved(&mut self) -> Option<(ReqId, SimTime)> {
+        loop {
+            if let Some(done) = self.ready.pop_front() {
+                return Some(done);
+            }
+            match self.replies.try_recv() {
+                Ok(reply) => self.absorb(reply),
+                Err(_) => return None,
+            }
+        }
+    }
+
+    /// Folds one worker reply into the bookkeeping.
+    fn absorb(&mut self, reply: Reply) {
+        match reply {
+            Reply::Done {
+                seq,
+                req,
+                shard,
+                completion,
+                gc_events,
+                gc_complete_events,
+            } => {
+                let record = &mut self.log[seq];
+                record.gc_events = gc_events;
+                record.gc_complete_events = gc_complete_events;
+                debug_assert!(
+                    completion >= self.shard_resolved_free_at[shard],
+                    "per-shard completions must resolve in FIFO order"
+                );
+                self.shard_resolved_free_at[shard] = completion;
+                let state = &mut self.reqs[req];
+                let piece = state
+                    .pending
+                    .iter()
+                    .position(|&(s, _)| s == shard)
+                    .expect("resolved piece must be pending on its shard");
+                state.pending.swap_remove(piece);
+                state.completion = state.completion.max(completion);
+                if state.pending.is_empty() {
+                    self.outstanding -= 1;
+                    self.ready.push_back((req, state.completion));
+                }
+            }
+            Reply::Panicked(payload) => resume_unwind(payload),
+        }
+    }
+
+    fn send_piece(
+        &mut self,
+        req: ReqId,
+        shard: usize,
+        local_lpn: Lpn,
+        pages: u32,
+        op: HostOp,
+        issue: SimTime,
+    ) {
+        let seq = self.log.len();
+        self.log.push(SegRecord {
+            shard,
+            gc_events: 0,
+            gc_complete_events: 0,
+        });
+        let item = WorkItem {
+            seq,
+            req,
+            shard,
+            local_lpn,
+            pages,
+            op,
+            issue,
+        };
+        if self.work_txs[self.shard_worker[shard]].send(item).is_err() {
+            self.propagate_worker_death();
+        }
+    }
+
+    /// A worker's request channel closed underneath us: surface its panic if
+    /// it reported one, otherwise fail loudly. Never returns.
+    fn propagate_worker_death(&mut self) -> ! {
+        // The worker sends its `Panicked` reply *before* dropping its
+        // receiver, so observing the closed channel guarantees the reply is
+        // already in the queue.
+        while let Ok(reply) = self.replies.try_recv() {
+            if let Reply::Panicked(payload) = reply {
+                resume_unwind(payload);
+            }
+        }
+        panic!("a worker thread terminated unexpectedly");
+    }
+
+    /// Ends the session: verifies the body resolved everything, closes the
+    /// worker channels and returns the dispatch log for the stats fold.
+    fn finish(self) -> Vec<SegRecord> {
+        assert!(
+            self.outstanding == 0 && self.ready.is_empty(),
+            "threaded run body returned with unresolved requests in flight"
+        );
+        drop(self.work_txs);
+        // Defensive: surface a panic a worker reported after its last
+        // resolved piece (cannot normally happen once everything resolved).
+        while let Ok(reply) = self.replies.try_recv() {
+            if let Reply::Panicked(payload) = reply {
+                resume_unwind(payload);
+            }
+        }
+        self.log
+    }
+}
+
+/// One worker thread's loop: execute each piece on the owned shard's FTL
+/// through the shard's engine, report the completion, and forward panics
+/// instead of dying silently.
+fn worker_loop<F: Ftl>(
+    work: Receiver<WorkItem>,
+    replies: Sender<Reply>,
+    mut owned: Vec<(usize, &mut F, &mut SerialEngine)>,
+) {
+    while let Ok(item) = work.recv() {
+        let outcome = catch_unwind(AssertUnwindSafe(|| {
+            let (_, ftl, engine) = owned
+                .iter_mut()
+                .find(|(shard, _, _)| *shard == item.shard)
+                .expect("work item routed to the worker owning its shard");
+            let events_before = ftl.stats().gc_events.len();
+            let completes_before = ftl.stats().gc_complete_events.len();
+            // Dispatch through the ShardEngine interface — the exact seam
+            // the simulated backend's dispatch loop uses.
+            let engine: &mut dyn ShardEngine = *engine;
+            let (_issue, completion) = engine.dispatch(item.issue, &mut |t| match item.op {
+                HostOp::Read => ftl.read(item.local_lpn, item.pages, t),
+                HostOp::Write => ftl.write(item.local_lpn, item.pages, t),
+            });
+            (
+                completion,
+                ftl.stats().gc_events.len() - events_before,
+                ftl.stats().gc_complete_events.len() - completes_before,
+            )
+        }));
+        match outcome {
+            Ok((completion, gc_events, gc_complete_events)) => {
+                let reply = Reply::Done {
+                    seq: item.seq,
+                    req: item.req,
+                    shard: item.shard,
+                    completion,
+                    gc_events,
+                    gc_complete_events,
+                };
+                if replies.send(reply).is_err() {
+                    return; // dispatcher is gone (unwinding); stop quietly
+                }
+            }
+            Err(payload) => {
+                // After a panic the shard's state may be inconsistent;
+                // report and stop. The dispatcher re-raises on its thread.
+                let _ = replies.send(Reply::Panicked(payload));
+                return;
+            }
+        }
+    }
+}
+
+impl<F: Ftl> ShardedFtl<F> {
+    /// Runs `body` with this frontend's shards distributed across `workers`
+    /// dedicated worker threads (clamped to the shard count), producing
+    /// simulated-time results **bit-for-bit identical** to driving the same
+    /// request sequence through the simulated backend on one thread.
+    ///
+    /// `body` receives a [`ThreadedDispatcher`] and must resolve every
+    /// request it dispatches before returning. After `body` returns, the
+    /// workers are joined and the shards' statistics growth is folded into
+    /// the frontend's aggregate exactly as the simulated dispatch loop would
+    /// have: scalar counters telescope per shard, and the GC event histories
+    /// are interleaved in dispatch order.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `workers` is zero, if `body` leaves requests unresolved, or
+    /// (re-raised) if a worker thread panicked.
+    pub fn run_threaded<R>(
+        &mut self,
+        workers: usize,
+        body: impl FnOnce(&mut ThreadedDispatcher) -> R,
+    ) -> R {
+        assert!(workers > 0, "need at least one worker thread");
+        let shard_count = self.shards.len();
+        let workers = workers.min(shard_count);
+        let map = self.map;
+
+        // Pre-run marks for the stats fold.
+        let snaps: Vec<_> = self.shards.iter().map(|s| s.stats().snapshot()).collect();
+        let pre_events: Vec<usize> = self
+            .shards
+            .iter()
+            .map(|s| s.stats().gc_events.len())
+            .collect();
+        let pre_completes: Vec<usize> = self
+            .shards
+            .iter()
+            .map(|s| s.stats().gc_complete_events.len())
+            .collect();
+
+        // Distribute (shard, FTL, engine) round-robin across the workers.
+        let engines = self.engines.engines_mut();
+        let mut bundles: Vec<Vec<(usize, &mut F, &mut SerialEngine)>> =
+            (0..workers).map(|_| Vec::new()).collect();
+        for (shard, (ftl, engine)) in self.shards.iter_mut().zip(engines.iter_mut()).enumerate() {
+            bundles[shard % workers].push((shard, ftl, engine));
+        }
+        let shard_worker: Vec<usize> = (0..shard_count).map(|s| s % workers).collect();
+
+        let (reply_tx, reply_rx) = std::sync::mpsc::channel::<Reply>();
+        let mut work_txs = Vec::with_capacity(workers);
+        let mut work_rxs = Vec::with_capacity(workers);
+        for _ in 0..workers {
+            let (tx, rx) = std::sync::mpsc::sync_channel::<WorkItem>(WORK_CHANNEL_DEPTH);
+            work_txs.push(tx);
+            work_rxs.push(rx);
+        }
+
+        let (result, log) = std::thread::scope(|scope| {
+            for (work_rx, bundle) in work_rxs.into_iter().zip(bundles) {
+                let replies = reply_tx.clone();
+                scope.spawn(move || worker_loop(work_rx, replies, bundle));
+            }
+            // Workers hold the only remaining senders: `replies.recv()`
+            // disconnects exactly when every worker has exited.
+            drop(reply_tx);
+            let mut dispatcher = ThreadedDispatcher {
+                map,
+                work_txs,
+                shard_worker,
+                replies: reply_rx,
+                reqs: Vec::new(),
+                outstanding: 0,
+                shard_resolved_free_at: vec![SimTime::ZERO; shard_count],
+                log: Vec::new(),
+                ready: VecDeque::new(),
+            };
+            let result = body(&mut dispatcher);
+            (result, dispatcher.finish())
+        });
+
+        // Fold the shards' statistics growth into the aggregate. Scalar
+        // counters telescope (the sum of per-piece deltas over a run equals
+        // final minus initial), so merging each shard's whole-run delta
+        // reproduces the simulated backend's per-piece merges exactly; the
+        // GC event histories are order-sensitive, so rebuild their tails
+        // interleaved in dispatch order from the per-shard histories.
+        let mut events_tail: Vec<SimTime> = Vec::new();
+        let mut completes_tail: Vec<SimTime> = Vec::new();
+        let mut events_cursor = pre_events;
+        let mut completes_cursor = pre_completes;
+        for record in &log {
+            let stats = self.shards[record.shard].stats();
+            let ev = events_cursor[record.shard];
+            events_tail.extend_from_slice(&stats.gc_events[ev..ev + record.gc_events]);
+            events_cursor[record.shard] += record.gc_events;
+            let cp = completes_cursor[record.shard];
+            completes_tail
+                .extend_from_slice(&stats.gc_complete_events[cp..cp + record.gc_complete_events]);
+            completes_cursor[record.shard] += record.gc_complete_events;
+        }
+        let base_events = self.merged.gc_events.len();
+        let base_completes = self.merged.gc_complete_events.len();
+        for (shard, snap) in snaps.iter().enumerate() {
+            debug_assert_eq!(
+                events_cursor[shard],
+                self.shards[shard].stats().gc_events.len(),
+                "every GC event must be attributed to exactly one dispatched piece"
+            );
+            self.merged.merge_delta(snap, self.shards[shard].stats());
+        }
+        self.merged.gc_events.truncate(base_events);
+        self.merged.gc_events.extend_from_slice(&events_tail);
+        self.merged.gc_complete_events.truncate(base_completes);
+        self.merged
+            .gc_complete_events
+            .extend_from_slice(&completes_tail);
+
+        result
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ftl_base::FtlStats;
+    use ssd_sim::{DeviceStats, Duration, FlashDevice, SsdConfig};
+
+    /// A minimal deterministic FTL: fixed service time per page, optional
+    /// panic trigger, GC event every few writes (to exercise the event
+    /// interleave fold).
+    #[derive(Debug)]
+    struct StubFtl {
+        dev: FlashDevice,
+        stats: FtlStats,
+        service: Duration,
+        writes_seen: u64,
+        panic_on_request: Option<u64>,
+        requests_seen: u64,
+    }
+
+    impl StubFtl {
+        fn new(service_us: u64) -> Self {
+            StubFtl {
+                dev: FlashDevice::new(SsdConfig::tiny()),
+                stats: FtlStats::new(),
+                service: Duration::from_micros(service_us),
+                writes_seen: 0,
+                panic_on_request: None,
+                requests_seen: 0,
+            }
+        }
+
+        fn serve(&mut self, pages: u32, now: SimTime) -> SimTime {
+            self.requests_seen += 1;
+            if self.panic_on_request == Some(self.requests_seen) {
+                panic!("stub FTL poisoned on purpose");
+            }
+            now + Duration::from_nanos(self.service.as_nanos() * u64::from(pages))
+        }
+    }
+
+    impl Ftl for StubFtl {
+        fn name(&self) -> &'static str {
+            "stub"
+        }
+        fn read(&mut self, _lpn: Lpn, pages: u32, now: SimTime) -> SimTime {
+            self.stats.host_read_pages += u64::from(pages);
+            self.serve(pages, now)
+        }
+        fn write(&mut self, _lpn: Lpn, pages: u32, now: SimTime) -> SimTime {
+            self.stats.host_write_pages += u64::from(pages);
+            self.writes_seen += 1;
+            if self.writes_seen.is_multiple_of(3) {
+                self.stats.record_gc(now);
+            }
+            self.serve(pages, now)
+        }
+        fn stats(&self) -> &FtlStats {
+            &self.stats
+        }
+        fn reset_stats(&mut self) {
+            self.stats = FtlStats::new();
+        }
+        fn logical_pages(&self) -> u64 {
+            1 << 20
+        }
+        fn device(&self) -> &FlashDevice {
+            &self.dev
+        }
+        fn device_mut(&mut self) -> &mut FlashDevice {
+            &mut self.dev
+        }
+        fn device_stats(&self) -> DeviceStats {
+            DeviceStats::new()
+        }
+    }
+
+    fn frontend(shards: usize) -> ShardedFtl<StubFtl> {
+        ShardedFtl::from_shards((0..shards).map(|_| StubFtl::new(10)).collect())
+    }
+
+    #[test]
+    fn threaded_completions_match_simulated_dispatch() {
+        // Drive the identical single-page request sequence through both
+        // backends and compare every completion and the merged stats.
+        let requests: Vec<HostRequest> = (0..64)
+            .map(|i| {
+                if i % 4 == 0 {
+                    HostRequest::write(i % 16, 1)
+                } else {
+                    HostRequest::read((i * 7) % 16, 1)
+                }
+            })
+            .collect();
+
+        let mut simulated = frontend(4);
+        let sim_done: Vec<SimTime> = requests
+            .iter()
+            .map(|r| simulated.submit(*r, SimTime::ZERO))
+            .collect();
+
+        let mut threaded = frontend(4);
+        let thr_done: Vec<SimTime> = threaded.run_threaded(2, |d| {
+            let ids: Vec<ReqId> = requests
+                .iter()
+                .map(|r| d.dispatch(*r, SimTime::ZERO))
+                .collect();
+            let mut done = vec![SimTime::ZERO; ids.len()];
+            while d.outstanding() > 0 {
+                let (req, completion) = d.wait_resolved();
+                done[req] = completion;
+            }
+            ids.into_iter().map(|id| done[id]).collect()
+        });
+
+        assert_eq!(sim_done, thr_done, "completions must match bit for bit");
+        assert_eq!(
+            simulated.stats().host_read_pages,
+            threaded.stats().host_read_pages
+        );
+        assert_eq!(
+            simulated.stats().gc_events,
+            threaded.stats().gc_events,
+            "GC event history must interleave identically"
+        );
+        for shard in 0..4 {
+            assert_eq!(
+                simulated.engines().engine(shard).dispatched(),
+                threaded.engines().engine(shard).dispatched(),
+                "per-engine dispatch counts must match"
+            );
+            assert_eq!(
+                simulated.engines().free_at(shard),
+                threaded.engines().free_at(shard),
+                "engine busy-until state must match"
+            );
+        }
+    }
+
+    #[test]
+    fn multi_page_requests_split_and_gather() {
+        let mut simulated = frontend(4);
+        let mut threaded = frontend(4);
+        let requests: Vec<HostRequest> = (0..24).map(|i| HostRequest::write(i * 3, 6)).collect();
+        let sim_done: Vec<SimTime> = requests
+            .iter()
+            .map(|r| simulated.submit(*r, SimTime::from_micros(5)))
+            .collect();
+        let thr_done: Vec<SimTime> = threaded.run_threaded(4, |d| {
+            for r in &requests {
+                d.dispatch(*r, SimTime::from_micros(5));
+            }
+            let mut done = vec![SimTime::ZERO; requests.len()];
+            while d.outstanding() > 0 {
+                let (req, completion) = d.wait_resolved();
+                done[req] = completion;
+            }
+            done
+        });
+        assert_eq!(sim_done, thr_done);
+        assert_eq!(
+            simulated.stats().host_write_pages,
+            threaded.stats().host_write_pages
+        );
+    }
+
+    #[test]
+    fn lower_bound_never_exceeds_resolved_completion() {
+        let mut threaded = frontend(2);
+        threaded.run_threaded(2, |d| {
+            let mut bounds = Vec::new();
+            for i in 0..32u64 {
+                let id = d.dispatch(HostRequest::read(i, 1), SimTime::ZERO);
+                bounds.push((id, d.lower_bound(id)));
+            }
+            let mut done = vec![SimTime::ZERO; 32];
+            while d.outstanding() > 0 {
+                let (req, completion) = d.wait_resolved();
+                done[req] = completion;
+            }
+            for (id, bound) in bounds {
+                assert!(
+                    bound <= done[id],
+                    "lower bound {bound} exceeds completion {}",
+                    done[id]
+                );
+                assert_eq!(d.lower_bound(id), done[id], "resolved bound is exact");
+            }
+        });
+    }
+
+    #[test]
+    fn worker_panic_propagates_to_the_caller() {
+        let mut shards: Vec<StubFtl> = (0..2).map(|_| StubFtl::new(10)).collect();
+        shards[1].panic_on_request = Some(3);
+        let mut threaded = ShardedFtl::from_shards(shards);
+        let run = catch_unwind(AssertUnwindSafe(|| {
+            threaded.run_threaded(2, |d| {
+                for i in 0..32u64 {
+                    d.dispatch(HostRequest::read(i, 1), SimTime::ZERO);
+                }
+                while d.outstanding() > 0 {
+                    d.wait_resolved();
+                }
+            })
+        }));
+        let payload = run.expect_err("the worker panic must surface");
+        let message = payload
+            .downcast_ref::<&str>()
+            .copied()
+            .unwrap_or("<non-str payload>");
+        assert!(
+            message.contains("poisoned on purpose"),
+            "panic payload must be the worker's, got {message:?}"
+        );
+    }
+
+    #[test]
+    #[should_panic(expected = "unresolved requests in flight")]
+    fn leaving_requests_unresolved_is_rejected() {
+        let mut threaded = frontend(2);
+        threaded.run_threaded(2, |d| {
+            d.dispatch(HostRequest::read(0, 1), SimTime::ZERO);
+            // body returns without resolving
+        });
+    }
+}

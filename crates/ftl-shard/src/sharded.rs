@@ -39,10 +39,10 @@ use crate::map::ShardMap;
 /// ```
 #[derive(Debug, Clone)]
 pub struct ShardedFtl<F: Ftl> {
-    shards: Vec<F>,
-    map: ShardMap,
-    engines: MultiIssuer,
-    merged: FtlStats,
+    pub(crate) shards: Vec<F>,
+    pub(crate) map: ShardMap,
+    pub(crate) engines: MultiIssuer,
+    pub(crate) merged: FtlStats,
     logical_pages: u64,
 }
 
@@ -156,6 +156,10 @@ impl<F: Ftl> ShardedFtl<F> {
 
     /// Runs one shard-local piece through its engine and folds the shard's
     /// statistics growth into the aggregate.
+    ///
+    /// Dispatches through the [`ssd_sched::ShardEngine`] interface — the
+    /// same seam the thread-parallel backend's worker loop uses — so both
+    /// execution backends drive a shard's engine identically.
     fn run_segment(
         &mut self,
         shard_idx: usize,
@@ -166,9 +170,8 @@ impl<F: Ftl> ShardedFtl<F> {
     ) -> SimTime {
         let shard = &mut self.shards[shard_idx];
         let snap = shard.stats().snapshot();
-        let (_, completion) = self
-            .engines
-            .submit(shard_idx, now, |issue| op(shard, local_lpn, pages, issue));
+        let engine: &mut dyn ssd_sched::ShardEngine = self.engines.engine_mut(shard_idx);
+        let (_, completion) = engine.dispatch(now, &mut |issue| op(shard, local_lpn, pages, issue));
         self.merged.merge_delta(&snap, shard.stats());
         completion
     }

@@ -1,0 +1,210 @@
+//! Property tests for the thread-parallel dispatcher.
+//!
+//! Two families of invariants keep the threaded backend's measurements
+//! trustworthy:
+//!
+//! * **histogram merging** — per-shard lanes record in completion order
+//!   (monotone append stays sorted) and the aggregate is their merge, so any
+//!   interleaving of per-shard completion orders must still produce a
+//!   sorted, complete, correctly-ranked aggregate histogram,
+//! * **per-shard FIFO** — however requests stripe across shards and however
+//!   many worker threads serve them, two requests bound for the same shard
+//!   must reach that shard's FTL in dispatch order (this is what makes each
+//!   worker's replay deterministic).
+
+use ftl_base::{Ftl, FtlStats, HostRequest, Lpn};
+use ftl_shard::{ShardMap, ShardedFtl};
+use metrics::LatencyHistogram;
+use proptest::prelude::*;
+use ssd_sim::{DeviceStats, Duration, FlashDevice, SimTime, SsdConfig};
+
+/// A deterministic stand-in FTL that records the exact order in which
+/// shard-local requests reach it, with an LPN-dependent service time so
+/// completion interleavings across shards are non-trivial.
+#[derive(Debug)]
+struct RecorderFtl {
+    dev: FlashDevice,
+    stats: FtlStats,
+    seen: Vec<(Lpn, u32)>,
+}
+
+impl RecorderFtl {
+    fn new() -> Self {
+        RecorderFtl {
+            dev: FlashDevice::new(SsdConfig::tiny()),
+            stats: FtlStats::new(),
+            seen: Vec::new(),
+        }
+    }
+
+    fn serve(&mut self, lpn: Lpn, pages: u32, now: SimTime) -> SimTime {
+        self.seen.push((lpn, pages));
+        now + Duration::from_micros(1 + lpn % 7)
+    }
+}
+
+impl Ftl for RecorderFtl {
+    fn name(&self) -> &'static str {
+        "recorder"
+    }
+    fn read(&mut self, lpn: Lpn, pages: u32, now: SimTime) -> SimTime {
+        self.stats.host_read_pages += u64::from(pages);
+        self.serve(lpn, pages, now)
+    }
+    fn write(&mut self, lpn: Lpn, pages: u32, now: SimTime) -> SimTime {
+        self.stats.host_write_pages += u64::from(pages);
+        self.serve(lpn, pages, now)
+    }
+    fn stats(&self) -> &FtlStats {
+        &self.stats
+    }
+    fn reset_stats(&mut self) {
+        self.stats = FtlStats::new();
+    }
+    fn logical_pages(&self) -> u64 {
+        1 << 24
+    }
+    fn device(&self) -> &FlashDevice {
+        &self.dev
+    }
+    fn device_mut(&mut self) -> &mut FlashDevice {
+        &mut self.dev
+    }
+    fn device_stats(&self) -> DeviceStats {
+        DeviceStats::new()
+    }
+}
+
+/// The per-shard request order the simulated dispatch loop would produce:
+/// split every request in dispatch order and append each piece to its
+/// shard's expected FIFO.
+fn expected_fifos(map: &ShardMap, requests: &[(u64, u32)]) -> Vec<Vec<(Lpn, u32)>> {
+    let mut fifos = vec![Vec::new(); map.shards()];
+    for &(lpn, pages) in requests {
+        if pages == 1 || map.shards() == 1 {
+            fifos[map.shard_of(lpn)].push((map.local_lpn(lpn), pages));
+        } else {
+            for seg in map.split(lpn, pages) {
+                fifos[seg.shard].push((seg.local_lpn, seg.pages));
+            }
+        }
+    }
+    fifos
+}
+
+proptest! {
+    /// Merging per-lane histograms — each sorted because lanes append in
+    /// completion order — yields a sorted aggregate containing exactly the
+    /// union of the samples, whatever order the lanes are merged in.
+    #[test]
+    fn prop_lane_merge_is_sorted_union(
+        lanes in proptest::collection::vec(
+            proptest::collection::vec(0u64..5_000_000, 0..60),
+            1..6,
+        ),
+        shuffle_seed in 0u64..u64::MAX,
+    ) {
+        // Build each lane sorted (completion order is non-decreasing per
+        // engine) and check monotone append never invalidates sortedness.
+        let mut built: Vec<LatencyHistogram> = Vec::new();
+        let mut all: Vec<u64> = Vec::new();
+        for lane in &lanes {
+            let mut sorted = lane.clone();
+            sorted.sort_unstable();
+            let mut h = LatencyHistogram::new();
+            for &ns in &sorted {
+                h.record(Duration::from_nanos(ns));
+            }
+            prop_assert!(h.is_sorted(), "monotone append must stay sorted");
+            all.extend_from_slice(&sorted);
+            built.push(h);
+        }
+        // Merge in an arbitrary (seed-derived Fisher-Yates) order: the
+        // dispatcher merges lanes however shard completion order fell.
+        let mut order: Vec<usize> = (0..built.len()).collect();
+        let mut state = shuffle_seed | 1;
+        for i in (1..order.len()).rev() {
+            state = state.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+            order.swap(i, (state >> 33) as usize % (i + 1));
+        }
+        let mut merged = LatencyHistogram::new();
+        for &idx in &order {
+            merged.merge(&built[idx]);
+        }
+        prop_assert!(merged.is_sorted(), "sorted lanes must merge sorted");
+        prop_assert_eq!(merged.count(), all.len());
+        all.sort_unstable();
+        if let (Some(&min), Some(&max)) = (all.first(), all.last()) {
+            prop_assert_eq!(merged.percentile(0.0), Duration::from_nanos(min));
+            prop_assert_eq!(merged.percentile(1.0), Duration::from_nanos(max));
+            let mid = all[(all.len().div_ceil(2)).saturating_sub(1)];
+            prop_assert_eq!(merged.percentile(0.5), Duration::from_nanos(mid));
+        }
+    }
+
+    /// Whatever the request stream, shard count and worker count, the
+    /// threaded dispatcher delivers any two pieces bound for the same shard
+    /// in dispatch order — each shard's FTL observes exactly the FIFO the
+    /// simulated dispatch loop would have produced.
+    #[test]
+    fn prop_dispatch_never_reorders_same_shard_requests(
+        requests in proptest::collection::vec((0u64..4_096, 1u32..9), 1..120),
+        shards in 1usize..6,
+        workers in 1usize..4,
+    ) {
+        let mut ftl = ShardedFtl::from_shards(
+            (0..shards).map(|_| RecorderFtl::new()).collect(),
+        );
+        let expected = expected_fifos(ftl.map(), &requests);
+
+        ftl.run_threaded(workers, |dispatcher| {
+            let mut issue = SimTime::ZERO;
+            for &(lpn, pages) in &requests {
+                // Non-decreasing host issue times, like every host model.
+                issue += Duration::from_nanos(lpn % 1_000);
+                dispatcher.dispatch(HostRequest::write(lpn, pages), issue);
+            }
+            while dispatcher.outstanding() > 0 {
+                dispatcher.wait_resolved();
+            }
+        });
+
+        for (shard, expected_fifo) in expected.iter().enumerate() {
+            prop_assert_eq!(
+                &ftl.shard(shard).seen,
+                expected_fifo,
+                "shard {} must see its pieces in dispatch order",
+                shard
+            );
+        }
+    }
+
+    /// The threaded backend's completions are a pure function of the
+    /// dispatched stream: re-running the same stream with a different worker
+    /// count reproduces every completion exactly.
+    #[test]
+    fn prop_completions_independent_of_worker_count(
+        requests in proptest::collection::vec((0u64..4_096, 1u32..9), 1..80),
+        shards in 1usize..5,
+    ) {
+        let run = |workers: usize| -> Vec<SimTime> {
+            let mut ftl = ShardedFtl::from_shards(
+                (0..shards).map(|_| RecorderFtl::new()).collect(),
+            );
+            ftl.run_threaded(workers, |dispatcher| {
+                for &(lpn, pages) in &requests {
+                    dispatcher.dispatch(HostRequest::read(lpn, pages), SimTime::ZERO);
+                }
+                let mut done = vec![SimTime::ZERO; requests.len()];
+                while dispatcher.outstanding() > 0 {
+                    let (req, completion) = dispatcher.wait_resolved();
+                    done[req] = completion;
+                }
+                done
+            })
+        };
+        let single = run(1);
+        let multi = run(3);
+        prop_assert_eq!(single, multi);
+    }
+}

@@ -180,10 +180,103 @@ pub fn fio_qd_sharded_run(
     device: SsdConfig,
     scale: ExperimentScale,
 ) -> ShardedRunResult {
-    assert!(pattern.is_read(), "the shard-scaling sweep measures reads");
-    let mut ftl = kind.build_sharded(device, shards);
-    let mut wl = warm_and_workload_read(&mut ftl, pattern, threads, scale);
+    let (mut ftl, mut wl) = warmed_sharded_fio_setup(kind, pattern, threads, shards, device, scale);
     Runner::new().run_sharded_qd(&mut ftl, &mut wl, depth)
+}
+
+/// Builds and warms the sharded frontend of the FIO read protocol and
+/// returns it with the measured workload, for callers that drive (and time)
+/// the measured phase themselves — the wall-clock scaling experiment
+/// (`fig25_wallclock_scaling`) must exclude construction and warm-up from
+/// its measurements. Identical preparation to [`fio_qd_sharded_run`], so
+/// runs measured either way are comparable.
+pub fn warmed_sharded_fio_setup(
+    kind: FtlKind,
+    pattern: FioPattern,
+    threads: usize,
+    shards: usize,
+    device: SsdConfig,
+    scale: ExperimentScale,
+) -> (ftl_shard::ShardedFtl<Box<dyn Ftl>>, FioWorkload) {
+    warmed_sharded_fio_setup_with(
+        kind,
+        pattern,
+        threads,
+        shards,
+        device,
+        scale,
+        LearnedFtlConfig::default(),
+    )
+}
+
+/// [`warmed_sharded_fio_setup`] with explicit LearnedFTL parameters.
+/// Cross-backend wall-clock comparisons pass
+/// [`LearnedFtlConfig::with_charge_training_time`]`(false)`: billing the
+/// trainer's host wall clock into simulated time would make separately
+/// prepared instances diverge, which is exactly what a backend-equivalence
+/// check must not be exposed to.
+#[allow(clippy::too_many_arguments)]
+pub fn warmed_sharded_fio_setup_with(
+    kind: FtlKind,
+    pattern: FioPattern,
+    threads: usize,
+    shards: usize,
+    device: SsdConfig,
+    scale: ExperimentScale,
+    learned: LearnedFtlConfig,
+) -> (ftl_shard::ShardedFtl<Box<dyn Ftl>>, FioWorkload) {
+    assert!(pattern.is_read(), "the sharded FIO protocol measures reads");
+    let mut ftl = kind.build_sharded_with(
+        device,
+        shards,
+        BaselineConfig::default().for_shard(shards),
+        learned,
+    );
+    let wl = warm_and_workload_read(&mut ftl, pattern, threads, scale);
+    (ftl, wl)
+}
+
+/// [`fio_qd_sharded_run`] on the thread-parallel backend
+/// ([`Runner::run_threaded_qd`]): identical preparation, identical
+/// simulated-time results (the cross-backend equivalence suite pins this),
+/// host wall-clock scaled across `workers` threads.
+#[allow(clippy::too_many_arguments)]
+pub fn fio_qd_threaded_run(
+    kind: FtlKind,
+    pattern: FioPattern,
+    threads: usize,
+    depth: usize,
+    shards: usize,
+    workers: usize,
+    device: SsdConfig,
+    scale: ExperimentScale,
+) -> ShardedRunResult {
+    let (mut ftl, mut wl) = warmed_sharded_fio_setup(kind, pattern, threads, shards, device, scale);
+    Runner::new().run_threaded_qd(&mut ftl, &mut wl, depth, workers)
+}
+
+/// [`fio_open_loop_run`] on the thread-parallel backend
+/// ([`Runner::run_threaded_open_loop`]): open-loop arrivals have no host
+/// feedback, so this is the backend's best wall-clock scaling case.
+#[allow(clippy::too_many_arguments)]
+pub fn fio_open_loop_threaded_run(
+    kind: FtlKind,
+    pattern: FioPattern,
+    threads: usize,
+    shards: usize,
+    workers: usize,
+    mean_interarrival: Duration,
+    device: SsdConfig,
+    scale: ExperimentScale,
+) -> RunResult {
+    let (mut ftl, mut wl) = warmed_sharded_fio_setup(kind, pattern, threads, shards, device, scale);
+    Runner::new().run_threaded_open_loop(
+        &mut ftl,
+        &mut wl,
+        mean_interarrival,
+        OPEN_LOOP_ARRIVAL_SEED,
+        workers,
+    )
 }
 
 /// Warm-up + FIO read phase with *open-loop* Poisson arrivals
@@ -200,9 +293,7 @@ pub fn fio_open_loop_run(
     device: SsdConfig,
     scale: ExperimentScale,
 ) -> RunResult {
-    assert!(pattern.is_read(), "the open-loop sweep measures reads");
-    let mut ftl = kind.build_sharded(device, shards);
-    let mut wl = warm_and_workload_read(&mut ftl, pattern, threads, scale);
+    let (mut ftl, mut wl) = warmed_sharded_fio_setup(kind, pattern, threads, shards, device, scale);
     Runner::new().run_open_loop(&mut ftl, &mut wl, mean_interarrival, OPEN_LOOP_ARRIVAL_SEED)
 }
 

@@ -39,3 +39,7 @@ mod runner;
 pub use kind::FtlKind;
 pub use result::{RunResult, ShardLane, ShardedRunResult};
 pub use runner::{Runner, RunnerConfig};
+// Re-exported so harness callers (the figure binaries) can name the sharded
+// frontend returned by `experiments::warmed_sharded_fio_setup` without
+// depending on ftl-shard directly.
+pub use ftl_shard::ShardedFtl;

@@ -4,7 +4,7 @@ use std::cmp::Reverse;
 use std::collections::BinaryHeap;
 
 use ftl_base::{Ftl, HostOp};
-use ftl_shard::ShardedFtl;
+use ftl_shard::{ReqId, ShardedFtl, ThreadedDispatcher};
 use metrics::LatencyHistogram;
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
@@ -12,6 +12,58 @@ use ssd_sim::{Duration, SimTime};
 use workloads::Workload;
 
 use crate::result::{RunResult, ShardLane, ShardedRunResult};
+
+/// Per-request bookkeeping of the threaded runners, indexed by [`ReqId`]
+/// (dispatch order — identical to the simulated runner's pop order, so
+/// replaying this log in index order reproduces its recording order).
+struct ThreadedRecord {
+    arrival: SimTime,
+    issue: SimTime,
+    lane: usize,
+    completion: SimTime,
+}
+
+/// One stream of the threaded closed-loop host model.
+#[derive(Clone, Copy)]
+enum StreamSlot {
+    /// The stream's next request arrives at this (known) time.
+    Ready(SimTime),
+    /// The stream's previous request is still unresolved; its completion is
+    /// the stream's next arrival.
+    Waiting(ReqId),
+    /// The stream is exhausted.
+    Done,
+}
+
+/// One occupied slot of the threaded [`ssd_sched::QueuePair`] emulation.
+#[derive(Clone, Copy)]
+enum FlightSlot {
+    Resolved(SimTime),
+    Pending(ReqId),
+}
+
+/// Blocks for the next resolved request and folds it into the host-side
+/// bookkeeping: the stream whose request resolved becomes `Ready` at the
+/// completion, and every queue slot holding the request learns its value.
+fn absorb_resolution(
+    dispatcher: &mut ThreadedDispatcher,
+    slots: &mut [StreamSlot],
+    in_flight: &mut [FlightSlot],
+    records: &mut [ThreadedRecord],
+    req_stream: &[usize],
+) {
+    let (req, completion) = dispatcher.wait_resolved();
+    records[req].completion = completion;
+    let stream = req_stream[req];
+    if matches!(slots[stream], StreamSlot::Waiting(r) if r == req) {
+        slots[stream] = StreamSlot::Ready(completion);
+    }
+    for slot in in_flight.iter_mut() {
+        if matches!(slot, FlightSlot::Pending(r) if *r == req) {
+            *slot = FlightSlot::Resolved(completion);
+        }
+    }
+}
 
 /// Options for a measurement run.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -284,6 +336,246 @@ impl Runner {
         }
     }
 
+    /// [`Runner::run_sharded_qd`] on the thread-parallel backend: the same
+    /// host model (bounded queue of `depth` slots, closed-loop streams, lane
+    /// bookkeeping) producing **bit-for-bit identical** simulated-time
+    /// results, with each shard's FTL owned by one of `workers` worker
+    /// threads ([`ShardedFtl::run_threaded`]).
+    ///
+    /// The host loop is a conservative parallel discrete-event simulation:
+    /// every decision the simulated loop takes (which stream's request to
+    /// pop next, whether the queue is full, which in-flight completion is
+    /// earliest) depends only on simulated-time *values*, so this loop takes
+    /// the identical decision as soon as it can *prove* the outcome —
+    /// blocking on worker completions only while an unresolved completion's
+    /// lower bound ([`ThreadedDispatcher::lower_bound`]) could still change
+    /// the answer. Workers meanwhile run their shards' FIFO backlogs
+    /// concurrently; only host wall-clock differs from the simulated
+    /// backend.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `depth` or `workers` is zero, and re-raises a worker
+    /// thread's panic (a poisoned shard never deadlocks the dispatcher).
+    pub fn run_threaded_qd<F: Ftl>(
+        &self,
+        ftl: &mut ShardedFtl<F>,
+        workload: &mut dyn Workload,
+        depth: usize,
+        workers: usize,
+    ) -> ShardedRunResult {
+        assert!(depth > 0, "queue depth must be at least 1");
+        if self.config.reset_stats_before_run {
+            ftl.reset_stats();
+            ftl.reset_device_stats();
+        }
+        let start = self.config.start.max(ftl.drain_time());
+        let page_size = ftl.device().geometry().page_size;
+        let shard_count = ftl.shard_count();
+        let streams = workload.streams();
+
+        let mut requests = 0u64;
+        let mut read_pages = 0u64;
+        let mut write_pages = 0u64;
+        let mut bytes = 0u64;
+
+        let records = ftl.run_threaded(workers, |dispatcher| {
+            let mut slots: Vec<StreamSlot> = vec![StreamSlot::Ready(start); streams];
+            let mut in_flight: Vec<FlightSlot> = Vec::with_capacity(depth);
+            let mut records: Vec<ThreadedRecord> = Vec::new();
+            let mut req_stream: Vec<usize> = Vec::new();
+
+            'run: loop {
+                // Pop the stream with the smallest (arrival, stream) key —
+                // the simulated loop's BinaryHeap order — waiting for worker
+                // completions until the minimum is provable.
+                let (arrival, stream) = loop {
+                    let mut best: Option<(SimTime, usize)> = None;
+                    let mut any_waiting = false;
+                    for (s, slot) in slots.iter().enumerate() {
+                        match *slot {
+                            StreamSlot::Ready(t) => {
+                                if best.is_none_or(|(bt, bs)| (t, s) < (bt, bs)) {
+                                    best = Some((t, s));
+                                }
+                            }
+                            StreamSlot::Waiting(_) => any_waiting = true,
+                            StreamSlot::Done => {}
+                        }
+                    }
+                    match best {
+                        None if !any_waiting => break 'run,
+                        None => absorb_resolution(
+                            dispatcher,
+                            &mut slots,
+                            &mut in_flight,
+                            &mut records,
+                            &req_stream,
+                        ),
+                        Some((t, s)) => {
+                            let contested = slots.iter().enumerate().any(|(s2, slot)| {
+                                matches!(*slot, StreamSlot::Waiting(req)
+                                    if (dispatcher.lower_bound(req), s2) < (t, s))
+                            });
+                            if contested {
+                                absorb_resolution(
+                                    dispatcher,
+                                    &mut slots,
+                                    &mut in_flight,
+                                    &mut records,
+                                    &req_stream,
+                                );
+                            } else {
+                                break (t, s);
+                            }
+                        }
+                    }
+                };
+
+                let Some(req) = workload.next_request(stream) else {
+                    slots[stream] = StreamSlot::Done;
+                    continue; // stream exhausted; do not re-queue
+                };
+
+                // QueuePair emulation. Reap: every slot that *might* have
+                // completed by `arrival` must be known before we can free it
+                // (or prove it stays).
+                loop {
+                    let uncertain = in_flight.iter().any(|slot| {
+                        matches!(slot, FlightSlot::Pending(r)
+                            if dispatcher.lower_bound(*r) <= arrival)
+                    });
+                    if !uncertain {
+                        break;
+                    }
+                    absorb_resolution(
+                        dispatcher,
+                        &mut slots,
+                        &mut in_flight,
+                        &mut records,
+                        &req_stream,
+                    );
+                }
+                in_flight.retain(|slot| match slot {
+                    FlightSlot::Resolved(t) => *t > arrival,
+                    FlightSlot::Pending(_) => true,
+                });
+                let issue = if in_flight.len() < depth {
+                    arrival
+                } else {
+                    // The queue is full: the request issues when the
+                    // earliest in-flight command completes. Resolve until
+                    // the minimum is provable.
+                    let earliest = loop {
+                        let min_resolved = in_flight
+                            .iter()
+                            .filter_map(|slot| match slot {
+                                FlightSlot::Resolved(t) => Some(*t),
+                                FlightSlot::Pending(_) => None,
+                            })
+                            .min();
+                        match min_resolved {
+                            Some(r)
+                                if !in_flight.iter().any(|slot| {
+                                    matches!(slot, FlightSlot::Pending(q)
+                                        if dispatcher.lower_bound(*q) < r)
+                                }) =>
+                            {
+                                break r
+                            }
+                            _ => absorb_resolution(
+                                dispatcher,
+                                &mut slots,
+                                &mut in_flight,
+                                &mut records,
+                                &req_stream,
+                            ),
+                        }
+                    };
+                    let reaped = in_flight
+                        .iter()
+                        .position(|slot| matches!(slot, FlightSlot::Resolved(t) if *t == earliest))
+                        .expect("the provable minimum is a resolved slot");
+                    in_flight.swap_remove(reaped);
+                    arrival.max(earliest)
+                };
+
+                let lane = dispatcher.map().shard_of(req.lpn);
+                let rid = dispatcher.dispatch(req, issue);
+                debug_assert_eq!(rid, records.len());
+                records.push(ThreadedRecord {
+                    arrival,
+                    issue,
+                    lane,
+                    completion: SimTime::ZERO,
+                });
+                req_stream.push(stream);
+                slots[stream] = StreamSlot::Waiting(rid);
+                in_flight.push(FlightSlot::Pending(rid));
+                requests += 1;
+                bytes += req.bytes(page_size);
+                match req.op {
+                    HostOp::Read => read_pages += u64::from(req.pages),
+                    HostOp::Write => write_pages += u64::from(req.pages),
+                }
+            }
+
+            // Every stream went Done through a Ready state, so its last
+            // request already resolved; drain defensively regardless.
+            while dispatcher.outstanding() > 0 {
+                absorb_resolution(
+                    dispatcher,
+                    &mut slots,
+                    &mut in_flight,
+                    &mut records,
+                    &req_stream,
+                );
+            }
+            records
+        });
+
+        // Replay the per-request log in pop order: this reproduces the
+        // simulated runner's recording order for the lanes and the queueing
+        // histogram exactly.
+        let mut lanes: Vec<ShardLane> = (0..shard_count)
+            .map(|shard| ShardLane {
+                shard,
+                requests: 0,
+                latencies: LatencyHistogram::new(),
+            })
+            .collect();
+        let mut queueing = LatencyHistogram::new();
+        let mut last_completion = start;
+        for record in &records {
+            lanes[record.lane].requests += 1;
+            lanes[record.lane]
+                .latencies
+                .record(record.completion - record.arrival);
+            queueing.record(record.issue - record.arrival);
+            last_completion = last_completion.max(record.completion);
+        }
+        let mut latencies = LatencyHistogram::new();
+        for lane in &mut lanes {
+            lane.latencies.finalize();
+            latencies.merge(&lane.latencies);
+        }
+        ShardedRunResult {
+            result: RunResult {
+                ftl_name: ftl.name().to_string(),
+                requests,
+                read_pages,
+                write_pages,
+                bytes,
+                elapsed: last_completion - start,
+                latencies,
+                queueing,
+                stats: ftl.stats().clone(),
+                device: ftl.device_stats(),
+            },
+            lanes,
+        }
+    }
+
     /// Runs the workload with *open-loop* arrivals: requests arrive on a
     /// seeded Poisson process (exponential inter-arrival times with the given
     /// mean) independent of when earlier requests complete, cycling
@@ -353,6 +645,105 @@ impl Runner {
             arrival += exponential(&mut rng, mean_interarrival);
         }
 
+        RunResult {
+            ftl_name: ftl.name().to_string(),
+            requests,
+            read_pages,
+            write_pages,
+            bytes,
+            elapsed: last_completion - start,
+            latencies,
+            queueing: LatencyHistogram::new(),
+            stats: ftl.stats().clone(),
+            device: ftl.device_stats(),
+        }
+    }
+
+    /// [`Runner::run_open_loop`] on the thread-parallel backend
+    /// ([`ShardedFtl::run_threaded`]), producing **bit-for-bit identical**
+    /// simulated-time results.
+    ///
+    /// Open-loop arrivals are exogenous — the seeded Poisson process and the
+    /// round-robin stream cycling depend on nothing the workers compute — so
+    /// unlike [`Runner::run_threaded_qd`] the dispatcher never has to prove
+    /// anything: it streams every request to its shard's worker as fast as
+    /// the bounded channels accept them and gathers completions as they
+    /// resolve. This is the backend's best case for wall-clock scaling.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `mean_interarrival` is zero or `workers` is zero, and
+    /// re-raises a worker thread's panic.
+    pub fn run_threaded_open_loop<F: Ftl>(
+        &self,
+        ftl: &mut ShardedFtl<F>,
+        workload: &mut dyn Workload,
+        mean_interarrival: Duration,
+        seed: u64,
+        workers: usize,
+    ) -> RunResult {
+        assert!(
+            mean_interarrival > Duration::ZERO,
+            "mean inter-arrival time must be positive"
+        );
+        if self.config.reset_stats_before_run {
+            ftl.reset_stats();
+            ftl.reset_device_stats();
+        }
+        let start = self.config.start.max(ftl.drain_time());
+        let page_size = ftl.device().geometry().page_size;
+        let streams = workload.streams();
+
+        let mut requests = 0u64;
+        let mut read_pages = 0u64;
+        let mut write_pages = 0u64;
+        let mut bytes = 0u64;
+
+        let (arrivals, completions) = ftl.run_threaded(workers, |dispatcher| {
+            let mut rng = StdRng::seed_from_u64(seed);
+            let mut arrivals: Vec<SimTime> = Vec::new();
+            let mut completions: Vec<SimTime> = Vec::new();
+            let mut arrival = start;
+            let mut exhausted = 0usize;
+            let mut stream = 0usize;
+
+            while exhausted < streams {
+                let Some(req) = workload.next_request(stream) else {
+                    exhausted += 1;
+                    stream = (stream + 1) % streams;
+                    continue;
+                };
+                exhausted = 0;
+                stream = (stream + 1) % streams;
+                let rid = dispatcher.dispatch(req, arrival);
+                debug_assert_eq!(rid, arrivals.len());
+                arrivals.push(arrival);
+                completions.push(SimTime::ZERO);
+                requests += 1;
+                bytes += req.bytes(page_size);
+                match req.op {
+                    HostOp::Read => read_pages += u64::from(req.pages),
+                    HostOp::Write => write_pages += u64::from(req.pages),
+                }
+                arrival += exponential(&mut rng, mean_interarrival);
+                // Gather opportunistically so the reply queue stays short.
+                while let Some((req, completion)) = dispatcher.try_resolved() {
+                    completions[req] = completion;
+                }
+            }
+            while dispatcher.outstanding() > 0 {
+                let (req, completion) = dispatcher.wait_resolved();
+                completions[req] = completion;
+            }
+            (arrivals, completions)
+        });
+
+        let mut latencies = LatencyHistogram::new();
+        let mut last_completion = start;
+        for (arrival, completion) in arrivals.iter().zip(&completions) {
+            latencies.record(*completion - *arrival);
+            last_completion = last_completion.max(*completion);
+        }
         RunResult {
             ftl_name: ftl.name().to_string(),
             requests,
@@ -503,6 +894,26 @@ mod tests {
         ftl
     }
 
+    /// A device every kind can shard two ways: 4 channels, and a 2-chip
+    /// channel-group shard still spans one full translation page per block
+    /// row (LearnedFTL's group allocation needs 512 mappings per row).
+    fn shard_friendly_device() -> SsdConfig {
+        SsdConfig::tiny()
+            .with_geometry(ssd_sim::Geometry::new(4, 2, 1, 16, 256, 4096))
+            .with_op_ratio(0.4)
+    }
+
+    fn warmed_sharded_on(
+        device: SsdConfig,
+        kind: FtlKind,
+        shards: usize,
+    ) -> ShardedFtl<Box<dyn Ftl>> {
+        let mut ftl = kind.build_sharded(device, shards);
+        let mut fill = FioWorkload::new(FioPattern::SeqWrite, 4000, 1, 8, 500, 1);
+        Runner::new().run(&mut ftl, &mut fill);
+        ftl
+    }
+
     #[test]
     fn sharded_qd1_single_stream_matches_legacy_bit_for_bit() {
         // The shards=1 mirror of qd1_single_stream_matches_legacy_run: one
@@ -530,18 +941,157 @@ mod tests {
     fn run_sharded_qd_agrees_with_run_qd_on_the_same_frontend() {
         // run_sharded_qd is run_qd plus lane bookkeeping: driving identical
         // sharded frontends through both paths must measure the same run.
+        // Regression (PR 4): this used to cover only DFTL, which let the
+        // other designs' sharded accounting drift unnoticed — loop over
+        // every FtlKind.
+        for kind in FtlKind::all() {
+            let wl = || FioWorkload::new(FioPattern::RandRead, 4000, 4, 1, 100, 13);
+            let mut a = warmed_sharded_on(shard_friendly_device(), kind, 2);
+            let plain = Runner::new().run_qd(&mut a, &mut wl(), 4);
+            let mut b = warmed_sharded_on(shard_friendly_device(), kind, 2);
+            let sharded = Runner::new().run_sharded_qd(&mut b, &mut wl(), 4);
+            assert_eq!(sharded.result.requests, plain.requests, "{kind}");
+            assert_eq!(sharded.result.elapsed, plain.elapsed, "{kind}");
+            assert_eq!(
+                sharded.result.latencies.mean(),
+                plain.latencies.mean(),
+                "{kind}"
+            );
+            assert_eq!(
+                sharded.result.latencies.max(),
+                plain.latencies.max(),
+                "{kind}"
+            );
+            let lane_total: u64 = sharded.lanes.iter().map(|l| l.requests).sum();
+            assert_eq!(lane_total, plain.requests, "{kind}");
+            assert!(sharded.lane_imbalance() >= 1.0, "{kind}");
+        }
+    }
+
+    #[test]
+    fn sharded_one_shard_matches_unsharded_under_scheduled_gc() {
+        // The shards=1 transparency guarantee was only pinned under blocking
+        // GC; scheduled GC routes flash work through a per-FTL IoScheduler,
+        // which must not disturb it either. Write traffic forces collections
+        // during the measured phase, so the scheduled engine really runs.
+        use baselines::BaselineConfig;
+        use ftl_base::GcMode;
+        use learnedftl::LearnedFtlConfig;
+
+        // Small blocks so the measured churn forces collections quickly; a
+        // 2-chip × 256-page block row still spans one translation page for
+        // LearnedFTL's groups.
+        let device = SsdConfig::tiny()
+            .with_geometry(ssd_sim::Geometry::new(2, 2, 1, 16, 256, 4096))
+            .with_op_ratio(0.4);
+        for kind in [FtlKind::Dftl, FtlKind::LearnedFtl] {
+            let baseline = BaselineConfig::default().with_gc_mode(GcMode::Scheduled);
+            let learned = LearnedFtlConfig::default()
+                .with_gc_mode(GcMode::Scheduled)
+                .with_charge_training_time(false);
+            let wl = |pages: u64| FioWorkload::new(FioPattern::RandWrite, pages, 1, 4, 1500, 11);
+
+            let mut plain_ftl = kind.build_with(device, baseline, learned);
+            workloads::warmup::sequential_fill(plain_ftl.as_mut(), 32, 1, SimTime::ZERO);
+            plain_ftl.drain_gc();
+            let pages = plain_ftl.logical_pages();
+            let legacy = Runner::new().run(plain_ftl.as_mut(), &mut wl(pages));
+
+            let mut sharded_ftl =
+                kind.build_sharded_with(device, 1, baseline.for_shard(1), learned);
+            workloads::warmup::sequential_fill(&mut sharded_ftl, 32, 1, SimTime::ZERO);
+            sharded_ftl.drain_gc();
+            let sharded = Runner::new().run_sharded_qd(&mut sharded_ftl, &mut wl(pages), 1);
+
+            let qd = &sharded.result;
+            assert_eq!(qd.requests, legacy.requests, "{kind}");
+            assert_eq!(qd.elapsed, legacy.elapsed, "{kind}");
+            assert_eq!(qd.latencies.mean(), legacy.latencies.mean(), "{kind}");
+            assert_eq!(qd.latencies.max(), legacy.latencies.max(), "{kind}");
+            assert_eq!(qd.stats.gc_count, legacy.stats.gc_count, "{kind}");
+            assert_eq!(qd.stats.gc_yields, legacy.stats.gc_yields, "{kind}");
+            assert_eq!(qd.stats.gc_forced, legacy.stats.gc_forced, "{kind}");
+            assert_eq!(qd.device.programs, legacy.device.programs, "{kind}");
+            assert_eq!(qd.device.erases, legacy.device.erases, "{kind}");
+            assert!(
+                legacy.stats.gc_count > 0,
+                "{kind}: the measured phase must actually collect"
+            );
+        }
+    }
+
+    #[test]
+    fn threaded_qd_matches_simulated_backend_bit_for_bit() {
         let wl = || FioWorkload::new(FioPattern::RandRead, 4000, 4, 1, 100, 13);
-        let mut a = warmed_sharded(FtlKind::Dftl, 2);
-        let plain = Runner::new().run_qd(&mut a, &mut wl(), 4);
-        let mut b = warmed_sharded(FtlKind::Dftl, 2);
-        let sharded = Runner::new().run_sharded_qd(&mut b, &mut wl(), 4);
-        assert_eq!(sharded.result.requests, plain.requests);
-        assert_eq!(sharded.result.elapsed, plain.elapsed);
-        assert_eq!(sharded.result.latencies.mean(), plain.latencies.mean());
-        assert_eq!(sharded.result.latencies.max(), plain.latencies.max());
-        let lane_total: u64 = sharded.lanes.iter().map(|l| l.requests).sum();
-        assert_eq!(lane_total, plain.requests);
-        assert!(sharded.lane_imbalance() >= 1.0);
+        let mut simulated_ftl = warmed_sharded(FtlKind::Dftl, 2);
+        let simulated = Runner::new().run_sharded_qd(&mut simulated_ftl, &mut wl(), 3);
+        let mut threaded_ftl = warmed_sharded(FtlKind::Dftl, 2);
+        let threaded = Runner::new().run_threaded_qd(&mut threaded_ftl, &mut wl(), 3, 2);
+        assert_eq!(threaded.result.requests, simulated.result.requests);
+        assert_eq!(threaded.result.elapsed, simulated.result.elapsed);
+        assert_eq!(
+            threaded.result.latencies.mean(),
+            simulated.result.latencies.mean()
+        );
+        assert_eq!(
+            threaded.result.latencies.max(),
+            simulated.result.latencies.max()
+        );
+        assert_eq!(
+            threaded.result.queueing.mean(),
+            simulated.result.queueing.mean()
+        );
+        assert_eq!(
+            threaded.result.queueing.max(),
+            simulated.result.queueing.max()
+        );
+        assert_eq!(
+            threaded.result.stats.cmt_hits,
+            simulated.result.stats.cmt_hits
+        );
+        assert_eq!(threaded.result.device.reads, simulated.result.device.reads);
+        for (a, b) in threaded.lanes.iter().zip(&simulated.lanes) {
+            assert_eq!(a.requests, b.requests);
+            assert_eq!(a.latencies.mean(), b.latencies.mean());
+            assert_eq!(a.latencies.max(), b.latencies.max());
+        }
+    }
+
+    #[test]
+    fn threaded_open_loop_matches_simulated_backend_bit_for_bit() {
+        let wl = || FioWorkload::new(FioPattern::RandRead, 4000, 4, 1, 150, 23);
+        let mean = Duration::from_micros(30);
+        let mut simulated_ftl = warmed_sharded(FtlKind::Dftl, 2);
+        let simulated = Runner::new().run_open_loop(&mut simulated_ftl, &mut wl(), mean, 42);
+        let mut threaded_ftl = warmed_sharded(FtlKind::Dftl, 2);
+        let threaded =
+            Runner::new().run_threaded_open_loop(&mut threaded_ftl, &mut wl(), mean, 42, 2);
+        assert_eq!(threaded.requests, simulated.requests);
+        assert_eq!(threaded.elapsed, simulated.elapsed);
+        assert_eq!(threaded.latencies.mean(), simulated.latencies.mean());
+        assert_eq!(threaded.latencies.max(), simulated.latencies.max());
+        assert_eq!(threaded.queueing.count(), 0, "open loop has no host queue");
+        assert_eq!(
+            threaded.stats.host_read_pages,
+            simulated.stats.host_read_pages
+        );
+        assert_eq!(threaded.device.reads, simulated.device.reads);
+    }
+
+    #[test]
+    fn threaded_qd_with_one_worker_still_matches() {
+        // workers < shards folds several shards onto one thread; the
+        // dispatch order and timings must not change.
+        let wl = || FioWorkload::new(FioPattern::RandRead, 4000, 8, 1, 60, 17);
+        let mut simulated_ftl = warmed_sharded(FtlKind::Ideal, 2);
+        let simulated = Runner::new().run_sharded_qd(&mut simulated_ftl, &mut wl(), 8);
+        let mut threaded_ftl = warmed_sharded(FtlKind::Ideal, 2);
+        let threaded = Runner::new().run_threaded_qd(&mut threaded_ftl, &mut wl(), 8, 1);
+        assert_eq!(threaded.result.elapsed, simulated.result.elapsed);
+        assert_eq!(
+            threaded.result.latencies.mean(),
+            simulated.result.latencies.mean()
+        );
     }
 
     #[test]

@@ -12,6 +12,10 @@
 //! * [`QueuePair`] — an NVMe-style bounded submission/completion queue pair
 //!   modelling the host interface at a configurable queue depth; the
 //!   experiment harness threads this through its `run_qd` mode,
+//! * [`SerialEngine`] / [`ShardEngine`] — one FTL translation core: busy
+//!   from each request's issue to its completion, requests queueing FIFO
+//!   behind it; the seam shared by the simulated and the thread-parallel
+//!   execution backends,
 //! * [`MultiIssuer`] — a bank of serial issue engines modelling the FTL
 //!   frontend's translation cores: one issuer per FTL shard, each processing
 //!   one request at a time (the `ftl-shard` crate routes every shard's
@@ -51,12 +55,14 @@
 #![warn(missing_docs)]
 
 mod cmd;
+mod engine;
 mod event;
 mod multi;
 mod queue;
 mod sched;
 
 pub use cmd::{CmdId, CmdKind, Command, Completion, Priority};
+pub use engine::{SerialEngine, ShardEngine};
 pub use event::EventQueue;
 pub use multi::{MultiIssuer, MultiIssuerStats};
 pub use queue::QueuePair;

@@ -6,19 +6,28 @@
 //! FTL is already chewing on. Real FTL frontends are not like that — each
 //! FTL instance runs on one embedded core and processes one request at a
 //! time. [`MultiIssuer`] models exactly that resource: `issuers` independent
-//! serial engines (one per FTL shard), each busy from a request's issue until
-//! its completion, with requests to the same engine queueing FIFO behind it.
+//! [`SerialEngine`]s (one per FTL shard), each busy from a request's issue
+//! until its completion, with requests to the same engine queueing FIFO
+//! behind it.
 //!
 //! The sharded FTL frontend (`ftl-shard`) owns a `MultiIssuer` with one
 //! issuer per shard; the host queue depth stays where it was ([`crate::QueuePair`]
 //! inside the experiment harness), so the two bounds compose: queue depth
 //! limits how many requests the *host* keeps in flight, the issuer bank
 //! limits how many the *device frontend* can translate concurrently.
+//!
+//! The bank is deliberately a thin wrapper: the thread-parallel backend
+//! borrows the individual engines ([`MultiIssuer::engines_mut`]) and hands
+//! each worker thread exclusive access to its shard's engine, so both
+//! backends run the identical per-engine arithmetic.
 
 use metrics::LatencyHistogram;
 use ssd_sim::{Duration, SimTime};
 
-/// Per-issuer counters plus the engine-queueing distribution.
+use crate::engine::SerialEngine;
+
+/// Per-issuer counters plus the engine-queueing distribution, synthesized
+/// from the bank's [`SerialEngine`]s by [`MultiIssuer::stats`].
 #[derive(Debug, Clone, Default)]
 pub struct MultiIssuerStats {
     /// Requests dispatched through each issuer.
@@ -48,8 +57,7 @@ pub struct MultiIssuerStats {
 /// ```
 #[derive(Debug, Clone)]
 pub struct MultiIssuer {
-    free_at: Vec<SimTime>,
-    stats: MultiIssuerStats,
+    engines: Vec<SerialEngine>,
 }
 
 impl MultiIssuer {
@@ -61,18 +69,13 @@ impl MultiIssuer {
     pub fn new(issuers: usize) -> Self {
         assert!(issuers > 0, "need at least one issuer");
         MultiIssuer {
-            free_at: vec![SimTime::ZERO; issuers],
-            stats: MultiIssuerStats {
-                dispatched: vec![0; issuers],
-                busy: vec![Duration::ZERO; issuers],
-                waits: LatencyHistogram::new(),
-            },
+            engines: vec![SerialEngine::new(); issuers],
         }
     }
 
     /// Number of issue engines in the bank.
     pub fn issuers(&self) -> usize {
-        self.free_at.len()
+        self.engines.len()
     }
 
     /// The time `issuer` becomes free (equal to the completion time of its
@@ -82,33 +85,68 @@ impl MultiIssuer {
     ///
     /// Panics if `issuer` is out of range.
     pub fn free_at(&self, issuer: usize) -> SimTime {
-        self.free_at[issuer]
+        self.engines[issuer].free_at()
     }
 
     /// The time every issuer is free (the bank's quiesce point).
     pub fn drain_time(&self) -> SimTime {
-        self.free_at
+        self.engines
             .iter()
-            .copied()
+            .map(SerialEngine::free_at)
             .fold(SimTime::ZERO, SimTime::max)
     }
 
-    /// Counters accumulated so far.
-    pub fn stats(&self) -> &MultiIssuerStats {
-        &self.stats
+    /// Shared access to one engine.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `issuer` is out of range.
+    pub fn engine(&self, issuer: usize) -> &SerialEngine {
+        &self.engines[issuer]
     }
 
-    /// Resets the counters (dispatch counts, busy times, wait histogram)
+    /// Exclusive access to one engine (the simulated backend dispatches
+    /// through it via the [`crate::ShardEngine`] interface).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `issuer` is out of range.
+    pub fn engine_mut(&mut self, issuer: usize) -> &mut SerialEngine {
+        &mut self.engines[issuer]
+    }
+
+    /// Exclusive access to every engine in the bank. The thread-parallel
+    /// backend splits this slice and lends each worker thread its shard's
+    /// engine, so per-engine state (busy-until, counters) evolves exactly as
+    /// it would under [`MultiIssuer::submit`] on one thread.
+    pub fn engines_mut(&mut self) -> &mut [SerialEngine] {
+        &mut self.engines
+    }
+
+    /// Counters accumulated so far, aggregated across the bank. The `waits`
+    /// histogram holds every engine's samples (per-engine recording order,
+    /// engines concatenated), which is the same multiset a single-threaded
+    /// interleaving records.
+    pub fn stats(&self) -> MultiIssuerStats {
+        let mut waits = LatencyHistogram::new();
+        for engine in &self.engines {
+            waits.merge(engine.waits());
+        }
+        MultiIssuerStats {
+            dispatched: self.engines.iter().map(SerialEngine::dispatched).collect(),
+            busy: self.engines.iter().map(SerialEngine::busy).collect(),
+            waits,
+        }
+    }
+
+    /// Resets the counters (dispatch counts, busy times, wait histograms)
     /// without touching the engines' busy-until times — the simulated
     /// timeline continues, only the measurement window restarts. Frontends
     /// reset this alongside their FTL statistics between experiment phases.
     pub fn reset_stats(&mut self) {
-        let n = self.free_at.len();
-        self.stats = MultiIssuerStats {
-            dispatched: vec![0; n],
-            busy: vec![Duration::ZERO; n],
-            waits: LatencyHistogram::new(),
-        };
+        for engine in &mut self.engines {
+            engine.reset_stats();
+        }
     }
 
     /// Dispatches a request arriving at `arrival` through `issuer`.
@@ -128,17 +166,7 @@ impl MultiIssuer {
         arrival: SimTime,
         run: F,
     ) -> (SimTime, SimTime) {
-        let issue = arrival.max(self.free_at[issuer]);
-        let completion = run(issue);
-        assert!(
-            completion >= issue,
-            "completion must not precede issue ({completion} < {issue})"
-        );
-        self.free_at[issuer] = completion;
-        self.stats.dispatched[issuer] += 1;
-        self.stats.busy[issuer] += completion - issue;
-        self.stats.waits.record(issue - arrival);
-        (issue, completion)
+        self.engines[issuer].submit(arrival, run)
     }
 }
 
@@ -202,6 +230,19 @@ mod tests {
         let (_, c) = bank.submit(0, SimTime::ZERO, |t| t + SERVICE);
         assert_eq!(bank.free_at(0), c);
         assert_eq!(bank.free_at(1), SimTime::ZERO);
+    }
+
+    #[test]
+    fn stats_aggregate_across_engines() {
+        let mut bank = MultiIssuer::new(2);
+        bank.submit(0, SimTime::ZERO, |t| t + SERVICE);
+        bank.submit(1, SimTime::ZERO, |t| t + SERVICE);
+        bank.submit(1, SimTime::ZERO, |t| t + SERVICE);
+        let stats = bank.stats();
+        assert_eq!(stats.dispatched, vec![1, 2]);
+        assert_eq!(stats.busy, vec![SERVICE, SERVICE + SERVICE]);
+        assert_eq!(stats.waits.count(), 3);
+        assert_eq!(bank.engine(1).dispatched(), 2);
     }
 
     #[test]
