@@ -123,24 +123,35 @@ impl Ftl for Dftl {
         self.core.begin_host_batch();
         let mut barrier = now;
         let mut done = now;
-        for l in lpn..lpn + u64::from(pages) {
-            if l >= self.core.logical_pages() {
-                break;
-            }
-            self.core.stats.host_write_pages += 1;
+        let end = (lpn + u64::from(pages)).min(self.core.logical_pages());
+        let mut l = lpn;
+        while l < end {
             barrier = self.collect_garbage(barrier);
-            let ppn = self
+            // One plane-aligned stripe per round: on multi-plane geometries
+            // consecutive pages program as a single multi-plane group; with
+            // one plane per chip the stripe is a single page and the loop is
+            // the historical per-page path.
+            let stripe = self
                 .pool
-                .allocate(&self.core.dev)
+                .allocate_stripe(&self.core.dev, (end - l) as usize)
                 .expect("GC must leave allocatable space");
-            let t_write = self.core.program_data(l, ppn, barrier);
-            // Keep the cached mapping coherent; a miss inserts a dirty entry
+            let writes: Vec<(Lpn, ssd_sim::Ppn)> = stripe
+                .iter()
+                .enumerate()
+                .map(|(i, &ppn)| (l + i as u64, ppn))
+                .collect();
+            self.core.stats.host_write_pages += writes.len() as u64;
+            let t_write = self.core.program_data_multi(&writes, barrier);
+            // Keep the cached mappings coherent; a miss inserts a dirty entry
             // (lazy write-back, charged at eviction time).
-            if !self.cmt.update_if_cached(l, ppn) {
-                let evicted = self.cmt.insert_dirty(l, ppn);
-                barrier = self.handle_eviction(evicted, barrier);
+            for &(wl, ppn) in &writes {
+                if !self.cmt.update_if_cached(wl, ppn) {
+                    let evicted = self.cmt.insert_dirty(wl, ppn);
+                    barrier = self.handle_eviction(evicted, barrier);
+                }
             }
             done = done.max(t_write).max(barrier);
+            l += writes.len() as u64;
         }
         self.core.finish_host_batch(done)
     }

@@ -68,18 +68,24 @@ impl Ftl for IdealFtl {
         self.core.begin_host_batch();
         let mut barrier = now;
         let mut done = now;
-        for l in lpn..lpn + u64::from(pages) {
-            if l >= self.core.logical_pages() {
-                break;
-            }
-            self.core.stats.host_write_pages += 1;
+        let end = (lpn + u64::from(pages)).min(self.core.logical_pages());
+        let mut l = lpn;
+        while l < end {
             barrier = self.collect_garbage(barrier);
-            let ppn = self
+            // See Dftl::write: one plane-aligned stripe per round.
+            let stripe = self
                 .pool
-                .allocate(&self.core.dev)
+                .allocate_stripe(&self.core.dev, (end - l) as usize)
                 .expect("GC must leave allocatable space");
-            let t = self.core.program_data(l, ppn, barrier);
+            let writes: Vec<(Lpn, ssd_sim::Ppn)> = stripe
+                .iter()
+                .enumerate()
+                .map(|(i, &ppn)| (l + i as u64, ppn))
+                .collect();
+            self.core.stats.host_write_pages += writes.len() as u64;
+            let t = self.core.program_data_multi(&writes, barrier);
             done = done.max(t);
+            l += writes.len() as u64;
         }
         self.core.finish_host_batch(done)
     }

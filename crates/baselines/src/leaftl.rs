@@ -143,19 +143,29 @@ impl LeaFtl {
         }
 
         // Write the sorted pages out; the dynamic allocator stripes them
-        // across chips, and the VPPN representation makes the resulting
-        // placements near-contiguous for model training.
+        // across chips (and across planes, forming multi-plane program
+        // groups), and the VPPN representation makes the resulting placements
+        // near-contiguous for model training.
         let mut placements: Vec<(Lpn, u64)> = Vec::with_capacity(lpns.len());
         let mut write_done = barrier;
-        for &lpn in &lpns {
-            let ppn = self
+        let mut idx = 0;
+        while idx < lpns.len() {
+            let stripe = self
                 .pool
-                .allocate(&self.core.dev)
+                .allocate_stripe(&self.core.dev, lpns.len() - idx)
                 .expect("buffer flush must have allocatable space");
-            let t = self.core.program_data(lpn, ppn, barrier);
+            let writes: Vec<(Lpn, u64)> = stripe
+                .iter()
+                .enumerate()
+                .map(|(i, &ppn)| (lpns[idx + i], ppn))
+                .collect();
+            let t = self.core.program_data_multi(&writes, barrier);
             write_done = write_done.max(t);
-            let vppn = ppn_to_vppn(ppn, self.core.dev.geometry());
-            placements.push((lpn, vppn));
+            for &(lpn, ppn) in &writes {
+                let vppn = ppn_to_vppn(ppn, self.core.dev.geometry());
+                placements.push((lpn, vppn));
+            }
+            idx += writes.len();
         }
 
         // Train one batch of segments per affected translation page and

@@ -150,24 +150,32 @@ impl Ftl for Tpftl {
         self.core.begin_host_batch();
         let mut barrier = now;
         let mut done = now;
-        for l in lpn..lpn + u64::from(pages) {
-            if l >= self.core.logical_pages() {
-                break;
-            }
-            self.core.stats.host_write_pages += 1;
+        let end = (lpn + u64::from(pages)).min(self.core.logical_pages());
+        let mut l = lpn;
+        while l < end {
             barrier = self.collect_garbage(barrier);
-            let ppn = self
+            // See Dftl::write: one plane-aligned stripe per round.
+            let stripe = self
                 .pool
-                .allocate(&self.core.dev)
+                .allocate_stripe(&self.core.dev, (end - l) as usize)
                 .expect("GC must leave allocatable space");
-            let t_write = self.core.program_data(l, ppn, barrier);
-            let tpn = self.core.entry_of_lpn(l);
-            let offset = self.core.offset_of_lpn(l);
-            if !self.cmt.update_if_cached(tpn, offset, ppn) {
-                let evicted = self.cmt.insert_batch(tpn, &[(offset, ppn, true)]);
-                barrier = self.persist_evicted(evicted, barrier);
+            let writes: Vec<(Lpn, ssd_sim::Ppn)> = stripe
+                .iter()
+                .enumerate()
+                .map(|(i, &ppn)| (l + i as u64, ppn))
+                .collect();
+            self.core.stats.host_write_pages += writes.len() as u64;
+            let t_write = self.core.program_data_multi(&writes, barrier);
+            for &(wl, ppn) in &writes {
+                let tpn = self.core.entry_of_lpn(wl);
+                let offset = self.core.offset_of_lpn(wl);
+                if !self.cmt.update_if_cached(tpn, offset, ppn) {
+                    let evicted = self.cmt.insert_batch(tpn, &[(offset, ppn, true)]);
+                    barrier = self.persist_evicted(evicted, barrier);
+                }
             }
             done = done.max(t_write).max(barrier);
+            l += writes.len() as u64;
         }
         self.core.finish_host_batch(done)
     }

@@ -118,12 +118,37 @@ pub fn shard_scaling_device(scale: Scale) -> SsdConfig {
     }
 }
 
+/// The base device of the plane-scaling sweep (`fig26_plane_scaling`): few
+/// chips (so a bounded host queue saturates them and the extra planes are
+/// the only head-room left), a per-chip block count divisible by 4 (every
+/// swept plane count splits it evenly via [`SsdConfig::with_planes`]), and
+/// 256-page blocks so LearnedFTL's group rows hold whole translation-page
+/// spans at every plane count.
+pub fn plane_scaling_device(scale: Scale) -> SsdConfig {
+    match scale {
+        // 256 MiB raw over 4 chips; the generous OP and block depth keep GC
+        // (and LearnedFTL's group-row reserve at planes=4) out of the
+        // measured window so the sweep isolates plane parallelism.
+        Scale::Quick => SsdConfig::tiny()
+            .with_geometry(Geometry::new(2, 2, 1, 64, 256, 4096))
+            .with_op_ratio(0.4),
+        // 768 MiB raw over 8 chips.
+        Scale::Standard => SsdConfig::small()
+            .with_geometry(Geometry::new(4, 2, 1, 96, 256, 4096))
+            .with_op_ratio(0.25),
+        Scale::Paper => SsdConfig::paper(),
+    }
+}
+
 /// Command-line options shared by the figure binaries.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub struct BenchArgs {
     /// Number of FTL shards (`--shards N`); `1` (the default) runs the
     /// monolithic FTLs exactly as before.
     pub shards: usize,
+    /// Number of planes per chip (`--planes N`); `1` (the default) lets the
+    /// plane-scaling binary sweep its standard `{1, 2, 4}` set.
+    pub planes: u32,
     /// Force the quick (smoke-test) scale regardless of `LEARNEDFTL_SCALE`
     /// (`--quick`); what CI passes to the wall-clock scaling check.
     pub quick: bool,
@@ -133,6 +158,7 @@ impl Default for BenchArgs {
     fn default() -> Self {
         BenchArgs {
             shards: 1,
+            planes: 1,
             quick: false,
         }
     }
@@ -162,27 +188,44 @@ impl BenchArgs {
         }
     }
 
-    /// Parses an argument list (`--shards N` / `--shards=N` / `--quick`).
+    /// Parses an argument list (`--shards N` / `--shards=N` / `--planes N` /
+    /// `--planes=N` / `--quick`).
     pub fn parse<I: IntoIterator<Item = String>>(args: I) -> Result<BenchArgs, String> {
+        /// Extracts the positive-integer value of `--name N` / `--name=N`
+        /// (where `arg` is the current argument and `iter` supplies a
+        /// space-separated value), or `None` when `arg` is a different flag.
+        fn flag_value(
+            name: &str,
+            arg: &str,
+            iter: &mut impl Iterator<Item = String>,
+        ) -> Result<Option<u64>, String> {
+            let value = if arg == name {
+                iter.next().ok_or(format!("{name} needs a value"))?
+            } else if let Some(v) = arg.strip_prefix(name).and_then(|v| v.strip_prefix('=')) {
+                v.to_string()
+            } else {
+                return Ok(None);
+            };
+            value
+                .parse::<u64>()
+                .ok()
+                .filter(|&n| n >= 1)
+                .map(Some)
+                .ok_or_else(|| format!("`{name} {value}`: expected a positive integer"))
+        }
+
         let mut parsed = BenchArgs::default();
         let mut iter = args.into_iter();
         while let Some(arg) = iter.next() {
             if arg == "--quick" {
                 parsed.quick = true;
-                continue;
-            }
-            let value = if arg == "--shards" {
-                iter.next().ok_or("--shards needs a value")?
-            } else if let Some(v) = arg.strip_prefix("--shards=") {
-                v.to_string()
+            } else if let Some(n) = flag_value("--shards", &arg, &mut iter)? {
+                parsed.shards = n as usize;
+            } else if let Some(n) = flag_value("--planes", &arg, &mut iter)? {
+                parsed.planes = n.min(u64::from(u32::MAX)) as u32;
             } else {
                 return Err(format!("unknown argument `{arg}`"));
-            };
-            parsed.shards = value
-                .parse::<usize>()
-                .ok()
-                .filter(|&n| n >= 1)
-                .ok_or_else(|| format!("`--shards {value}`: expected a positive integer"))?;
+            }
         }
         Ok(parsed)
     }
@@ -266,6 +309,34 @@ mod tests {
         assert!(args(&["--shards", "0"]).is_err());
         assert!(args(&["--shards", "x"]).is_err());
         assert!(args(&["--frobnicate"]).is_err());
+        assert_eq!(args(&[]).unwrap().planes, 1);
+        assert_eq!(args(&["--planes", "2"]).unwrap().planes, 2);
+        assert_eq!(args(&["--planes=4"]).unwrap().planes, 4);
+        assert!(args(&["--planes"]).is_err());
+        assert!(args(&["--planes", "0"]).is_err());
+    }
+
+    #[test]
+    fn plane_scaling_device_splits_evenly_at_every_plane_count() {
+        for scale in [Scale::Quick, Scale::Standard, Scale::Paper] {
+            let base = plane_scaling_device(scale);
+            for planes in [1u32, 2, 4] {
+                let dev = base.with_planes(planes);
+                assert_eq!(dev.geometry.planes_per_chip, planes);
+                assert_eq!(
+                    dev.geometry.total_pages(),
+                    base.geometry.total_pages(),
+                    "plane split must preserve capacity"
+                );
+                // LearnedFTL's group allocation must fit at every count.
+                assert!(
+                    learnedftl::LearnedFtlConfig::default()
+                        .group_capacity_check(&dev)
+                        .is_ok(),
+                    "{scale:?} planes={planes} cannot host group allocation"
+                );
+            }
+        }
     }
 
     #[test]

@@ -121,17 +121,20 @@ impl LearnedFtlConfig {
     }
 
     /// The effective group size: either the explicit setting or the value
-    /// that makes one group allocation span exactly one block on every chip.
+    /// that makes one group allocation span exactly one block on every
+    /// *plane* of every chip. `parallel_units` is the device's total plane
+    /// count ([`ssd_sim::Geometry::total_planes`]); with one plane per chip
+    /// that equals the chip count, the paper's setup.
     pub fn effective_entries_per_group(
         &self,
-        total_chips: u64,
+        parallel_units: u64,
         pages_per_block: u32,
         mappings_per_page: u32,
     ) -> usize {
         if self.entries_per_group > 0 {
             return self.entries_per_group;
         }
-        let pages_per_row = total_chips * u64::from(pages_per_block);
+        let pages_per_row = parallel_units * u64::from(pages_per_block);
         (pages_per_row / u64::from(mappings_per_page)).max(1) as usize
     }
 
@@ -157,15 +160,15 @@ impl LearnedFtlConfig {
             .logical_pages()
             .div_ceil(u64::from(mappings_per_page)) as usize;
         let entries_per_group = self.effective_entries_per_group(
-            geometry.total_chips(),
+            geometry.total_planes(),
             geometry.pages_per_block,
             mappings_per_page,
         );
-        let pages_per_row = geometry.total_chips() * u64::from(geometry.pages_per_block);
+        let pages_per_row = geometry.total_planes() * u64::from(geometry.pages_per_block);
         let group_span_pages = entries_per_group as u64 * u64::from(mappings_per_page);
         let rows_needed = group_span_pages.div_ceil(pages_per_row).max(1) as usize;
         let reserve_rows = self.reserve_rows.max(rows_needed + 1);
-        let data_rows = partition.data_blocks_per_chip() as usize;
+        let data_rows = partition.data_blocks_per_plane() as usize;
         let group_count = entries.div_ceil(entries_per_group);
         if group_count * rows_needed + reserve_rows <= data_rows {
             Ok((group_count, rows_needed, reserve_rows, data_rows))

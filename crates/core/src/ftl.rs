@@ -49,7 +49,7 @@ impl LearnedFtl {
         let entries = core.gtd.entries();
         let mappings_per_page = core.mappings_per_page();
         let entries_per_group = config.effective_entries_per_group(
-            device.geometry.total_chips(),
+            device.geometry.total_planes(),
             device.geometry.pages_per_block,
             mappings_per_page,
         );

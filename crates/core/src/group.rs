@@ -5,11 +5,14 @@ use std::collections::VecDeque;
 use ftl_base::BlockPartition;
 use ssd_sim::{vppn_to_ppn, FlashDevice, Geometry, PageState, Ppn, Vppn};
 
-/// One block *row*: the set of blocks with the same per-chip block index on
-/// every chip. A row is exactly one group allocation unit — "64 flash blocks
-/// at a time, one for each of the 64 translation pages" in the paper's
-/// geometry — and its pages form a contiguous VPPN range, which is what makes
-/// the trained models linear.
+/// One block *row*: the set of blocks with the same in-plane block index on
+/// every plane of every chip. A row is exactly one group allocation unit —
+/// "64 flash blocks at a time, one for each of the 64 translation pages" in
+/// the paper's one-plane geometry — and its pages form a contiguous VPPN
+/// range, which is what makes the trained models linear. On multi-plane
+/// geometries a row spans `chips × planes` blocks and the VPPN order stripes
+/// channel-fastest, then chip, then plane, so consecutive allocations cover
+/// every plane of a chip at the same (block, page) offset.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 struct RowAlloc {
     row: u32,
@@ -68,13 +71,10 @@ pub struct GroupAllocator {
 }
 
 impl GroupAllocator {
-    /// Creates the allocator over the data region of `partition`.
-    ///
-    /// # Panics
-    ///
-    /// Panics if the geometry has more than one plane per chip (the block-row
-    /// construction assumes the per-chip block index addresses a whole plane
-    /// row; all paper configurations use one plane).
+    /// Creates the allocator over the data region of `partition`. A block
+    /// row spans every plane of every chip (the per-plane block index is the
+    /// row id), so the construction works for any plane count; with one
+    /// plane per chip it is exactly the historical per-chip row.
     #[allow(clippy::too_many_arguments)]
     pub fn new(
         partition: &BlockPartition,
@@ -86,12 +86,8 @@ impl GroupAllocator {
         max_rows_per_group: usize,
         borrow_fraction: f64,
     ) -> Self {
-        assert_eq!(
-            geometry.planes_per_chip, 1,
-            "group allocation assumes one plane per chip"
-        );
-        let pages_per_row = geometry.total_chips() * u64::from(geometry.pages_per_block);
-        let data_rows = partition.data_blocks_per_chip() as u32;
+        let pages_per_row = geometry.total_planes() * u64::from(geometry.pages_per_block);
+        let data_rows = partition.data_blocks_per_plane() as u32;
         let group_count = gtd_entries.div_ceil(entries_per_group).max(1);
         GroupAllocator {
             geometry,
@@ -154,11 +150,18 @@ impl GroupAllocator {
         (start, end)
     }
 
-    /// The flat block indices making up a row.
+    /// The flat block indices making up a row: the block with in-plane index
+    /// `row` on every plane of every chip.
     pub fn row_blocks(&self, row: u32) -> Vec<u64> {
-        let blocks_per_chip = self.geometry.blocks_per_chip();
-        (0..self.geometry.total_chips())
-            .map(|chip| chip * blocks_per_chip + u64::from(row))
+        let g = &self.geometry;
+        let blocks_per_chip = g.blocks_per_chip();
+        let blocks_per_plane = u64::from(g.blocks_per_plane);
+        (0..g.total_chips())
+            .flat_map(move |chip| {
+                (0..u64::from(g.planes_per_chip)).map(move |plane| {
+                    chip * blocks_per_chip + plane * blocks_per_plane + u64::from(row)
+                })
+            })
             .collect()
     }
 

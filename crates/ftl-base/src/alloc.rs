@@ -1,18 +1,36 @@
 //! Data-page allocation: the dynamic (least-busy chip) allocation strategy
-//! used by DFTL, TPFTL and LeaFTL, plus greedy victim selection for GC.
+//! used by DFTL, TPFTL and LeaFTL — now plane-striped so consecutive writes
+//! to one chip land on its planes in turn and form multi-plane program
+//! groups — plus greedy victim selection for GC.
 
 use std::collections::VecDeque;
 
 use crate::partition::BlockPartition;
 use ssd_sim::{FlashDevice, Ppn, SimTime};
 
+/// The active block stripe of one chip: one open block per participating
+/// plane (all with the same in-plane block index when the free lists allow
+/// it), filled page-row by page-row — (page 0, plane 0), (page 0, plane 1),
+/// …, (page 1, plane 0), … — so consecutive allocations on the chip are
+/// plane-aligned at the same (block, page) offset and can program as one
+/// multi-plane group.
+#[derive(Debug, Clone)]
+struct Stripe {
+    /// `(plane, flat block)` per participating plane, ascending planes.
+    blocks: Vec<(u32, u64)>,
+    /// Next page offset to hand out.
+    page: u32,
+    /// Next entry of `blocks` to hand out at the current page offset.
+    cursor: usize,
+}
+
 /// Per-chip state of the dynamic data-page allocator.
 #[derive(Debug, Clone)]
 struct ChipState {
-    /// Erased data blocks available on this chip (flat block indices).
-    free: VecDeque<u64>,
-    /// The block currently being filled, plus its write cursor.
-    active: Option<(u64, u32)>,
+    /// Erased data blocks available per plane (flat block indices, FIFO).
+    free: Vec<VecDeque<u64>>,
+    /// The block stripe currently being filled.
+    stripe: Option<Stripe>,
     /// Blocks that have been fully programmed (may contain invalid pages).
     used: Vec<u64>,
 }
@@ -21,11 +39,17 @@ struct ChipState {
 /// chip (ties broken by free space), which maximises parallelism but scatters
 /// consecutive LPNs across the device — exactly the behaviour that makes
 /// learned-index training hard (paper Challenge #2) and that the paper's
-/// group-based allocation replaces for LearnedFTL.
+/// group-based allocation replaces for LearnedFTL. Within a chip, allocations
+/// stripe across planes so multi-plane geometries expose their intra-chip
+/// parallelism; with one plane per chip the pool behaves exactly like the
+/// historical single-timeline allocator.
 #[derive(Debug, Clone)]
 pub struct DynamicDataPool {
     chips: Vec<ChipState>,
     pages_per_block: u32,
+    planes_per_chip: u32,
+    blocks_per_plane: u64,
+    blocks_per_chip: u64,
     gc_low_watermark: usize,
 }
 
@@ -47,37 +71,57 @@ impl DynamicDataPool {
     /// [`DynamicDataPool::needs_gc`] reports true; the paper's baselines use
     /// a small fixed headroom.
     pub fn new(partition: &BlockPartition, pages_per_block: u32, gc_low_watermark: usize) -> Self {
+        let planes = partition.planes_per_chip() as u32;
         let chips = (0..partition.total_chips())
             .map(|chip| ChipState {
-                free: partition.data_blocks_on_chip(chip).collect(),
-                active: None,
+                free: (0..u64::from(planes))
+                    .map(|plane| partition.data_blocks_on_plane(chip, plane).collect())
+                    .collect(),
+                stripe: None,
                 used: Vec::new(),
             })
             .collect();
         DynamicDataPool {
             chips,
             pages_per_block,
+            planes_per_chip: planes,
+            blocks_per_plane: partition.data_blocks_per_plane()
+                + partition.translation_blocks_per_plane(),
+            blocks_per_chip: (partition.data_blocks_per_plane()
+                + partition.translation_blocks_per_plane())
+                * partition.planes_per_chip(),
             gc_low_watermark,
         }
     }
 
     /// Total number of erased data blocks across all chips.
     pub fn free_block_count(&self) -> usize {
-        self.chips.iter().map(|c| c.free.len()).sum()
-    }
-
-    /// Total free (allocatable) pages, counting partially filled active blocks.
-    pub fn free_page_count(&self) -> u64 {
         self.chips
             .iter()
-            .map(|c| {
-                let active_free = c
-                    .active
-                    .map(|(_, cursor)| u64::from(self.pages_per_block - cursor))
-                    .unwrap_or(0);
-                c.free.len() as u64 * u64::from(self.pages_per_block) + active_free
-            })
+            .map(|c| c.free.iter().map(VecDeque::len).sum::<usize>())
             .sum()
+    }
+
+    /// Free (allocatable) pages on one chip, counting its partially filled
+    /// stripe.
+    fn chip_free_pages(&self, chip: usize) -> u64 {
+        let c = &self.chips[chip];
+        let free_blocks: u64 = c.free.iter().map(|f| f.len() as u64).sum();
+        let stripe_free = c
+            .stripe
+            .as_ref()
+            .map(|s| {
+                let total = u64::from(self.pages_per_block) * s.blocks.len() as u64;
+                let taken = u64::from(s.page) * s.blocks.len() as u64 + s.cursor as u64;
+                total - taken
+            })
+            .unwrap_or(0);
+        free_blocks * u64::from(self.pages_per_block) + stripe_free
+    }
+
+    /// Total free (allocatable) pages, counting partially filled stripes.
+    pub fn free_page_count(&self) -> u64 {
+        (0..self.chips.len()).map(|c| self.chip_free_pages(c)).sum()
     }
 
     /// Whether garbage collection should run before accepting more writes.
@@ -85,24 +129,24 @@ impl DynamicDataPool {
         self.free_block_count() <= self.gc_low_watermark
     }
 
+    /// The chip indices ordered by (earliest-free plane, most free space):
+    /// the dispatch order of the dynamic strategy.
+    fn chip_order(&self, dev: &FlashDevice) -> Vec<usize> {
+        let busy = dev.busy_until_per_chip();
+        let mut order: Vec<usize> = (0..self.chips.len()).collect();
+        order.sort_by_key(|&i| {
+            (
+                busy.get(i).copied().unwrap_or(SimTime::ZERO),
+                u64::MAX - self.chip_free_pages(i),
+            )
+        });
+        order
+    }
+
     /// Allocates the next data page, steering to the least-busy chip.
     /// Returns `None` when every chip is out of space (the caller must GC).
     pub fn allocate(&mut self, dev: &FlashDevice) -> Option<Ppn> {
-        let busy = dev.busy_until_per_chip();
-        // Order candidate chips by (busy_until, -free_pages).
-        let mut order: Vec<usize> = (0..self.chips.len()).collect();
-        order.sort_by_key(|&i| {
-            let c = &self.chips[i];
-            let free_pages = c.free.len() as u64 * u64::from(self.pages_per_block)
-                + c.active
-                    .map(|(_, cur)| u64::from(self.pages_per_block - cur))
-                    .unwrap_or(0);
-            (
-                busy.get(i).copied().unwrap_or(SimTime::ZERO),
-                u64::MAX - free_pages,
-            )
-        });
-        for idx in order {
+        for idx in self.chip_order(dev) {
             if let Some(ppn) = self.allocate_on_chip(idx, dev) {
                 return Some(ppn);
             }
@@ -110,33 +154,159 @@ impl DynamicDataPool {
         None
     }
 
-    /// Allocates the next data page on a specific chip (used by LeaFTL's
-    /// buffer flush, which round-robins channels to obtain VPPN-contiguous
-    /// placements). Returns `None` if the chip is out of space.
-    pub fn allocate_on_chip(&mut self, chip: usize, dev: &FlashDevice) -> Option<Ppn> {
-        let pages_per_block = self.pages_per_block;
-        let state = &mut self.chips[chip];
-        loop {
-            match state.active {
-                Some((block, cursor)) if cursor < pages_per_block => {
-                    state.active = Some((block, cursor + 1));
-                    return Some(dev.first_ppn_of_flat_block(block) + u64::from(cursor));
-                }
-                Some((block, _)) => {
-                    state.used.push(block);
-                    state.active = None;
-                }
-                None => match state.free.pop_front() {
-                    Some(block) => state.active = Some((block, 0)),
-                    None => return None,
-                },
+    /// Allocates up to `want` pages as one **plane-aligned stripe** on the
+    /// least-busy chip that has space: every returned page shares the chip
+    /// and the (block, page) offset and the planes ascend, so the group can
+    /// program as a single multi-plane command. The group never crosses a
+    /// block boundary: it is cut at the end of the current page row. With one
+    /// plane per chip (or `want == 1`) this is exactly [`Self::allocate`].
+    ///
+    /// Returns `None` when every chip is out of space.
+    pub fn allocate_stripe(&mut self, dev: &FlashDevice, want: usize) -> Option<Vec<Ppn>> {
+        let want = want.max(1);
+        for idx in self.chip_order(dev) {
+            let got = self.allocate_stripe_on_chip(idx, dev, want);
+            if !got.is_empty() {
+                return Some(got);
             }
+        }
+        None
+    }
+
+    /// Allocates the next data page on a specific chip (used by tests and by
+    /// GC relocation, which moves one page at a time). Returns `None` if the
+    /// chip is out of space.
+    pub fn allocate_on_chip(&mut self, chip: usize, dev: &FlashDevice) -> Option<Ppn> {
+        let mut got = self.allocate_stripe_on_chip(chip, dev, 1);
+        debug_assert!(got.len() <= 1);
+        got.pop()
+    }
+
+    /// Takes up to `want` pages from the chip's stripe, cutting the group at
+    /// the end of the current page row (so it stays plane-aligned and inside
+    /// one block row).
+    fn allocate_stripe_on_chip(&mut self, chip: usize, dev: &FlashDevice, want: usize) -> Vec<Ppn> {
+        let pages_per_block = self.pages_per_block;
+        let mut out = Vec::new();
+        loop {
+            if out.len() >= want {
+                return out;
+            }
+            if self.chips[chip].stripe.is_none() && !self.open_stripe(chip, want) {
+                return out;
+            }
+            let state = &mut self.chips[chip];
+            let stripe = state.stripe.as_mut().expect("opened above");
+            let (_, block) = stripe.blocks[stripe.cursor];
+            out.push(dev.first_ppn_of_flat_block(block) + u64::from(stripe.page));
+            stripe.cursor += 1;
+            let row_ended = stripe.cursor == stripe.blocks.len();
+            if row_ended {
+                stripe.cursor = 0;
+                stripe.page += 1;
+                if stripe.page == pages_per_block {
+                    let stripe = state.stripe.take().expect("still open");
+                    state.used.extend(stripe.blocks.iter().map(|&(_, b)| b));
+                }
+            }
+            // Never extend a group past the end of its page row: the next
+            // page would break the shared (block, page) offset.
+            if row_ended {
+                return out;
+            }
+        }
+    }
+
+    /// Opens a fresh stripe on `chip`: preferably one block per plane with a
+    /// common in-plane index (full multi-plane alignment), otherwise the
+    /// front block of the single plane with the most free blocks (degenerate
+    /// stripe — allocation continues without fusion).
+    ///
+    /// A single-page request under GC pressure (`want == 1` while the pool
+    /// sits at its low watermark — exactly a collection's relocation
+    /// allocations) always opens a single block: grabbing a whole aligned
+    /// block set for one relocated page would let a collection *consume*
+    /// more erased blocks than it frees, and the greedy-GC headroom loop
+    /// would never converge. Away from the watermark, even one-page requests
+    /// open an aligned stripe — later multi-page requests then continue it
+    /// as fused rows instead of inheriting an unfusable single-plane block.
+    /// Returns whether a stripe was opened.
+    fn open_stripe(&mut self, chip: usize, want: usize) -> bool {
+        let planes = self.planes_per_chip;
+        let aligned_allowed = want > 1 || !self.needs_gc();
+        let state = &mut self.chips[chip];
+        debug_assert!(state.stripe.is_none());
+        if aligned_allowed && planes > 1 && state.free.iter().all(|f| !f.is_empty()) {
+            // Take the front-most in-plane index of plane 0's FIFO that every
+            // other plane also has free. Intersecting per-plane index sets
+            // keeps the search O(blocks × planes) instead of re-scanning
+            // every plane per plane-0 entry.
+            let in_plane_of = |b: u64, bpc: u64, bpp: u64| (b % bpc) % bpp;
+            let (bpc, bpp) = (self.blocks_per_chip, self.blocks_per_plane);
+            let mut common: std::collections::BTreeSet<u64> = state.free[0]
+                .iter()
+                .map(|&b| in_plane_of(b, bpc, bpp))
+                .collect();
+            for f in &state.free[1..] {
+                let indices: std::collections::BTreeSet<u64> =
+                    f.iter().map(|&b| in_plane_of(b, bpc, bpp)).collect();
+                common.retain(|idx| indices.contains(idx));
+                if common.is_empty() {
+                    break;
+                }
+            }
+            let candidate = state.free[0]
+                .iter()
+                .map(|&b| in_plane_of(b, bpc, bpp))
+                .find(|idx| common.contains(idx));
+            if let Some(idx) = candidate {
+                let blocks: Vec<(u32, u64)> = state
+                    .free
+                    .iter_mut()
+                    .enumerate()
+                    .map(|(plane, f)| {
+                        let pos = f
+                            .iter()
+                            .position(|&b| in_plane_of(b, bpc, bpp) == idx)
+                            .expect("candidate exists on every plane");
+                        (plane as u32, f.remove(pos).expect("position is valid"))
+                    })
+                    .collect();
+                state.stripe = Some(Stripe {
+                    blocks,
+                    page: 0,
+                    cursor: 0,
+                });
+                return true;
+            }
+        }
+        // Degenerate stripe: the plane with the most free blocks (ties to the
+        // lowest plane — with one plane per chip this is the historical
+        // pop-front behaviour).
+        let plane = (0..planes as usize)
+            .max_by_key(|&p| (state.free[p].len(), usize::MAX - p))
+            .expect("at least one plane");
+        match state.free[plane].pop_front() {
+            Some(block) => {
+                state.stripe = Some(Stripe {
+                    blocks: vec![(plane as u32, block)],
+                    page: 0,
+                    cursor: 0,
+                });
+                true
+            }
+            None => false,
         }
     }
 
     /// Number of chips managed by the pool.
     pub fn chip_count(&self) -> usize {
         self.chips.len()
+    }
+
+    /// Number of planes per chip.
+    pub fn planes_per_chip(&self) -> u32 {
+        self.planes_per_chip
     }
 
     /// Picks the GC victim: the fully used data block with the fewest valid
@@ -152,17 +322,18 @@ impl DynamicDataPool {
             })
     }
 
-    /// Removes `block` from the used list and returns it to the free list
-    /// (call after erasing it).
+    /// Removes `block` from the used list and returns it to its plane's free
+    /// list (call after erasing it).
     ///
     /// # Panics
     ///
     /// Panics if the block is not currently tracked as used.
     pub fn release_block(&mut self, block: u64) {
+        let plane = ((block % self.blocks_per_chip) / self.blocks_per_plane) as usize;
         for chip in &mut self.chips {
             if let Some(pos) = chip.used.iter().position(|&b| b == block) {
                 chip.used.swap_remove(pos);
-                chip.free.push_back(block);
+                chip.free[plane].push_back(block);
                 return;
             }
         }
@@ -173,10 +344,18 @@ impl DynamicDataPool {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use ssd_sim::{OobData, SsdConfig};
+    use ssd_sim::{OobData, PhysAddr, SsdConfig};
 
     fn setup() -> (FlashDevice, DynamicDataPool) {
         let cfg = SsdConfig::tiny();
+        let dev = FlashDevice::new(cfg);
+        let part = BlockPartition::for_config(&cfg, 512);
+        let pool = DynamicDataPool::new(&part, cfg.geometry.pages_per_block, 2);
+        (dev, pool)
+    }
+
+    fn setup_planes(planes: u32) -> (FlashDevice, DynamicDataPool) {
+        let cfg = SsdConfig::tiny().with_planes(planes);
         let dev = FlashDevice::new(cfg);
         let part = BlockPartition::for_config(&cfg, 512);
         let pool = DynamicDataPool::new(&part, cfg.geometry.pages_per_block, 2);
@@ -229,6 +408,50 @@ mod tests {
     }
 
     #[test]
+    fn multi_plane_pool_exhausts_exactly_like_single_plane() {
+        let cfg = SsdConfig::tiny().with_planes(2);
+        let dev = FlashDevice::new(cfg);
+        let part = BlockPartition::for_config(&cfg, 512);
+        let mut pool = DynamicDataPool::new(&part, cfg.geometry.pages_per_block, 2);
+        let capacity = part.data_page_count();
+        let mut seen = std::collections::HashSet::new();
+        for i in 0..capacity {
+            let got = pool
+                .allocate_stripe(&dev, 2)
+                .unwrap_or_else(|| panic!("allocation {i} failed early"));
+            for ppn in got {
+                assert!(seen.insert(ppn), "ppn {ppn} handed out twice");
+            }
+            if seen.len() as u64 >= capacity {
+                break;
+            }
+        }
+        assert_eq!(seen.len() as u64, capacity);
+        assert!(pool.allocate_stripe(&dev, 2).is_none());
+        assert_eq!(pool.free_page_count(), 0);
+    }
+
+    #[test]
+    fn stripes_are_plane_aligned_and_programmable() {
+        let (mut dev, mut pool) = setup_planes(2);
+        let g = *dev.geometry();
+        let stripe = pool.allocate_stripe(&dev, 2).unwrap();
+        assert_eq!(stripe.len(), 2, "two free planes give a full pair");
+        let a = PhysAddr::from_ppn(stripe[0], &g);
+        let b = PhysAddr::from_ppn(stripe[1], &g);
+        assert_eq!(a.chip_index(&g), b.chip_index(&g));
+        assert_eq!((a.block, a.page), (b.block, b.page));
+        assert_eq!(b.plane, a.plane + 1);
+        // The device accepts the group as one multi-plane program.
+        let writes: Vec<(Ppn, OobData)> = stripe
+            .iter()
+            .enumerate()
+            .map(|(i, &ppn)| (ppn, OobData::mapped(i as u64)))
+            .collect();
+        dev.program_pages(&writes, SimTime::ZERO).unwrap();
+    }
+
+    #[test]
     fn victim_selection_prefers_most_invalid() {
         let (mut dev, mut pool) = setup();
         let ppb = dev.geometry().pages_per_block;
@@ -261,5 +484,82 @@ mod tests {
     fn releasing_unknown_block_panics() {
         let (_dev, mut pool) = setup();
         pool.release_block(0);
+    }
+
+    mod stripe_properties {
+        use super::*;
+        use proptest::prelude::*;
+
+        proptest! {
+            // Satellite regression: under sequential writes the pool emits
+            // plane-aligned program groups — same chip, same (block, page)
+            // offset, ascending planes — and a group never crosses a block
+            // boundary mid-pair (every page of a group shares its page row).
+            #[test]
+            fn prop_sequential_stripes_stay_plane_aligned(
+                planes in prop_oneof![Just(1u32), Just(2), Just(4)],
+                want in 1usize..6,
+                rounds in 1usize..120,
+            ) {
+                let cfg = SsdConfig::tiny().with_planes(planes);
+                let dev = FlashDevice::new(cfg);
+                let g = cfg.geometry;
+                let part = BlockPartition::for_config(&cfg, 512);
+                let mut pool = DynamicDataPool::new(&part, g.pages_per_block, 2);
+                for _ in 0..rounds {
+                    let Some(group) = pool.allocate_stripe(&dev, want) else {
+                        break;
+                    };
+                    prop_assert!(!group.is_empty());
+                    prop_assert!(group.len() <= planes as usize);
+                    prop_assert!(group.len() <= want.max(1));
+                    let addrs: Vec<PhysAddr> =
+                        group.iter().map(|&p| PhysAddr::from_ppn(p, &g)).collect();
+                    let first = addrs[0];
+                    for pair in addrs.windows(2) {
+                        // Same chip, same (block, page) offset: the group
+                        // cannot straddle a block (or page-row) boundary.
+                        prop_assert_eq!(pair[1].chip_index(&g), first.chip_index(&g));
+                        prop_assert_eq!(pair[1].block, first.block);
+                        prop_assert_eq!(pair[1].page, first.page);
+                        prop_assert!(pair[1].plane > pair[0].plane, "planes ascend");
+                    }
+                    // Never a translation block.
+                    for a in &addrs {
+                        prop_assert!(!part.is_translation_block(a.flat_block(&g)));
+                    }
+                }
+            }
+
+            // At planes=1 the stripe API degenerates to the single-page
+            // allocator: same PPN sequence regardless of `want`.
+            #[test]
+            fn prop_single_plane_stripe_equals_single_page_sequence(
+                want in 1usize..6,
+                count in 1usize..200,
+            ) {
+                let cfg = SsdConfig::tiny();
+                let dev_a = FlashDevice::new(cfg);
+                let dev_b = FlashDevice::new(cfg);
+                let part = BlockPartition::for_config(&cfg, 512);
+                let mut a = DynamicDataPool::new(&part, cfg.geometry.pages_per_block, 2);
+                let mut b = DynamicDataPool::new(&part, cfg.geometry.pages_per_block, 2);
+                let mut from_stripes = Vec::new();
+                while from_stripes.len() < count {
+                    match a.allocate_stripe(&dev_a, want) {
+                        Some(group) => {
+                            prop_assert_eq!(group.len(), 1, "one plane: singleton groups");
+                            from_stripes.extend(group);
+                        }
+                        None => break,
+                    }
+                }
+                let mut from_singles = Vec::new();
+                for _ in 0..from_stripes.len() {
+                    from_singles.push(b.allocate(&dev_b).expect("same capacity"));
+                }
+                prop_assert_eq!(from_stripes, from_singles);
+            }
+        }
     }
 }

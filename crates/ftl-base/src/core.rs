@@ -359,6 +359,55 @@ impl FtlCore {
         done
     }
 
+    /// Programs host data for several logical pages as one **multi-plane**
+    /// group: the caller obtained the PPNs from a plane-aligned stripe
+    /// (e.g. [`DynamicDataPool::allocate_stripe`]), so the device executes
+    /// every page's NAND phase in a single slot. Mapping updates and
+    /// invalidations are applied per page exactly as
+    /// [`FtlCore::program_data`] would. Returns the completion time of the
+    /// shared program slot.
+    ///
+    /// A single-element batch is exactly `program_data` — including its
+    /// timing — so plane-unaware geometries are unaffected by callers
+    /// switching to this entry point.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the batch is empty, if the group is not plane-aligned, or if
+    /// any page cannot be programmed (allocation bug).
+    pub fn program_data_multi(&mut self, writes: &[(Lpn, Ppn)], now: SimTime) -> SimTime {
+        assert!(!writes.is_empty(), "program_data_multi needs pages");
+        if writes.len() == 1 {
+            let (lpn, ppn) = writes[0];
+            return self.program_data(lpn, ppn, now);
+        }
+        let pairs: Vec<(Ppn, OobData)> = writes
+            .iter()
+            .map(|&(lpn, ppn)| (ppn, OobData::mapped(lpn)))
+            .collect();
+        let done = if self.scheduled_host() {
+            self.dev.begin_staging();
+            let _ = self
+                .dev
+                .program_pages(&pairs, now)
+                .expect("allocated stripe must be programmable");
+            self.charge_host_deferred(now)
+        } else {
+            self.dev
+                .program_pages(&pairs, now)
+                .expect("allocated stripe must be programmable")
+        };
+        for &(lpn, ppn) in writes {
+            if let Some(old) = self.mapping.update(lpn, ppn) {
+                self.dev
+                    .invalidate_page(old)
+                    .expect("previous mapping must point to an existing page");
+            }
+            self.stats.data_page_writes += 1;
+        }
+        done
+    }
+
     /// Relocates a valid data page during GC: reads it, programs it at
     /// `new_ppn`, invalidates the old copy and updates the mapping table.
     /// Returns the completion time.

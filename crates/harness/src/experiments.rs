@@ -392,6 +392,40 @@ pub fn fio_write_sharded_run(
     Runner::new().run(ftl.as_mut(), &mut wl)
 }
 
+/// Warm-up + queue-depth-bounded FIO **write** phase with multi-page
+/// requests: the protocol behind the plane-scaling sweep
+/// (`fig26_plane_scaling`). Multi-page writes at a bounded queue depth are
+/// what keeps every plane of every chip fed, so the sweep can expose the
+/// intra-chip parallelism that plane-striped allocation unlocks.
+#[allow(clippy::too_many_arguments)]
+pub fn fio_write_qd_run(
+    kind: FtlKind,
+    pattern: FioPattern,
+    threads: usize,
+    pages_per_request: u32,
+    depth: usize,
+    device: SsdConfig,
+    scale: ExperimentScale,
+) -> RunResult {
+    assert!(!pattern.is_read(), "the plane sweep measures write traffic");
+    let mut ftl = kind.build(device);
+    warmup::sequential_fill(
+        ftl.as_mut(),
+        scale.warmup_io_pages,
+        1,
+        ssd_sim::SimTime::ZERO,
+    );
+    let mut wl = FioWorkload::new(
+        pattern,
+        ftl.logical_pages(),
+        threads,
+        pages_per_request,
+        scale.ops_per_stream,
+        FIO_WORKLOAD_SEED,
+    );
+    Runner::new().run_qd(ftl.as_mut(), &mut wl, depth)
+}
+
 /// Warm-up + FIO write phase (Figures 14-write, 16, 17, 18a).
 pub fn fio_write_run(
     kind: FtlKind,

@@ -59,6 +59,9 @@ pub enum CmdKind {
         chip: u64,
         /// Channel the operation's data crosses.
         channel: u32,
+        /// Bitmask of the planes the operation occupies (one bit for
+        /// single-plane operations, several for a fused multi-plane group).
+        planes: u32,
     },
 }
 
@@ -69,6 +72,7 @@ impl CmdKind {
             op: staged.op,
             chip: staged.chip,
             channel: staged.channel,
+            planes: staged.planes,
         }
     }
 }

@@ -2,10 +2,14 @@
 //!
 //! [`IoScheduler`] sits between command submitters (an FTL's host path and
 //! its garbage collector) and a [`FlashDevice`]. Commands are queued per
-//! chip, issued one at a time per chip through the device's enqueue/poll
-//! interface, and completed out of order through a binary-heap event loop on
-//! [`SimTime`]. Host commands take priority over GC commands on the same
-//! chip, but a GC command is never bypassed more than
+//! chip, issued through the device's enqueue/poll interface, and completed
+//! out of order through a binary-heap event loop on [`SimTime`]. Dispatch is
+//! **plane-aware**: a chip is issuable whenever any of its planes is free,
+//! and each queue is drained in per-plane FIFO order — a command may only
+//! bypass earlier queued commands of its class that target *other* planes
+//! (the die-interleave conflict rule: same-plane commands never reorder,
+//! cross-plane commands overlap). Host commands take priority over GC
+//! commands on the same chip, but a GC command is never bypassed more than
 //! [`SchedConfig::gc_starvation_bound`] times in a row.
 
 use std::collections::VecDeque;
@@ -93,8 +97,8 @@ struct ChipQueue {
     gc: VecDeque<Command>,
     /// Consecutive times the GC head has been bypassed by host traffic.
     gc_bypassed: u32,
-    /// Whether a command from this queue is currently issued to the device.
-    busy: bool,
+    /// Bitmask of planes with a command currently issued to the device.
+    busy_planes: u32,
     /// Earliest pending wakeup for this chip, to suppress duplicate events.
     wakeup_at: Option<SimTime>,
 }
@@ -105,7 +109,7 @@ impl ChipQueue {
             host: VecDeque::new(),
             gc: VecDeque::new(),
             gc_bypassed: 0,
-            busy: false,
+            busy_planes: 0,
             wakeup_at: None,
         }
     }
@@ -145,6 +149,8 @@ enum Event {
 pub struct IoScheduler {
     config: SchedConfig,
     geometry: Geometry,
+    /// Bitmask with one bit per plane of a chip (all chips are alike).
+    all_planes: u32,
     now: SimTime,
     chips: Vec<ChipQueue>,
     events: EventQueue<Event>,
@@ -158,9 +164,15 @@ impl IoScheduler {
     /// Creates a scheduler for a device with the given geometry.
     pub fn new(geometry: Geometry, config: SchedConfig) -> Self {
         assert!(config.queue_depth > 0, "queue depth must be at least 1");
+        let all_planes = if geometry.planes_per_chip >= 32 {
+            u32::MAX
+        } else {
+            (1u32 << geometry.planes_per_chip) - 1
+        };
         IoScheduler {
             config,
             geometry,
+            all_planes,
             now: SimTime::ZERO,
             chips: (0..geometry.total_chips())
                 .map(|_| ChipQueue::new())
@@ -312,7 +324,8 @@ impl IoScheduler {
     fn handle(&mut self, event: Event, dev: &mut FlashDevice) {
         match event {
             Event::Complete { chip, completion } => {
-                self.chips[chip].busy = false;
+                let planes = self.target_planes(&completion.kind);
+                self.chips[chip].busy_planes &= !planes;
                 self.outstanding -= 1;
                 self.stats.completed += 1;
                 if completion.error.is_some() {
@@ -340,94 +353,144 @@ impl IoScheduler {
         }
     }
 
-    fn dispatch_chip(&mut self, chip_idx: usize, dev: &mut FlashDevice) {
-        let now = self.now;
-        let bound = self.config.gc_starvation_bound;
-        let chip = &mut self.chips[chip_idx];
-        if chip.busy || chip.is_empty() {
-            return;
+    /// The first command of `queue` that is submittable at `now` and whose
+    /// planes are all free, honouring per-plane FIFO order: a command may
+    /// only bypass earlier queued commands that target disjoint planes
+    /// (commands on the same plane never reorder).
+    fn queue_candidate(&self, queue: &VecDeque<Command>, now: SimTime, free: u32) -> Option<usize> {
+        let mut blocked = 0u32;
+        for (i, cmd) in queue.iter().enumerate() {
+            let planes = self.target_planes(&cmd.kind);
+            if cmd.submitted <= now && planes & !free == 0 && planes & blocked == 0 {
+                return Some(i);
+            }
+            blocked |= planes;
+            if blocked & free == free {
+                return None;
+            }
         }
-        let host_ready = chip.host.front().is_some_and(|c| c.submitted <= now);
-        let gc_ready = chip.gc.front().is_some_and(|c| c.submitted <= now);
-        let cmd = match (host_ready, gc_ready) {
-            (false, false) => {
-                // Commands are queued but none is submittable yet: wake up
-                // when the earliest one becomes eligible.
-                self.schedule_wakeup(chip_idx);
+        None
+    }
+
+    /// Issues as many commands as the chip's free planes allow, honouring
+    /// arbitration per issue slot.
+    fn dispatch_chip(&mut self, chip_idx: usize, dev: &mut FlashDevice) {
+        loop {
+            let now = self.now;
+            let bound = self.config.gc_starvation_bound;
+            let free = self.all_planes & !self.chips[chip_idx].busy_planes;
+            if free == 0 || self.chips[chip_idx].is_empty() {
                 return;
             }
-            (true, false) => chip.host.pop_front().expect("host head is ready"),
-            (false, true) => {
-                chip.gc_bypassed = 0;
-                chip.gc.pop_front().expect("gc head is ready")
-            }
-            (true, true) => {
-                // Both classes ready: GC yields to host traffic, but never
-                // more than `gc_starvation_bound` times in a row.
-                if chip.gc_bypassed >= bound {
-                    chip.gc_bypassed = 0;
-                    self.stats.gc_forced += 1;
-                    chip.gc.pop_front().expect("gc head is ready")
-                } else {
-                    chip.gc_bypassed += 1;
-                    self.stats.gc_yields += 1;
-                    chip.host.pop_front().expect("host head is ready")
+            let host_idx = self.queue_candidate(&self.chips[chip_idx].host, now, free);
+            let gc_idx = self.queue_candidate(&self.chips[chip_idx].gc, now, free);
+            let host_planes =
+                host_idx.map(|h| self.target_planes(&self.chips[chip_idx].host[h].kind));
+            let gc_planes = gc_idx.map(|g| self.target_planes(&self.chips[chip_idx].gc[g].kind));
+            let chip = &mut self.chips[chip_idx];
+            let cmd = match (host_idx, gc_idx) {
+                (None, None) => {
+                    // Commands are queued but none is issuable yet: wake up
+                    // when the earliest one becomes eligible (a plane-blocked
+                    // command re-dispatches on its blocker's completion
+                    // instead).
+                    self.schedule_wakeup(chip_idx);
+                    return;
                 }
-            }
-        };
-        chip.busy = true;
-        let issue = now.max(cmd.submitted);
-        let (completed, error) = match cmd.kind {
-            CmdKind::Read { ppn } => match dev.enqueue_read(ppn, issue) {
-                Ok(q) => (q.completes_at, None),
-                Err(e) => (issue, Some(e)),
-            },
-            CmdKind::Program { ppn, oob } => match dev.enqueue_program(ppn, oob, issue) {
-                Ok(q) => (q.completes_at, None),
-                Err(e) => (issue, Some(e)),
-            },
-            CmdKind::Erase { flat_block } => match dev.enqueue_erase(flat_block, issue) {
-                Ok(q) => (q.completes_at, None),
-                Err(e) => (issue, Some(e)),
-            },
-            // Timing replay of a staged operation: state was applied when the
-            // op was staged, so charging can never be rejected.
-            CmdKind::Charge { op, chip, channel } => {
-                (dev.charge_op(op, chip, channel, issue), None)
-            }
-        };
-        let completion = Completion {
-            id: cmd.id,
-            kind: cmd.kind,
-            priority: cmd.priority,
-            chip: chip_idx as u64,
-            submitted: cmd.submitted,
-            issued: issue,
-            completed,
-            error,
-        };
-        self.events.schedule(
-            completed,
-            Event::Complete {
-                chip: chip_idx,
-                completion,
-            },
-        );
+                (Some(h), None) => chip.host.remove(h).expect("host candidate exists"),
+                (None, Some(g)) => {
+                    chip.gc_bypassed = 0;
+                    chip.gc.remove(g).expect("gc candidate exists")
+                }
+                (Some(h), Some(g)) => {
+                    let disjoint = host_planes.expect("host candidate exists")
+                        & gc_planes.expect("gc candidate exists")
+                        == 0;
+                    if disjoint {
+                        // The candidates target different planes: issuing the
+                        // host command does not delay the GC command at all
+                        // (it issues on the next loop iteration at the same
+                        // simulated time), so no yield is recorded and the
+                        // starvation counter is untouched.
+                        chip.host.remove(h).expect("host candidate exists")
+                    } else if chip.gc_bypassed >= bound {
+                        // Both classes contend for a plane: GC yields to host
+                        // traffic, but never more than `gc_starvation_bound`
+                        // times in a row.
+                        chip.gc_bypassed = 0;
+                        self.stats.gc_forced += 1;
+                        chip.gc.remove(g).expect("gc candidate exists")
+                    } else {
+                        chip.gc_bypassed += 1;
+                        self.stats.gc_yields += 1;
+                        chip.host.remove(h).expect("host candidate exists")
+                    }
+                }
+            };
+            let planes = self.target_planes(&cmd.kind);
+            self.chips[chip_idx].busy_planes |= planes;
+            let issue = now.max(cmd.submitted);
+            let (completed, error) = match cmd.kind {
+                CmdKind::Read { ppn } => match dev.enqueue_read(ppn, issue) {
+                    Ok(q) => (q.completes_at, None),
+                    Err(e) => (issue, Some(e)),
+                },
+                CmdKind::Program { ppn, oob } => match dev.enqueue_program(ppn, oob, issue) {
+                    Ok(q) => (q.completes_at, None),
+                    Err(e) => (issue, Some(e)),
+                },
+                CmdKind::Erase { flat_block } => match dev.enqueue_erase(flat_block, issue) {
+                    Ok(q) => (q.completes_at, None),
+                    Err(e) => (issue, Some(e)),
+                },
+                // Timing replay of a staged operation: state was applied when
+                // the op was staged, so charging can never be rejected.
+                CmdKind::Charge {
+                    op,
+                    chip,
+                    channel,
+                    planes,
+                } => (dev.charge_op(op, chip, channel, planes, issue), None),
+            };
+            let completion = Completion {
+                id: cmd.id,
+                kind: cmd.kind,
+                priority: cmd.priority,
+                chip: chip_idx as u64,
+                submitted: cmd.submitted,
+                issued: issue,
+                completed,
+                error,
+            };
+            self.events.schedule(
+                completed,
+                Event::Complete {
+                    chip: chip_idx,
+                    completion,
+                },
+            );
+        }
     }
 
     fn schedule_wakeup(&mut self, chip_idx: usize) {
+        let now = self.now;
         let chip = &self.chips[chip_idx];
+        // With plane-aware dispatch the next issuable command need not be a
+        // queue head (a head can be plane-blocked while a later command's
+        // submit time approaches), so consider every queued command. Commands
+        // already submittable need no wakeup: they dispatch when a plane
+        // frees (the blocker's completion re-dispatches the chip).
         let earliest = chip
             .host
-            .front()
+            .iter()
+            .chain(chip.gc.iter())
             .map(|c| c.submitted)
-            .into_iter()
-            .chain(chip.gc.front().map(|c| c.submitted))
+            .filter(|&t| t > now)
             .min();
         if let Some(t) = earliest {
             // Skip if an equal-or-earlier wakeup for this chip is already
             // pending (a superseded later one fires as a harmless no-op).
-            if t > self.now && self.chips[chip_idx].wakeup_at.is_none_or(|w| t < w) {
+            if self.chips[chip_idx].wakeup_at.is_none_or(|w| t < w) {
                 self.chips[chip_idx].wakeup_at = Some(t);
                 self.events.schedule(t, Event::Wakeup { chip: chip_idx });
             }
@@ -442,6 +505,20 @@ impl IoScheduler {
             }
             CmdKind::Erase { flat_block } => (flat_block / g.blocks_per_chip()) as usize,
             CmdKind::Charge { chip, .. } => *chip as usize,
+        }
+    }
+
+    /// The bitmask of planes a command occupies on its chip.
+    fn target_planes(&self, kind: &CmdKind) -> u32 {
+        let g = &self.geometry;
+        match kind {
+            CmdKind::Read { ppn } | CmdKind::Program { ppn, .. } => {
+                1 << PhysAddr::from_ppn(*ppn, g).plane
+            }
+            CmdKind::Erase { flat_block } => {
+                1 << ((flat_block % g.blocks_per_chip()) / u64::from(g.blocks_per_plane))
+            }
+            CmdKind::Charge { planes, .. } => *planes,
         }
     }
 }
@@ -788,6 +865,114 @@ mod tests {
         assert_eq!(done[0].priority, Priority::Gc);
         assert_eq!(done[0].issued, near, "GC command must issue at its time");
         assert_eq!(done[1].issued, far.max(done[0].completed));
+    }
+
+    #[test]
+    fn plane_aware_dispatch_overlaps_planes_and_keeps_per_plane_fifo() {
+        // Two planes per chip: same-chip commands on different planes issue
+        // concurrently, same-plane commands stay FIFO behind each other.
+        let cfg = SsdConfig::tiny().with_planes(2);
+        let mut dev = FlashDevice::new(cfg);
+        let g = cfg.geometry;
+        let mut sched = IoScheduler::new(g, SchedConfig::default());
+        // (chip 0, plane 0, block 0, page 0) and (chip 0, plane 1, block 0,
+        // page 0): programs submitted together at t0.
+        let p0 = 0u64;
+        let p1 = u64::from(g.blocks_per_plane) * u64::from(g.pages_per_block);
+        let t0 = SimTime::ZERO;
+        sched
+            .submit(
+                CmdKind::Program {
+                    ppn: p0,
+                    oob: OobData::mapped(1),
+                },
+                Priority::Host,
+                t0,
+            )
+            .unwrap();
+        sched
+            .submit(
+                CmdKind::Program {
+                    ppn: p1,
+                    oob: OobData::mapped(2),
+                },
+                Priority::Host,
+                t0,
+            )
+            .unwrap();
+        sched.drain(&mut dev);
+        let done = sched.pop_completions();
+        assert_eq!(done.len(), 2);
+        assert_eq!(
+            done[0].queueing(),
+            ssd_sim::Duration::ZERO,
+            "plane-0 command issues immediately"
+        );
+        assert_eq!(
+            done[1].queueing(),
+            ssd_sim::Duration::ZERO,
+            "the plane-1 command must not queue behind plane 0"
+        );
+        // NAND phases overlap: completions are one bus slot apart, not one
+        // program apart.
+        let spread = done[1].completed - done[0].completed;
+        assert!(
+            spread < ssd_sim::Duration::from_micros(40),
+            "plane NAND phases must overlap (spread {spread})"
+        );
+        // Same-plane follow-up stays FIFO and queues.
+        sched
+            .submit(CmdKind::Read { ppn: p0 }, Priority::Host, sched.now())
+            .unwrap();
+        sched
+            .submit(CmdKind::Read { ppn: p0 + 1 }, Priority::Host, sched.now())
+            .unwrap();
+        sched.drain(&mut dev);
+        let reads = sched.pop_completions();
+        assert_eq!(reads.len(), 2);
+        assert_eq!(reads[0].kind, CmdKind::Read { ppn: p0 });
+        assert!(
+            reads[1].queueing() > ssd_sim::Duration::ZERO,
+            "same-plane reads serialise"
+        );
+    }
+
+    #[test]
+    fn multi_plane_charges_occupy_every_plane_in_the_mask() {
+        let cfg = SsdConfig::tiny().with_planes(2);
+        let mut dev = FlashDevice::new(cfg);
+        let g = cfg.geometry;
+        let mut sched = IoScheduler::new(g, SchedConfig::default());
+        let p0 = 0u64;
+        let p1 = u64::from(g.blocks_per_plane) * u64::from(g.pages_per_block);
+        // Stage a fused two-plane program, then charge it through the
+        // scheduler: a host read on either plane must queue behind it.
+        dev.begin_staging();
+        dev.program_pages(
+            &[(p0, OobData::mapped(1)), (p1, OobData::mapped(2))],
+            SimTime::ZERO,
+        )
+        .unwrap();
+        let ops = dev.end_staging();
+        assert_eq!(ops.len(), 1);
+        assert_eq!(ops[0].planes, 0b11);
+        sched
+            .submit(CmdKind::charge(ops[0]), Priority::Gc, SimTime::ZERO)
+            .unwrap();
+        // Issue the charge (idle chip: it dispatches immediately), then a
+        // host read against one of its planes.
+        sched.run_until(&mut dev, SimTime::ZERO);
+        sched
+            .submit(CmdKind::Read { ppn: p1 }, Priority::Host, SimTime::ZERO)
+            .unwrap();
+        sched.drain(&mut dev);
+        let done = sched.pop_completions();
+        assert_eq!(done.len(), 2);
+        assert_eq!(done[0].priority, Priority::Gc, "charge was already issued");
+        assert!(
+            done[1].queueing() > ssd_sim::Duration::ZERO,
+            "the read must wait for the fused charge to release its plane"
+        );
     }
 
     #[test]

@@ -168,9 +168,12 @@ proptest! {
                 CmdKind::Read { ppn } => block_dev.read_page(ppn, issue).unwrap(),
                 CmdKind::Program { ppn, oob } => block_dev.program_page(ppn, oob, issue).unwrap(),
                 CmdKind::Erase { flat_block } => block_dev.erase_block(flat_block, issue).unwrap(),
-                CmdKind::Charge { op, chip, channel } => {
-                    block_dev.charge_op(op, chip, channel, issue)
-                }
+                CmdKind::Charge {
+                    op,
+                    chip,
+                    channel,
+                    planes,
+                } => block_dev.charge_op(op, chip, channel, planes, issue),
             };
             blocking.push(done);
         }

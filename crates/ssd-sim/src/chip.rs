@@ -1,32 +1,54 @@
-//! Per-chip (LUN) state: blocks and the busy-until timeline.
+//! Per-chip (LUN) state: blocks and the per-plane timelines.
 
 use crate::block::Block;
 use crate::clock::SimTime;
 
-/// One NAND chip (LUN): a set of blocks plus the time at which the chip will
-/// next be idle.
+/// The timing state of one plane: when its NAND array finishes its current
+/// operation and when the plane as a whole (array + page register) goes idle.
 ///
-/// A chip is the unit of operation-level parallelism in the simulator: two
-/// operations on the same chip serialise, two operations on different chips
-/// overlap (subject to the shared channel bus).
+/// The two differ only for reads: the NAND phase ends at `nand_free` but the
+/// page register — and with it the plane — stays occupied until the page has
+/// crossed the channel (`free`). Cache-mode reads chain on `nand_free`,
+/// everything else chains on `free`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+struct PlaneTimeline {
+    nand_free: SimTime,
+    free: SimTime,
+}
+
+/// One NAND chip (die/LUN): a set of blocks plus one timeline per plane.
+///
+/// A plane is the unit of operation-level parallelism inside a chip: two
+/// operations on the same plane serialise, operations on different planes of
+/// the same chip overlap (subject to the shared channel bus), and operations
+/// on different chips overlap fully. Multi-plane commands occupy several
+/// planes of a chip with a single NAND slot.
 #[derive(Debug, Clone)]
 pub struct Chip {
     blocks: Vec<Block>,
-    busy_until: SimTime,
+    planes: Vec<PlaneTimeline>,
 }
 
 impl Chip {
-    /// Creates a chip with `blocks` erased blocks of `pages_per_block` pages.
-    pub fn new(blocks: u32, pages_per_block: u32) -> Self {
+    /// Creates a chip with `blocks` erased blocks of `pages_per_block` pages
+    /// spread over `planes` planes (the block list is flat; the device maps
+    /// plane-local block indices onto it).
+    pub fn new(blocks: u32, pages_per_block: u32, planes: u32) -> Self {
+        assert!(planes > 0, "a chip needs at least one plane");
         Chip {
             blocks: (0..blocks).map(|_| Block::new(pages_per_block)).collect(),
-            busy_until: SimTime::ZERO,
+            planes: vec![PlaneTimeline::default(); planes as usize],
         }
     }
 
     /// Number of blocks on the chip.
     pub fn block_count(&self) -> u32 {
         self.blocks.len() as u32
+    }
+
+    /// Number of planes on the chip.
+    pub fn plane_count(&self) -> u32 {
+        self.planes.len() as u32
     }
 
     /// Shared access to the block at `index` (chip-local index).
@@ -47,18 +69,62 @@ impl Chip {
         &mut self.blocks[index as usize]
     }
 
-    /// The simulated time at which this chip becomes idle.
+    /// The simulated time at which the *whole* chip becomes idle (the latest
+    /// plane timeline — drain semantics).
     pub fn busy_until(&self) -> SimTime {
-        self.busy_until
+        self.planes
+            .iter()
+            .map(|p| p.free)
+            .fold(SimTime::ZERO, SimTime::max)
     }
 
-    /// Reserves the chip for an operation issued at `issue` that takes
-    /// `latency` once it starts. Returns the completion time.
-    pub fn occupy(&mut self, issue: SimTime, latency: crate::Duration) -> SimTime {
-        let start = issue.max(self.busy_until);
+    /// The earliest time any plane of this chip is free — the time the chip
+    /// can next *accept* an operation (issuability semantics: a chip is
+    /// issuable as soon as one plane is free).
+    pub fn next_plane_free(&self) -> SimTime {
+        self.planes
+            .iter()
+            .map(|p| p.free)
+            .min()
+            .expect("a chip has at least one plane")
+    }
+
+    /// The time plane `plane` becomes fully idle (NAND array and register).
+    pub fn plane_free(&self, plane: u32) -> SimTime {
+        self.planes[plane as usize].free
+    }
+
+    /// The time plane `plane`'s NAND array becomes free (before any pending
+    /// channel burst has drained) — what cache-mode reads chain on.
+    pub fn plane_nand_free(&self, plane: u32) -> SimTime {
+        self.planes[plane as usize].nand_free
+    }
+
+    /// Reserves plane `plane` for an operation issued at `issue` that takes
+    /// `latency` once the plane is free. Returns the completion time. This is
+    /// the generic whole-op reservation (erases, program NAND phases).
+    pub fn occupy_plane(
+        &mut self,
+        plane: u32,
+        issue: SimTime,
+        latency: crate::Duration,
+    ) -> SimTime {
+        let p = &mut self.planes[plane as usize];
+        let start = issue.max(p.free);
         let done = start + latency;
-        self.busy_until = done;
+        p.nand_free = done;
+        p.free = done;
         done
+    }
+
+    /// Records an operation's timeline on plane `plane` directly: the NAND
+    /// phase ends at `nand_free`, the plane goes idle at `free` (the end of
+    /// its channel burst for reads). The device computes the phases; the chip
+    /// only stores them.
+    pub fn reserve_plane(&mut self, plane: u32, nand_free: SimTime, free: SimTime) {
+        let p = &mut self.planes[plane as usize];
+        p.nand_free = nand_free;
+        p.free = free;
     }
 
     /// Total number of free (programmable) pages across all blocks.
@@ -83,22 +149,48 @@ mod tests {
     use crate::Duration;
 
     #[test]
-    fn occupy_serialises_operations() {
-        let mut chip = Chip::new(2, 4);
+    fn occupy_serialises_operations_on_one_plane() {
+        let mut chip = Chip::new(2, 4, 1);
         let d = Duration::from_micros(40);
-        let t1 = chip.occupy(SimTime::ZERO, d);
+        let t1 = chip.occupy_plane(0, SimTime::ZERO, d);
         assert_eq!(t1, SimTime::from_micros(40));
-        // Issued "in the past" relative to the chip: must queue.
-        let t2 = chip.occupy(SimTime::from_micros(10), d);
+        // Issued "in the past" relative to the plane: must queue.
+        let t2 = chip.occupy_plane(0, SimTime::from_micros(10), d);
         assert_eq!(t2, SimTime::from_micros(80));
-        // Issued after the chip is idle: starts immediately.
-        let t3 = chip.occupy(SimTime::from_micros(200), d);
+        // Issued after the plane is idle: starts immediately.
+        let t3 = chip.occupy_plane(0, SimTime::from_micros(200), d);
         assert_eq!(t3, SimTime::from_micros(240));
     }
 
     #[test]
+    fn planes_have_independent_timelines() {
+        let mut chip = Chip::new(4, 4, 2);
+        let d = Duration::from_micros(100);
+        let t0 = chip.occupy_plane(0, SimTime::ZERO, d);
+        let t1 = chip.occupy_plane(1, SimTime::ZERO, d);
+        assert_eq!(t0, t1, "independent planes overlap fully");
+        assert_eq!(chip.busy_until(), t0);
+        assert_eq!(chip.next_plane_free(), t0);
+        let t2 = chip.occupy_plane(1, SimTime::ZERO, d);
+        assert_eq!(t2, t1 + d, "same plane serialises");
+        assert_eq!(chip.next_plane_free(), t0, "plane 0 frees first");
+        assert_eq!(chip.busy_until(), t2, "drain waits for the busiest plane");
+    }
+
+    #[test]
+    fn reserve_plane_splits_nand_and_register() {
+        let mut chip = Chip::new(2, 4, 1);
+        let nand = SimTime::from_micros(40);
+        let xfer = SimTime::from_micros(45);
+        chip.reserve_plane(0, nand, xfer);
+        assert_eq!(chip.plane_nand_free(0), nand);
+        assert_eq!(chip.plane_free(0), xfer);
+        assert_eq!(chip.busy_until(), xfer);
+    }
+
+    #[test]
     fn page_counters_aggregate_blocks() {
-        let mut chip = Chip::new(2, 4);
+        let mut chip = Chip::new(2, 4, 1);
         assert_eq!(chip.free_pages(), 8);
         chip.block_mut(0).program(0);
         chip.block_mut(1).program(0);
@@ -111,10 +203,16 @@ mod tests {
 
     #[test]
     fn erase_counter_aggregates() {
-        let mut chip = Chip::new(3, 2);
+        let mut chip = Chip::new(3, 2, 1);
         chip.block_mut(0).erase();
         chip.block_mut(0).erase();
         chip.block_mut(2).erase();
         assert_eq!(chip.total_erases(), 3);
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one plane")]
+    fn zero_planes_rejected() {
+        Chip::new(1, 1, 0);
     }
 }

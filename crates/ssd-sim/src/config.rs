@@ -91,6 +91,42 @@ impl SsdConfig {
         self
     }
 
+    /// Returns a copy whose chips are split into `planes` planes while every
+    /// other dimension — and therefore the raw capacity — stays the same: the
+    /// per-chip block budget is redistributed as `blocks_per_chip / planes`
+    /// blocks per plane. This is how the plane-scaling sweep compares
+    /// geometries that differ only in intra-chip parallelism.
+    ///
+    /// ```
+    /// use ssd_sim::SsdConfig;
+    /// let base = SsdConfig::tiny();
+    /// let split = base.with_planes(2);
+    /// assert_eq!(split.geometry.planes_per_chip, 2);
+    /// assert_eq!(split.geometry.total_pages(), base.geometry.total_pages());
+    /// ```
+    ///
+    /// # Panics
+    ///
+    /// Panics if `planes` is zero or does not divide the per-chip block count.
+    pub fn with_planes(mut self, planes: u32) -> Self {
+        let g = self.geometry;
+        let blocks_per_chip = g.blocks_per_chip();
+        assert!(planes > 0, "planes must be non-zero");
+        assert!(
+            blocks_per_chip.is_multiple_of(u64::from(planes)),
+            "planes ({planes}) must divide the per-chip block count ({blocks_per_chip})"
+        );
+        self.geometry = Geometry::new(
+            g.channels,
+            g.chips_per_channel,
+            planes,
+            (blocks_per_chip / u64::from(planes)) as u32,
+            g.pages_per_block,
+            g.page_size,
+        );
+        self
+    }
+
     /// Number of logical pages exposed to the host.
     pub fn logical_pages(&self) -> u64 {
         self.geometry.logical_pages(self.op_ratio)

@@ -20,10 +20,15 @@ use crate::PageState;
 ///
 /// * **state** — every page is free, valid or invalid; blocks are programmed
 ///   in order and erased as a whole,
-/// * **timing** — each chip executes one NAND operation at a time and each
+/// * **timing** — each *plane* executes one NAND operation at a time and each
 ///   channel transfers one page at a time, so operations issued concurrently
-///   against different chips overlap while operations against the same chip
-///   queue,
+///   against different chips (or different planes of one chip) overlap while
+///   operations against the same plane queue. Multi-plane reads and programs
+///   ([`FlashDevice::read_pages`], [`FlashDevice::program_pages`]) execute
+///   the NAND phase of several planes in a single slot when their addresses
+///   align on (block, page) across planes. A read holds its plane busy until
+///   the page has crossed the channel bus (FEMU LUN semantics); cache-mode
+///   knobs on [`crate::LatencyConfig`] relax the plane/register coupling,
 /// * **metadata** — the OOB area of every page,
 /// * **accounting** — counts of reads/programs/erases, split into host-data
 ///   and translation-page traffic.
@@ -68,6 +73,10 @@ pub struct StagedOp {
     pub chip: u64,
     /// Channel the operation's data crosses (the chip's channel for erases).
     pub channel: u32,
+    /// Bitmask of the planes the operation occupies (bit `p` set ⇔ plane `p`
+    /// participates). Single-plane operations set exactly one bit; a fused
+    /// multi-plane read/program sets one bit per participating plane.
+    pub planes: u32,
 }
 
 /// A flash command accepted by the enqueue/poll interface
@@ -88,6 +97,8 @@ pub struct QueuedCommand {
     pub chip: u64,
     /// Channel the command's data crosses (the chip's channel for erases).
     pub channel: u32,
+    /// Bitmask of the planes the command occupies on its chip.
+    pub planes: u32,
     /// The time the command was enqueued.
     pub issued: SimTime,
 }
@@ -106,7 +117,7 @@ impl FlashDevice {
         let g = config.geometry;
         let blocks_per_chip = g.blocks_per_chip() as u32;
         let chips = (0..g.total_chips())
-            .map(|_| Chip::new(blocks_per_chip, g.pages_per_block))
+            .map(|_| Chip::new(blocks_per_chip, g.pages_per_block, g.planes_per_chip))
             .collect();
         FlashDevice {
             config,
@@ -161,24 +172,109 @@ impl FlashDevice {
         self.staging.as_ref().map_or(0, Vec::len)
     }
 
-    /// Occupies the timing resources of one flash operation — the chip for
-    /// its NAND phase and the channel for its transfer phase, in the same
-    /// order as the blocking calls — without touching page state or
-    /// statistics. This is the replay half of the stage/charge split: state
-    /// was already applied under [`FlashDevice::begin_staging`].
-    pub fn charge_op(&mut self, op: FlashOp, chip: u64, channel: u32, issue: SimTime) -> SimTime {
-        let lat = self.config.latency;
+    /// Occupies the timing resources of one flash operation — the planes in
+    /// `planes` (a bitmask) for the NAND phase and the channel for the
+    /// transfer phase(s), in the same order as the blocking calls — without
+    /// touching page state or statistics. This is the replay half of the
+    /// stage/charge split: state was already applied under
+    /// [`FlashDevice::begin_staging`], so replaying lands on exactly the
+    /// completion time the blocking call would have produced.
+    pub fn charge_op(
+        &mut self,
+        op: FlashOp,
+        chip: u64,
+        channel: u32,
+        planes: u32,
+        issue: SimTime,
+    ) -> SimTime {
+        let plane_list = Self::planes_of_mask(planes);
+        assert!(
+            !plane_list.is_empty(),
+            "charge_op needs at least one plane in the mask"
+        );
         match op {
-            FlashOp::Read => {
-                let nand_done = self.chips[chip as usize].occupy(issue, lat.read);
-                self.occupy_channel(channel, nand_done, lat.channel_transfer)
+            FlashOp::Read => self.time_read(chip as usize, channel, &plane_list, issue),
+            FlashOp::Program => self.time_program(chip as usize, channel, &plane_list, issue),
+            FlashOp::Erase => {
+                let lat = self.config.latency;
+                self.chips[chip as usize].occupy_plane(plane_list[0], issue, lat.erase)
             }
-            FlashOp::Program => {
-                let bus_done = self.occupy_channel(channel, issue, lat.channel_transfer);
-                self.chips[chip as usize].occupy(bus_done, lat.program)
-            }
-            FlashOp::Erase => self.chips[chip as usize].occupy(issue, lat.erase),
         }
+    }
+
+    /// The ascending plane indices set in a plane bitmask.
+    fn planes_of_mask(planes: u32) -> Vec<u32> {
+        (0..u32::BITS).filter(|b| planes & (1 << b) != 0).collect()
+    }
+
+    /// Charges the timing of a (possibly multi-plane) page read: one NAND
+    /// slot covering every plane in `planes`, then one channel burst per
+    /// page, with each plane held busy until its own burst completes (unless
+    /// cache-mode reads are enabled, in which case the next read on the plane
+    /// may start its NAND phase under the outgoing burst).
+    fn time_read(&mut self, chip: usize, channel: u32, planes: &[u32], issue: SimTime) -> SimTime {
+        let lat = self.config.latency;
+        let nand_latency = if planes.len() == 1 {
+            lat.read
+        } else {
+            lat.multi_plane_read
+        };
+        let base = planes
+            .iter()
+            .map(|&p| {
+                if lat.cache_read {
+                    self.chips[chip].plane_nand_free(p)
+                } else {
+                    self.chips[chip].plane_free(p)
+                }
+            })
+            .fold(SimTime::ZERO, SimTime::max);
+        let start = issue.max(base);
+        let nand_done = start + nand_latency;
+        let mut done = nand_done;
+        for &p in planes {
+            done = self.occupy_channel(channel, done, lat.channel_transfer);
+            self.chips[chip].reserve_plane(p, nand_done, done);
+        }
+        done
+    }
+
+    /// Charges the timing of a (possibly multi-plane) page program: one
+    /// channel burst per page, then one NAND slot covering every plane in
+    /// `planes`. With cache-mode programs (the FEMU default) a burst crosses
+    /// the bus at channel availability even while its plane still programs a
+    /// previous page; without, the burst waits for the plane's register.
+    fn time_program(
+        &mut self,
+        chip: usize,
+        channel: u32,
+        planes: &[u32],
+        issue: SimTime,
+    ) -> SimTime {
+        let lat = self.config.latency;
+        let nand_latency = if planes.len() == 1 {
+            lat.program
+        } else {
+            lat.multi_plane_program
+        };
+        let mut last_bus = issue;
+        for &p in planes {
+            let from = if lat.cache_program {
+                issue
+            } else {
+                issue.max(self.chips[chip].plane_free(p))
+            };
+            last_bus = self.occupy_channel(channel, from, lat.channel_transfer);
+        }
+        let planes_free = planes
+            .iter()
+            .map(|&p| self.chips[chip].plane_free(p))
+            .fold(SimTime::ZERO, SimTime::max);
+        let done = last_bus.max(planes_free) + nand_latency;
+        for &p in planes {
+            self.chips[chip].reserve_plane(p, done, done);
+        }
+        done
     }
 
     /// The device configuration.
@@ -220,14 +316,60 @@ impl FlashDevice {
                 op: FlashOp::Read,
                 chip: addr.chip_index(&g),
                 channel: addr.channel,
+                planes: 1 << addr.plane,
             });
             return Ok(issue);
         }
-        // NAND array read on the chip, then the page crosses the channel bus.
-        let lat = self.config.latency;
-        let chip = &mut self.chips[addr.chip_index(&g) as usize];
-        let nand_done = chip.occupy(issue, lat.read);
-        Ok(self.occupy_channel(addr.channel, nand_done, lat.channel_transfer))
+        // NAND array read on the plane, then the page crosses the channel
+        // bus; the plane's register holds the page until the burst completes,
+        // so the plane stays busy through its bus slot.
+        let chip = addr.chip_index(&g) as usize;
+        Ok(self.time_read(chip, addr.channel, &[addr.plane], issue))
+    }
+
+    /// Reads several pages of one chip as a single **multi-plane** read: the
+    /// NAND phase of every page executes in one
+    /// [`crate::LatencyConfig::multi_plane_read`] slot, then the pages cross
+    /// the channel bus one after another. Returns the completion time of the
+    /// last transfer.
+    ///
+    /// A single-page group degenerates to [`FlashDevice::read_page`].
+    ///
+    /// # Errors
+    ///
+    /// Returns the per-page errors of [`FlashDevice::read_page`], and
+    /// [`DeviceError::MultiPlaneMisaligned`] unless the pages live on the
+    /// same chip, on strictly ascending planes, at the same (block, page)
+    /// offset within their plane. No state is modified on error.
+    pub fn read_pages(&mut self, ppns: &[Ppn], issue: SimTime) -> DeviceResult<SimTime> {
+        assert!(!ppns.is_empty(), "read_pages needs at least one page");
+        if ppns.len() == 1 {
+            return self.read_page(ppns[0], issue);
+        }
+        let addrs = self.check_multi_plane_group(ppns)?;
+        for &ppn in ppns {
+            if self.page_state(ppn)? == PageState::Free {
+                return Err(DeviceError::ReadOnFreePage { ppn });
+            }
+        }
+        for &ppn in ppns {
+            let translation = self.oob[ppn as usize].is_translation;
+            self.stats.record(FlashOp::Read, translation);
+        }
+        let g = self.config.geometry;
+        let first = addrs[0];
+        if let Some(staged) = &mut self.staging {
+            staged.push(StagedOp {
+                op: FlashOp::Read,
+                chip: first.chip_index(&g),
+                channel: first.channel,
+                planes: Self::group_mask(&addrs),
+            });
+            return Ok(issue);
+        }
+        let planes: Vec<u32> = addrs.iter().map(|a| a.plane).collect();
+        let chip = first.chip_index(&g) as usize;
+        Ok(self.time_read(chip, first.channel, &planes, issue))
     }
 
     /// Programs the page at `ppn` with `oob` metadata, issued at `issue`.
@@ -246,7 +388,6 @@ impl FlashDevice {
     ) -> DeviceResult<SimTime> {
         let addr = self.check_ppn(ppn)?;
         let g = self.config.geometry;
-        let lat = self.config.latency;
         let chip_idx = addr.chip_index(&g) as usize;
         let local_block = Self::local_block(&addr, &g);
         {
@@ -262,13 +403,101 @@ impl FlashDevice {
                 op: FlashOp::Program,
                 chip: chip_idx as u64,
                 channel: addr.channel,
+                planes: 1 << addr.plane,
             });
             return Ok(issue);
         }
         // Data crosses the channel bus first, then the NAND array programs it.
-        let bus_done = self.occupy_channel(addr.channel, issue, lat.channel_transfer);
-        let chip = &mut self.chips[chip_idx];
-        Ok(chip.occupy(bus_done, lat.program))
+        Ok(self.time_program(chip_idx, addr.channel, &[addr.plane], issue))
+    }
+
+    /// Programs several pages of one chip as a single **multi-plane**
+    /// program: each page's data crosses the channel bus in turn, then the
+    /// NAND phase of every plane executes in one
+    /// [`crate::LatencyConfig::multi_plane_program`] slot. Returns the
+    /// completion time of the shared slot.
+    ///
+    /// A single-page group degenerates to [`FlashDevice::program_page`].
+    ///
+    /// # Errors
+    ///
+    /// Returns the per-page errors of [`FlashDevice::program_page`], and
+    /// [`DeviceError::MultiPlaneMisaligned`] unless the pages live on the
+    /// same chip, on strictly ascending planes, at the same (block, page)
+    /// offset within their plane. No state is modified on error.
+    pub fn program_pages(
+        &mut self,
+        writes: &[(Ppn, OobData)],
+        issue: SimTime,
+    ) -> DeviceResult<SimTime> {
+        assert!(!writes.is_empty(), "program_pages needs at least one page");
+        if writes.len() == 1 {
+            let (ppn, oob) = writes[0];
+            return self.program_page(ppn, oob, issue);
+        }
+        let ppns: Vec<Ppn> = writes.iter().map(|&(ppn, _)| ppn).collect();
+        let addrs = self.check_multi_plane_group(&ppns)?;
+        let g = self.config.geometry;
+        // Validate the whole group before committing any page state.
+        for (addr, &(ppn, _)) in addrs.iter().zip(writes) {
+            let block = self.chips[addr.chip_index(&g) as usize].block(Self::local_block(addr, &g));
+            if block.write_pointer() != Some(addr.page) {
+                return Err(DeviceError::ProgramOnUsedPage { ppn });
+            }
+        }
+        for (addr, &(ppn, oob)) in addrs.iter().zip(writes) {
+            let chip_idx = addr.chip_index(&g) as usize;
+            let programmed = self.chips[chip_idx]
+                .block_mut(Self::local_block(addr, &g))
+                .program(addr.page);
+            debug_assert!(programmed, "group was validated above");
+            self.oob[ppn as usize] = oob;
+            self.stats.record(FlashOp::Program, oob.is_translation);
+        }
+        let first = addrs[0];
+        if let Some(staged) = &mut self.staging {
+            staged.push(StagedOp {
+                op: FlashOp::Program,
+                chip: first.chip_index(&g),
+                channel: first.channel,
+                planes: Self::group_mask(&addrs),
+            });
+            return Ok(issue);
+        }
+        let planes: Vec<u32> = addrs.iter().map(|a| a.plane).collect();
+        let chip = first.chip_index(&g) as usize;
+        Ok(self.time_program(chip, first.channel, &planes, issue))
+    }
+
+    /// Validates a multi-plane group: every page on the same chip, strictly
+    /// ascending planes, identical (block, page) offsets. Returns the decoded
+    /// addresses.
+    fn check_multi_plane_group(&self, ppns: &[Ppn]) -> DeviceResult<Vec<PhysAddr>> {
+        let addrs: Vec<PhysAddr> = ppns
+            .iter()
+            .map(|&ppn| self.check_ppn(ppn))
+            .collect::<DeviceResult<_>>()?;
+        let first = addrs[0];
+        for (addr, &ppn) in addrs.iter().zip(ppns).skip(1) {
+            let aligned = addr.channel == first.channel
+                && addr.chip == first.chip
+                && addr.block == first.block
+                && addr.page == first.page;
+            if !aligned {
+                return Err(DeviceError::MultiPlaneMisaligned { ppn });
+            }
+        }
+        for (pair, &ppn) in addrs.windows(2).zip(&ppns[1..]) {
+            if pair[1].plane <= pair[0].plane {
+                return Err(DeviceError::MultiPlaneMisaligned { ppn });
+            }
+        }
+        Ok(addrs)
+    }
+
+    /// The plane bitmask of an aligned group.
+    fn group_mask(addrs: &[PhysAddr]) -> u32 {
+        addrs.iter().fold(0u32, |m, a| m | (1 << a.plane))
     }
 
     /// Marks the page at `ppn` invalid (superseded). This is a metadata-only
@@ -325,17 +554,19 @@ impl FlashDevice {
             self.oob[(first_ppn + p) as usize] = OobData::default();
         }
         self.stats.record(FlashOp::Erase, false);
+        let plane = local_block / g.blocks_per_plane;
         if let Some(staged) = &mut self.staging {
             let channel = (chip_idx as u64 / u64::from(g.chips_per_channel)) as u32;
             staged.push(StagedOp {
                 op: FlashOp::Erase,
                 chip: chip_idx as u64,
                 channel,
+                planes: 1 << plane,
             });
             return Ok(issue);
         }
         let lat = self.config.latency;
-        Ok(self.chips[chip_idx].occupy(issue, lat.erase))
+        Ok(self.chips[chip_idx].occupy_plane(plane, issue, lat.erase))
     }
 
     /// Enqueues a page read, issued at `issue`. The non-blocking twin of
@@ -355,6 +586,7 @@ impl FlashDevice {
             FlashOp::Read,
             addr.chip_index(&g),
             addr.channel,
+            1 << addr.plane,
             issue,
             done,
         ))
@@ -379,6 +611,7 @@ impl FlashDevice {
             FlashOp::Program,
             addr.chip_index(&g),
             addr.channel,
+            1 << addr.plane,
             issue,
             done,
         ))
@@ -399,7 +632,8 @@ impl FlashDevice {
         let done = self.erase_block(flat_block, issue)?;
         let chip = flat_block / g.blocks_per_chip();
         let channel = (chip / u64::from(g.chips_per_channel)) as u32;
-        Ok(self.track_command(FlashOp::Erase, chip, channel, issue, done))
+        let plane = ((flat_block % g.blocks_per_chip()) / u64::from(g.blocks_per_plane)) as u32;
+        Ok(self.track_command(FlashOp::Erase, chip, channel, 1 << plane, issue, done))
     }
 
     /// Pops every enqueued command that has completed by `now`, in completion
@@ -435,6 +669,7 @@ impl FlashDevice {
         op: FlashOp,
         chip: u64,
         channel: u32,
+        planes: u32,
         issued: SimTime,
         completes_at: SimTime,
     ) -> QueuedCommand {
@@ -448,6 +683,7 @@ impl FlashDevice {
             op,
             chip,
             channel,
+            planes,
             issued,
         };
         self.next_cmd_id += 1;
@@ -522,15 +758,21 @@ impl FlashDevice {
             .map(|page| self.first_ppn_of_flat_block(flat_block) + u64::from(page)))
     }
 
-    /// The simulated time at which the chip holding `ppn` becomes idle.
+    /// The simulated time at which the **plane** holding `ppn` becomes idle.
+    ///
+    /// Plane-resolved on purpose: the whole-chip maximum would over-report
+    /// availability for an address whose plane is already free, which made
+    /// any scheduler lookahead built on this value non-conservative on
+    /// multi-plane geometries. With one plane per chip the two notions
+    /// coincide (regression-tested).
     pub fn chip_busy_until(&self, ppn: Ppn) -> SimTime {
         let g = self.config.geometry;
         let addr = PhysAddr::from_ppn(ppn, &g);
-        self.chips[addr.chip_index(&g) as usize].busy_until()
+        self.chips[addr.chip_index(&g) as usize].plane_free(addr.plane)
     }
 
-    /// The busiest (largest) `busy_until` across all chips: the time at which
-    /// the entire device has drained.
+    /// The busiest (largest) plane timeline across all chips: the time at
+    /// which the entire device has drained.
     pub fn drain_time(&self) -> SimTime {
         self.chips
             .iter()
@@ -544,9 +786,22 @@ impl FlashDevice {
         self.chips.iter().map(Chip::free_pages).collect()
     }
 
-    /// Per-chip busy-until times, indexed by flat chip index.
+    /// Per-chip availability, indexed by flat chip index: the time each chip
+    /// can next *accept* an operation, i.e. its earliest-free plane. A chip
+    /// with any idle plane reports that plane's time, not the whole-chip
+    /// maximum — plane-resolved availability for plane-aware dispatch. With
+    /// one plane per chip this is the classic per-chip busy-until.
     pub fn busy_until_per_chip(&self) -> Vec<SimTime> {
-        self.chips.iter().map(Chip::busy_until).collect()
+        self.chips.iter().map(Chip::next_plane_free).collect()
+    }
+
+    /// Per-plane busy-until times, indexed by flat plane index
+    /// (`chip * planes_per_chip + plane`).
+    pub fn busy_until_per_plane(&self) -> Vec<SimTime> {
+        self.chips
+            .iter()
+            .flat_map(|c| (0..c.plane_count()).map(|p| c.plane_free(p)))
+            .collect()
     }
 
     /// Number of fully erased blocks in the whole device.
@@ -598,7 +853,7 @@ impl FlashDevice {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use crate::Duration;
+    use crate::{Duration, LatencyConfig};
 
     fn dev() -> FlashDevice {
         FlashDevice::new(SsdConfig::tiny())
@@ -841,7 +1096,9 @@ mod tests {
             ops.iter().map(|o| o.op).collect::<Vec<_>>(),
             vec![FlashOp::Program, FlashOp::Read, FlashOp::Erase]
         );
-        assert!(ops.iter().all(|o| o.chip == 0 && o.channel == 0));
+        assert!(ops
+            .iter()
+            .all(|o| o.chip == 0 && o.channel == 0 && o.planes == 1));
         // State and statistics were applied eagerly...
         assert_eq!(d.page_state(0).unwrap(), PageState::Free);
         assert_eq!(d.stats().programs, 1);
@@ -869,7 +1126,7 @@ mod tests {
 
         let mut t_charge = SimTime::ZERO;
         for op in &ops {
-            t_charge = staged_dev.charge_op(op.op, op.chip, op.channel, t_charge);
+            t_charge = staged_dev.charge_op(op.op, op.chip, op.channel, op.planes, t_charge);
         }
         let mut t_block = SimTime::ZERO;
         t_block = blocking_dev
@@ -903,5 +1160,241 @@ mod tests {
             d.erase_block(d.geometry().total_blocks(), SimTime::ZERO),
             Err(DeviceError::BlockOutOfRange { .. })
         ));
+    }
+
+    /// A device with two planes per chip (same capacity as `tiny`).
+    fn dev2() -> FlashDevice {
+        FlashDevice::new(SsdConfig::tiny().with_planes(2))
+    }
+
+    /// PPN of (chip 0, plane `plane`, block 0, page `page`) on `dev2`.
+    fn plane_ppn(d: &FlashDevice, plane: u32, page: u32) -> Ppn {
+        PhysAddr {
+            channel: 0,
+            chip: 0,
+            plane,
+            block: 0,
+            page,
+        }
+        .to_ppn(d.geometry())
+    }
+
+    // Regression for the read-path channel accounting bug: the chip used to
+    // be freed at `nand_done` while its page still crossed the bus, so a
+    // queued read on the same chip started its NAND phase under an occupied
+    // channel for free. The plane must be held through its bus slot.
+    #[test]
+    fn two_reads_one_channel_hold_the_chip_through_the_bus_slot() {
+        let mut d = dev();
+        d.program_page(0, OobData::mapped(1), SimTime::ZERO)
+            .unwrap();
+        d.program_page(1, OobData::mapped(2), SimTime::ZERO)
+            .unwrap();
+        let t0 = d.drain_time();
+        // femu defaults: 40us NAND read, 5us transfer.
+        let t1 = d.read_page(0, t0).unwrap();
+        assert_eq!(t1 - t0, Duration::from_micros(45), "nand + burst");
+        let t2 = d.read_page(1, t0).unwrap();
+        assert_eq!(
+            t2 - t0,
+            Duration::from_micros(90),
+            "the second NAND read must wait for the first burst to free the plane"
+        );
+        // Two chips of the same channel overlap their NAND phases and only
+        // serialise on the bus.
+        let mut d = dev();
+        let g = *d.geometry();
+        let other = g.pages_per_chip(); // chip 1, same channel as chip 0
+        d.program_page(0, OobData::mapped(1), SimTime::ZERO)
+            .unwrap();
+        d.program_page(other, OobData::mapped(2), SimTime::ZERO)
+            .unwrap();
+        let t0 = d.drain_time();
+        let ta = d.read_page(0, t0).unwrap();
+        let tb = d.read_page(other, t0).unwrap();
+        assert_eq!(ta - t0, Duration::from_micros(45));
+        assert_eq!(tb - t0, Duration::from_micros(50), "bus-serialised only");
+    }
+
+    #[test]
+    fn cache_read_overlaps_burst_with_next_nand_phase() {
+        let cfg =
+            SsdConfig::tiny().with_latency(LatencyConfig::femu_default().with_cache_read(true));
+        let mut d = FlashDevice::new(cfg);
+        d.program_page(0, OobData::mapped(1), SimTime::ZERO)
+            .unwrap();
+        d.program_page(1, OobData::mapped(2), SimTime::ZERO)
+            .unwrap();
+        let t0 = d.drain_time();
+        let t1 = d.read_page(0, t0).unwrap();
+        assert_eq!(t1 - t0, Duration::from_micros(45));
+        let t2 = d.read_page(1, t0).unwrap();
+        assert_eq!(
+            t2 - t0,
+            Duration::from_micros(85),
+            "cache read: page 0's burst overlaps page 1's NAND time"
+        );
+    }
+
+    #[test]
+    fn independent_planes_overlap_their_nand_phases() {
+        let mut d = dev2();
+        let p0 = plane_ppn(&d, 0, 0);
+        let p1 = plane_ppn(&d, 1, 0);
+        // bursts serialise on the channel (5us each); the 200us NAND
+        // programs overlap across planes.
+        let t0 = d
+            .program_page(p0, OobData::mapped(1), SimTime::ZERO)
+            .unwrap();
+        let t1 = d
+            .program_page(p1, OobData::mapped(2), SimTime::ZERO)
+            .unwrap();
+        assert_eq!(t0, SimTime::from_micros(205));
+        assert_eq!(t1, SimTime::from_micros(210), "planes overlap, not queue");
+        // Same plane still serialises.
+        let t2 = d
+            .program_page(p0 + 1, OobData::mapped(3), SimTime::ZERO)
+            .unwrap();
+        assert!(t2 > SimTime::from_micros(400), "same plane must serialise");
+    }
+
+    #[test]
+    fn multi_plane_program_and_read_share_one_nand_slot() {
+        let mut d = dev2();
+        let p0 = plane_ppn(&d, 0, 0);
+        let p1 = plane_ppn(&d, 1, 0);
+        let done = d
+            .program_pages(
+                &[(p0, OobData::mapped(1)), (p1, OobData::mapped(2))],
+                SimTime::ZERO,
+            )
+            .unwrap();
+        // Transfers [0,5] and [5,10], one shared 200us program slot.
+        assert_eq!(done, SimTime::from_micros(210));
+        assert_eq!(d.stats().programs, 2);
+        assert_eq!(d.page_state(p0).unwrap(), PageState::Valid);
+        assert_eq!(d.page_state(p1).unwrap(), PageState::Valid);
+        let read_done = d.read_pages(&[p0, p1], done).unwrap();
+        // One 40us slot, then two 5us bursts.
+        assert_eq!(read_done, done + Duration::from_micros(50));
+        assert_eq!(d.stats().reads, 2);
+        // Plane 0 frees at its own burst, plane 1 at the later one.
+        assert_eq!(d.chip_busy_until(p0), done + Duration::from_micros(45));
+        assert_eq!(d.chip_busy_until(p1), read_done);
+    }
+
+    #[test]
+    fn misaligned_multi_plane_groups_are_rejected_without_state_change() {
+        let mut d = dev2();
+        let p0 = plane_ppn(&d, 0, 0);
+        let p1 = plane_ppn(&d, 1, 0);
+        // Different page offsets.
+        assert_eq!(
+            d.program_pages(
+                &[(p0, OobData::mapped(1)), (p1 + 1, OobData::mapped(2))],
+                SimTime::ZERO,
+            ),
+            Err(DeviceError::MultiPlaneMisaligned { ppn: p1 + 1 })
+        );
+        // Same plane twice.
+        assert_eq!(
+            d.program_pages(
+                &[(p0, OobData::mapped(1)), (p0, OobData::mapped(2))],
+                SimTime::ZERO,
+            ),
+            Err(DeviceError::MultiPlaneMisaligned { ppn: p0 })
+        );
+        // Descending planes.
+        assert_eq!(
+            d.program_pages(
+                &[(p1, OobData::mapped(1)), (p0, OobData::mapped(2))],
+                SimTime::ZERO,
+            ),
+            Err(DeviceError::MultiPlaneMisaligned { ppn: p0 })
+        );
+        assert_eq!(d.page_state(p0).unwrap(), PageState::Free);
+        assert_eq!(d.page_state(p1).unwrap(), PageState::Free);
+        assert_eq!(d.stats().programs, 0);
+        assert_eq!(d.drain_time(), SimTime::ZERO);
+    }
+
+    #[test]
+    fn plane_resolved_availability_is_not_the_chip_maximum() {
+        let mut d = dev2();
+        let p0 = plane_ppn(&d, 0, 0);
+        let p1 = plane_ppn(&d, 1, 0);
+        let done = d
+            .program_page(p0, OobData::mapped(1), SimTime::ZERO)
+            .unwrap();
+        // Plane 1 is idle even though plane 0 is busy until `done`.
+        assert_eq!(d.chip_busy_until(p1), SimTime::ZERO);
+        assert_eq!(d.chip_busy_until(p0), done);
+        assert_eq!(d.busy_until_per_chip()[0], SimTime::ZERO, "earliest plane");
+        assert_eq!(d.busy_until_per_plane()[0], done);
+        assert_eq!(d.busy_until_per_plane()[1], SimTime::ZERO);
+        assert_eq!(d.drain_time(), done, "drain waits for the busiest plane");
+    }
+
+    // Pins the planes=1 equivalence of the plane-resolved availability APIs:
+    // with one plane per chip, chip_busy_until and busy_until_per_chip must
+    // coincide with the whole-chip drain semantics the pre-plane model
+    // reported, so scheduler lookahead built on them stays conservative.
+    #[test]
+    fn single_plane_availability_matches_whole_chip_semantics() {
+        let mut d = dev();
+        let done = d
+            .program_page(0, OobData::mapped(1), SimTime::ZERO)
+            .unwrap();
+        assert_eq!(d.chip_busy_until(0), done);
+        assert_eq!(d.busy_until_per_chip()[0], done);
+        assert_eq!(d.busy_until_per_plane()[0], done);
+        assert_eq!(
+            d.busy_until_per_chip().len() as u64,
+            d.geometry().total_chips()
+        );
+        assert_eq!(
+            d.busy_until_per_plane(),
+            d.busy_until_per_chip(),
+            "one plane per chip: the two views are identical"
+        );
+    }
+
+    #[test]
+    fn staged_multi_plane_ops_charge_like_blocking_calls() {
+        let mut staged_dev = dev2();
+        let mut blocking_dev = dev2();
+        let p0 = plane_ppn(&staged_dev, 0, 0);
+        let p1 = plane_ppn(&staged_dev, 1, 0);
+        let writes = [(p0, OobData::mapped(1)), (p1, OobData::mapped(2))];
+
+        staged_dev.begin_staging();
+        staged_dev.program_pages(&writes, SimTime::ZERO).unwrap();
+        staged_dev.read_pages(&[p0, p1], SimTime::ZERO).unwrap();
+        let ops = staged_dev.end_staging();
+        assert_eq!(ops.len(), 2, "each fused group stages one operation");
+        assert_eq!(ops[0].planes, 0b11);
+
+        let mut t_charge = SimTime::ZERO;
+        for op in &ops {
+            t_charge = staged_dev.charge_op(op.op, op.chip, op.channel, op.planes, t_charge);
+        }
+        let mut t_block = blocking_dev.program_pages(&writes, SimTime::ZERO).unwrap();
+        t_block = blocking_dev.read_pages(&[p0, p1], t_block).unwrap();
+        assert_eq!(t_charge, t_block, "charge replay must equal blocking time");
+        assert_eq!(staged_dev.drain_time(), blocking_dev.drain_time());
+    }
+
+    #[test]
+    fn erase_occupies_only_its_plane() {
+        let mut d = dev2();
+        let g = *d.geometry();
+        // Block 0 of plane 1 on chip 0 has flat index blocks_per_plane.
+        let flat = u64::from(g.blocks_per_plane);
+        let done = d.erase_block(flat, SimTime::ZERO).unwrap();
+        assert_eq!(done, SimTime::ZERO + Duration::from_millis(2));
+        let p0 = plane_ppn(&d, 0, 0);
+        assert_eq!(d.chip_busy_until(p0), SimTime::ZERO, "plane 0 untouched");
+        let p1 = plane_ppn(&d, 1, 0);
+        assert_eq!(d.chip_busy_until(p1), done);
     }
 }

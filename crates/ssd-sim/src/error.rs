@@ -40,6 +40,13 @@ pub enum DeviceError {
         /// How many valid pages remain in the block.
         valid: u32,
     },
+    /// A multi-plane group was not aligned: every page of the group must live
+    /// on the same chip, on strictly ascending planes, at the same
+    /// (block, page) offset within its plane.
+    MultiPlaneMisaligned {
+        /// The first page that breaks the alignment.
+        ppn: u64,
+    },
 }
 
 impl fmt::Display for DeviceError {
@@ -59,6 +66,13 @@ impl fmt::Display for DeviceError {
             }
             DeviceError::EraseWithValidPages { block, valid } => {
                 write!(f, "erase of block {block} with {valid} valid pages")
+            }
+            DeviceError::MultiPlaneMisaligned { ppn } => {
+                write!(
+                    f,
+                    "page {ppn} breaks multi-plane alignment (same chip, ascending \
+                     planes, equal block and page offsets required)"
+                )
             }
         }
     }

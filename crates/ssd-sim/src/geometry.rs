@@ -52,6 +52,10 @@ impl Geometry {
         assert!(channels > 0, "channels must be non-zero");
         assert!(chips_per_channel > 0, "chips_per_channel must be non-zero");
         assert!(planes_per_chip > 0, "planes_per_chip must be non-zero");
+        assert!(
+            planes_per_chip <= 32,
+            "planes_per_chip must fit a 32-bit plane mask"
+        );
         assert!(blocks_per_plane > 0, "blocks_per_plane must be non-zero");
         assert!(pages_per_block > 0, "pages_per_block must be non-zero");
         assert!(page_size > 0, "page_size must be non-zero");

@@ -25,17 +25,27 @@ use ftl_shard::ShardedFtl;
 /// blocks, so even a 1-channel shard spans one full translation page per
 /// block row (LearnedFTL's group allocation requires 512 mappings per row).
 /// LearnedFTL additionally needs enough block rows per shard for its group
-/// reserve, so it runs on a double-depth variant.
-fn device(kind: FtlKind) -> SsdConfig {
-    let blocks = if kind == FtlKind::LearnedFtl { 16 } else { 8 };
+/// reserve, so it runs on a deeper variant. The planes=2 split costs extra
+/// whole blocks per chip (one translation block per *plane*, plus
+/// LearnedFTL's per-plane group-row reserve), so those configurations get
+/// more over-provisioning resp. a deeper device — enough that GC runs in a
+/// realistic regime instead of permanently pinned at the watermark.
+fn device(kind: FtlKind, planes: u32) -> SsdConfig {
+    let (blocks, op_ratio) = match (kind == FtlKind::LearnedFtl, planes) {
+        (true, 1) => (16, 0.4),
+        (true, _) => (20, 0.4),
+        (false, 1) => (8, 0.4),
+        (false, _) => (8, 0.5),
+    };
     SsdConfig::tiny()
         .with_geometry(Geometry::new(4, 2, 1, blocks, 256, 4096))
-        .with_op_ratio(0.4)
+        .with_op_ratio(op_ratio)
+        .with_planes(planes)
 }
 
 /// Builds one configuration's frontend (explicit GC mode, shard-scaled
 /// parameters) and fills the device so the write phase forces collections.
-fn prepared(kind: FtlKind, mode: GcMode, shards: usize) -> ShardedFtl<Box<dyn Ftl>> {
+fn prepared(kind: FtlKind, mode: GcMode, shards: usize, planes: u32) -> ShardedFtl<Box<dyn Ftl>> {
     let baseline = BaselineConfig::default()
         .for_shard(shards)
         .with_gc_mode(mode);
@@ -44,7 +54,7 @@ fn prepared(kind: FtlKind, mode: GcMode, shards: usize) -> ShardedFtl<Box<dyn Ft
         // Never bill the trainer's host wall clock to the simulated
         // timeline: the backends deliberately differ in wall clock.
         .with_charge_training_time(false);
-    let mut ftl = kind.build_sharded_with(device(kind), shards, baseline, learned);
+    let mut ftl = kind.build_sharded_with(device(kind, planes), shards, baseline, learned);
     warmup::sequential_fill(&mut ftl, 32, 1, SimTime::ZERO);
     ftl.drain_gc();
     ftl
@@ -193,18 +203,18 @@ fn two_phase(
     (writes, reads)
 }
 
-fn check_configuration(kind: FtlKind, mode: GcMode, shards: usize) {
-    let context = format!("{kind} {mode:?} shards={shards}");
+fn check_configuration(kind: FtlKind, mode: GcMode, shards: usize, planes: u32) {
+    let context = format!("{kind} {mode:?} shards={shards} planes={planes}");
 
-    let mut simulated = prepared(kind, mode, shards);
+    let mut simulated = prepared(kind, mode, shards, planes);
     let (sim_writes, sim_reads) = two_phase(&mut simulated, 0);
 
     // Threaded, run twice from identically prepared devices: the first run
     // pins cross-backend agreement, the second pins determinism.
     let workers = shards.clamp(2, 4);
-    let mut threaded_a = prepared(kind, mode, shards);
+    let mut threaded_a = prepared(kind, mode, shards, planes);
     let (thr_writes_a, thr_reads_a) = two_phase(&mut threaded_a, workers);
-    let mut threaded_b = prepared(kind, mode, shards);
+    let mut threaded_b = prepared(kind, mode, shards, planes);
     let (thr_writes_b, thr_reads_b) = two_phase(&mut threaded_b, workers);
 
     assert_sharded_equal(&format!("{context} [writes]"), &sim_writes, &thr_writes_a);
@@ -222,36 +232,47 @@ fn check_configuration(kind: FtlKind, mode: GcMode, shards: usize) {
 }
 
 macro_rules! equivalence_tests {
-    ($($name:ident: $kind:expr, $mode:expr;)*) => {
+    ($($name:ident / $name2:ident: $kind:expr, $mode:expr;)*) => {
         $(
             #[test]
             fn $name() {
                 for shards in [1usize, 2, 4] {
-                    check_configuration($kind, $mode, shards);
+                    check_configuration($kind, $mode, shards, 1);
                 }
+            }
+
+            /// The same configuration on a two-plane geometry: plane-parallel
+            /// dispatch and multi-plane program groups must stay
+            /// deterministic and backend-agnostic too. One sharded
+            /// configuration (shards=2) bounds the extra runtime — the
+            /// single-shard planes=2 path is pinned by the crate-level
+            /// equivalence tests and `fig26_plane_scaling`.
+            #[test]
+            fn $name2() {
+                check_configuration($kind, $mode, 2, 2);
             }
         )*
     };
 }
 
 equivalence_tests! {
-    dftl_blocking: FtlKind::Dftl, GcMode::Blocking;
-    dftl_scheduled: FtlKind::Dftl, GcMode::Scheduled;
-    tpftl_blocking: FtlKind::Tpftl, GcMode::Blocking;
-    tpftl_scheduled: FtlKind::Tpftl, GcMode::Scheduled;
-    leaftl_blocking: FtlKind::LeaFtl, GcMode::Blocking;
-    leaftl_scheduled: FtlKind::LeaFtl, GcMode::Scheduled;
-    learnedftl_blocking: FtlKind::LearnedFtl, GcMode::Blocking;
-    learnedftl_scheduled: FtlKind::LearnedFtl, GcMode::Scheduled;
-    ideal_blocking: FtlKind::Ideal, GcMode::Blocking;
-    ideal_scheduled: FtlKind::Ideal, GcMode::Scheduled;
+    dftl_blocking / dftl_blocking_planes2: FtlKind::Dftl, GcMode::Blocking;
+    dftl_scheduled / dftl_scheduled_planes2: FtlKind::Dftl, GcMode::Scheduled;
+    tpftl_blocking / tpftl_blocking_planes2: FtlKind::Tpftl, GcMode::Blocking;
+    tpftl_scheduled / tpftl_scheduled_planes2: FtlKind::Tpftl, GcMode::Scheduled;
+    leaftl_blocking / leaftl_blocking_planes2: FtlKind::LeaFtl, GcMode::Blocking;
+    leaftl_scheduled / leaftl_scheduled_planes2: FtlKind::LeaFtl, GcMode::Scheduled;
+    learnedftl_blocking / learnedftl_blocking_planes2: FtlKind::LearnedFtl, GcMode::Blocking;
+    learnedftl_scheduled / learnedftl_scheduled_planes2: FtlKind::LearnedFtl, GcMode::Scheduled;
+    ideal_blocking / ideal_blocking_planes2: FtlKind::Ideal, GcMode::Blocking;
+    ideal_scheduled / ideal_scheduled_planes2: FtlKind::Ideal, GcMode::Scheduled;
 }
 
 #[test]
 fn scheduled_write_phase_actually_collects() {
     // Sanity anchor for the matrix above: the write phase must force real
     // collections (otherwise the GC-mode dimension would be vacuous).
-    let mut ftl = prepared(FtlKind::Dftl, GcMode::Scheduled, 1);
+    let mut ftl = prepared(FtlKind::Dftl, GcMode::Scheduled, 1, 1);
     let pages = ftl.logical_pages();
     let result = Runner::new().run_threaded_qd(&mut ftl, &mut write_phase(pages), 8, 2);
     assert!(
@@ -265,16 +286,29 @@ fn scheduled_write_phase_actually_collects() {
 }
 
 #[test]
+fn planes2_write_phase_actually_collects() {
+    // Same anchor for the planes=2 half of the matrix: the roomier
+    // over-provisioning must not make the GC dimension vacuous.
+    let mut ftl = prepared(FtlKind::Dftl, GcMode::Scheduled, 2, 2);
+    let pages = ftl.logical_pages();
+    let result = Runner::new().run_threaded_qd(&mut ftl, &mut write_phase(pages), 8, 2);
+    assert!(
+        result.result.stats.gc_count > 0,
+        "planes=2 write phase must trigger collections, got none"
+    );
+}
+
+#[test]
 fn threaded_open_loop_equivalence_and_determinism() {
     // The open-loop runner has no host queue feedback; cover it for a
     // representative pair of designs at shards=4.
     for kind in [FtlKind::Dftl, FtlKind::LearnedFtl] {
         let mean = ssd_sim::Duration::from_micros(25);
-        let mut simulated = prepared(kind, GcMode::Blocking, 4);
+        let mut simulated = prepared(kind, GcMode::Blocking, 4, 1);
         let pages = simulated.logical_pages();
         let sim = Runner::new().run_open_loop(&mut simulated, &mut read_phase(pages), mean, 7);
 
-        let mut threaded_a = prepared(kind, GcMode::Blocking, 4);
+        let mut threaded_a = prepared(kind, GcMode::Blocking, 4, 1);
         let thr_a = Runner::new().run_threaded_open_loop(
             &mut threaded_a,
             &mut read_phase(pages),
@@ -282,7 +316,7 @@ fn threaded_open_loop_equivalence_and_determinism() {
             7,
             4,
         );
-        let mut threaded_b = prepared(kind, GcMode::Blocking, 4);
+        let mut threaded_b = prepared(kind, GcMode::Blocking, 4, 1);
         let thr_b = Runner::new().run_threaded_open_loop(
             &mut threaded_b,
             &mut read_phase(pages),
