@@ -102,13 +102,13 @@ impl Ftl for Dftl {
                 continue;
             };
             if let Some(cached) = self.cmt.lookup(l) {
-                self.core.stats.record_read_class(ReadClass::CmtHit);
+                self.core.note_read_class(ReadClass::CmtHit, now);
                 let t = self.core.read_data(cached, now);
                 done = done.max(t);
                 continue;
             }
             // Double read: fetch the translation page, then the data.
-            self.core.stats.record_read_class(ReadClass::DoubleRead);
+            self.core.note_read_class(ReadClass::DoubleRead, now);
             let tpn = self.core.entry_of_lpn(l);
             let t_trans = self.core.read_translation(tpn, now);
             let evicted = self.cmt.insert_clean(l, ppn);

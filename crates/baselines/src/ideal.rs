@@ -57,7 +57,7 @@ impl Ftl for IdealFtl {
                 self.core.stats.unmapped_reads += 1;
                 continue;
             };
-            self.core.stats.record_read_class(ReadClass::CmtHit);
+            self.core.note_read_class(ReadClass::CmtHit, now);
             let t = self.core.read_data(ppn, now);
             done = done.max(t);
         }

@@ -253,7 +253,7 @@ impl Ftl for LeaFtl {
             }
             self.core.stats.host_read_pages += 1;
             if self.buffer.contains(&l) {
-                self.core.stats.record_read_class(ReadClass::BufferHit);
+                self.core.note_read_class(ReadClass::BufferHit, now);
                 continue;
             }
             let Some(true_ppn) = self.core.mapping.get(l) else {
@@ -302,7 +302,7 @@ impl Ftl for LeaFtl {
                 1 => ReadClass::DoubleRead,
                 _ => ReadClass::TripleRead,
             };
-            self.core.stats.record_read_class(class);
+            self.core.note_read_class(class, now);
             done = done.max(t);
         }
         self.core.finish_host_batch(done)

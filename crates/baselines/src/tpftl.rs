@@ -133,12 +133,12 @@ impl Ftl for Tpftl {
             let tpn = self.core.entry_of_lpn(l);
             let offset = self.core.offset_of_lpn(l);
             if let Some(cached) = self.cmt.lookup(tpn, offset) {
-                self.core.stats.record_read_class(ReadClass::CmtHit);
+                self.core.note_read_class(ReadClass::CmtHit, now);
                 let t = self.core.read_data(cached, now);
                 done = done.max(t);
                 continue;
             }
-            self.core.stats.record_read_class(ReadClass::DoubleRead);
+            self.core.note_read_class(ReadClass::DoubleRead, now);
             let ready = self.load_with_prefetch(l, now);
             let t = self.core.read_data(ppn, ready);
             done = done.max(t);

@@ -9,7 +9,7 @@
 //! Each row reports the random-read hit ratios and throughput after the
 //! paper's warm-up, so the contribution of each mechanism is visible.
 
-use bench::{percent, print_header, print_table_with_verdict, Scale};
+use bench::{percent, print_header, print_table_with_verdict, BenchArgs, Scale};
 use ftl_base::Ftl;
 use harness::Runner;
 use learnedftl::{LearnedFtl, LearnedFtlConfig};
@@ -45,7 +45,8 @@ fn run(scale: Scale, config: LearnedFtlConfig) -> (f64, f64, f64, f64) {
 }
 
 fn main() {
-    let scale = Scale::from_env();
+    let args = BenchArgs::from_env();
+    let scale = args.scale();
     print_header(
         "Ablation — pieces per model, CMT share, sequential initialisation",
         "8 pieces + 1.5% CMT + sequential init is the paper's configuration; each knob contributes",
@@ -109,4 +110,6 @@ fn main() {
             percent(one_piece.1)
         ),
     );
+
+    bench::export_default_observability(&args);
 }

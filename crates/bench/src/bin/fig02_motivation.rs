@@ -6,14 +6,15 @@
 //! hit ratio collapses to ~0 % under random reads while staying high under
 //! sequential reads.
 
-use bench::{percent, print_header, print_table_with_verdict, Scale};
+use bench::{percent, print_header, print_table_with_verdict, BenchArgs, Scale};
 use harness::experiments::{fio_read_run, ExperimentScale};
 use harness::FtlKind;
 use metrics::Table;
 use workloads::FioPattern;
 
 fn main() {
-    let scale = Scale::from_env();
+    let args = BenchArgs::from_env();
+    let scale = args.scale();
     print_header(
         "Fig. 2 — TPFTL read throughput and CMT hit ratio vs thread count",
         "random reads are up to ~60% slower than sequential reads and their CMT hit ratio is ~0%",
@@ -74,4 +75,6 @@ fn main() {
         percent(last_rand_hit)
     );
     print_table_with_verdict(&table, &verdict);
+
+    bench::export_default_observability(&args);
 }

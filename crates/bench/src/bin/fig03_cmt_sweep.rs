@@ -6,13 +6,14 @@
 //! double-read problem.
 
 use baselines::{BaselineConfig, Tpftl};
-use bench::{percent, print_header, print_table_with_verdict, Scale};
+use bench::{percent, print_header, print_table_with_verdict, BenchArgs};
 use harness::Runner;
 use metrics::Table;
 use workloads::{warmup, FioPattern, FioWorkload};
 
 fn main() {
-    let scale = Scale::from_env();
+    let args = BenchArgs::from_env();
+    let scale = args.scale();
     print_header(
         "Fig. 3 — TPFTL CMT hit ratio vs CMT space under random reads",
         "hit ratio grows only to ~26% even with a CMT holding 50% of all mappings",
@@ -68,4 +69,6 @@ fn main() {
         if capped { "capped" } else { "NOT capped" },
     );
     print_table_with_verdict(&table, &verdict);
+
+    bench::export_default_observability(&args);
 }

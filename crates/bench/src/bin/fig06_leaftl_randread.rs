@@ -5,14 +5,15 @@
 //! because 52 % of its reads become double reads and 43 % become triple reads
 //! (only ~5 % are served with a single flash read).
 
-use bench::{percent, print_header, print_table_with_verdict, Scale};
+use bench::{percent, print_header, print_table_with_verdict, BenchArgs};
 use harness::experiments::fio_read_run;
 use harness::FtlKind;
 use metrics::Table;
 use workloads::FioPattern;
 
 fn main() {
-    let scale = Scale::from_env();
+    let args = BenchArgs::from_env();
+    let scale = args.scale();
     print_header(
         "Fig. 6 — LeaFTL vs TPFTL under random reads",
         "LeaFTL ~29% slower than TPFTL; LeaFTL reads split ~5% single / 52% double / 43% triple",
@@ -64,4 +65,6 @@ fn main() {
         percent(double + triple)
     );
     print_table_with_verdict(&table, &verdict);
+
+    bench::export_default_observability(&args);
 }

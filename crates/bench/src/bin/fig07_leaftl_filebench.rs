@@ -5,14 +5,15 @@
 //! worse) than TPFTL, because even a high model-cache hit ratio still yields
 //! mispredictions and therefore double reads.
 
-use bench::{percent, print_header, print_table_with_verdict, Scale};
+use bench::{percent, print_header, print_table_with_verdict, BenchArgs};
 use harness::experiments::filebench_run;
 use harness::FtlKind;
 use metrics::Table;
 use workloads::FilebenchPreset;
 
 fn main() {
-    let scale = Scale::from_env();
+    let args = BenchArgs::from_env();
+    let scale = args.scale();
     print_header(
         "Fig. 7 — TPFTL vs LeaFTL under Filebench",
         "LeaFTL is equal or worse than TPFTL on locality-heavy workloads",
@@ -55,4 +56,6 @@ fn main() {
         percent(webserver_hits.1),
     );
     print_table_with_verdict(&table, &verdict);
+
+    bench::export_default_observability(&args);
 }

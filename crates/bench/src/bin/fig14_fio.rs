@@ -178,4 +178,6 @@ fn main() {
             }
         ),
     );
+
+    bench::export_default_observability(&args);
 }

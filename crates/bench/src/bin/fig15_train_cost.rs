@@ -7,7 +7,7 @@
 
 use std::time::Instant;
 
-use bench::{print_header, Scale};
+use bench::{print_header, BenchArgs};
 use learned_index::Point;
 use learnedftl::InPlaceModel;
 use rand::rngs::StdRng;
@@ -22,7 +22,8 @@ fn measure<R>(iterations: u32, mut f: impl FnMut() -> R) -> f64 {
 }
 
 fn main() {
-    let scale = Scale::from_env();
+    let args = BenchArgs::from_env();
+    let scale = args.scale();
     print_header(
         "Fig. 15 — cost of sorting / training / prediction per GTD entry",
         "sorting+training cost tens of microseconds per entry; a prediction costs well under a microsecond",
@@ -70,4 +71,6 @@ fn main() {
         sort_us + train_us,
         predict_us
     );
+
+    bench::export_default_observability(&args);
 }

@@ -5,7 +5,7 @@
 //! garbage collections than the baselines — its total GC count is slightly
 //! lower than DFTL/TPFTL/LeaFTL under both random and sequential writes.
 
-use bench::{print_header, print_table_with_verdict, Scale};
+use bench::{print_header, print_table_with_verdict, BenchArgs};
 use harness::experiments::fio_write_run;
 use harness::FtlKind;
 use metrics::{GcTimeline, Table};
@@ -13,7 +13,8 @@ use ssd_sim::Duration;
 use workloads::FioPattern;
 
 fn main() {
-    let scale = Scale::from_env();
+    let args = BenchArgs::from_env();
+    let scale = args.scale();
     print_header(
         "Fig. 16 — GC frequency under FIO random and sequential writes",
         "LearnedFTL triggers no more GCs than the baselines (slightly fewer in the paper)",
@@ -60,4 +61,6 @@ fn main() {
         );
         print_table_with_verdict(&table, &verdict);
     }
+
+    bench::export_default_observability(&args);
 }

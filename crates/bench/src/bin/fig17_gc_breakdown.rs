@@ -5,7 +5,7 @@
 //! execution time; the rest is the flash reads/writes/erases GC performs
 //! anyway.
 
-use bench::{print_header, print_table_with_verdict, Scale};
+use bench::{print_header, print_table_with_verdict, BenchArgs, Scale};
 use ftl_base::Ftl;
 use harness::Runner;
 use learnedftl::{LearnedFtl, LearnedFtlConfig};
@@ -13,7 +13,8 @@ use metrics::Table;
 use workloads::{warmup, FioPattern, FioWorkload};
 
 fn main() {
-    let scale = Scale::from_env();
+    let args = BenchArgs::from_env();
+    let scale = args.scale();
     print_header(
         "Fig. 17 — sorting + training share of GC execution time (LearnedFTL)",
         "sorting and training account for at most ~3% of GC time",
@@ -76,4 +77,6 @@ fn main() {
         worst_share * 100.0
     );
     print_table_with_verdict(&table, &verdict);
+
+    bench::export_default_observability(&args);
 }

@@ -6,7 +6,7 @@
 //! write path (via GC) nor the prediction on the read path costs anything
 //! noticeable.
 
-use bench::{print_header, print_table_with_verdict, Scale};
+use bench::{print_header, print_table_with_verdict, BenchArgs, Scale};
 use ftl_base::Ftl;
 use harness::Runner;
 use learnedftl::{LearnedFtl, LearnedFtlConfig};
@@ -62,7 +62,8 @@ fn run_read(scale: Scale, pattern: FioPattern, ideal_prediction: bool) -> f64 {
 }
 
 fn main() {
-    let scale = Scale::from_env();
+    let args = BenchArgs::from_env();
+    let scale = args.scale();
     print_header(
         "Fig. 18 — cost of training (writes) and of model prediction (reads)",
         "both with/without gaps are below ~1%",
@@ -124,4 +125,6 @@ fn main() {
             worst_gap * 100.0
         ),
     );
+
+    bench::export_default_observability(&args);
 }

@@ -5,14 +5,15 @@
 //! readrandom (and is at least as good on readseq) because its learned models
 //! keep serving single flash reads where the baselines double-read.
 
-use bench::{percent, print_header, print_table_with_verdict, Scale};
+use bench::{percent, print_header, print_table_with_verdict, BenchArgs};
 use harness::experiments::rocksdb_run;
 use harness::FtlKind;
 use metrics::Table;
 use workloads::RocksDbPhase;
 
 fn main() {
-    let scale = Scale::from_env();
+    let args = BenchArgs::from_env();
+    let scale = args.scale();
     print_header(
         "Fig. 19 — RocksDB readrandom / readseq on each FTL",
         "LearnedFTL beats the baselines by 1.3-1.4x on readrandom",
@@ -69,4 +70,6 @@ fn main() {
             ),
         );
     }
+
+    bench::export_default_observability(&args);
 }

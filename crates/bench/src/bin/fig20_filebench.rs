@@ -4,14 +4,15 @@
 //! across fileserver, webserver and varmail, because the CMT still captures
 //! the locality while the learned models catch the reads the CMT misses.
 
-use bench::{print_header, print_table_with_verdict, Scale};
+use bench::{print_header, print_table_with_verdict, BenchArgs};
 use harness::experiments::filebench_run;
 use harness::FtlKind;
 use metrics::Table;
 use workloads::FilebenchPreset;
 
 fn main() {
-    let scale = Scale::from_env();
+    let args = BenchArgs::from_env();
+    let scale = args.scale();
     print_header(
         "Fig. 20 — Filebench normalized throughput (all FTLs); Table I configurations",
         "LearnedFTL outperforms the other schemes by 1.1-2.3x",
@@ -84,4 +85,6 @@ fn main() {
              (paper: 1.1x – 2.3x vs the other schemes)"
         ),
     );
+
+    bench::export_default_observability(&args);
 }

@@ -15,7 +15,9 @@
 //!   is a strict generalisation, not a different model).
 
 use bench::{print_header, print_table_with_verdict, BenchArgs};
-use harness::experiments::{fio_qd_run, fio_qd_sharded_run};
+use harness::experiments::{
+    fio_qd_run, fio_qd_sharded_run, fio_qd_sharded_traced_run, fio_qd_traced_run,
+};
 use harness::{FtlKind, RunResult, Runner};
 use metrics::Table;
 use ssd_sim::SsdConfig;
@@ -125,6 +127,38 @@ fn main() {
         },
     );
     print_table_with_verdict(&table, &verdict);
+
+    // Observability: when `--trace-out` / `--metrics-out` are given, re-run
+    // the designated configuration (LearnedFTL at QD 16) with tracing on and
+    // export it. The sweep above stays untraced so its numbers are the same
+    // whether or not observability was requested.
+    if args.tracing() {
+        let traced: RunResult = if args.shards > 1 {
+            fio_qd_sharded_traced_run(
+                FtlKind::LearnedFtl,
+                FioPattern::RandRead,
+                threads,
+                16,
+                args.shards,
+                device,
+                experiment,
+            )
+            .result
+        } else {
+            fio_qd_traced_run(
+                FtlKind::LearnedFtl,
+                FioPattern::RandRead,
+                threads,
+                16,
+                device,
+                experiment,
+            )
+        };
+        println!("traced run: LearnedFTL, FIO randread, QD 16");
+        args.export_observability(&traced)
+            .expect("writing observability output failed");
+    }
+
     if !qd16_beats_qd1 || !qd1_matches_legacy {
         std::process::exit(1);
     }

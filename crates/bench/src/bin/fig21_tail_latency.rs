@@ -5,14 +5,15 @@
 //! (average 5.5×) vs TPFTL and 3.0–12.2× (average 8.2×) vs LeaFTL, because
 //! its models remove the sporadic double/triple reads that dominate the tail.
 
-use bench::{print_header, print_table_with_verdict, Scale};
-use harness::experiments::trace_run;
+use bench::{print_header, print_table_with_verdict, BenchArgs};
+use harness::experiments::{trace_run, trace_traced_run};
 use harness::FtlKind;
 use metrics::Table;
 use workloads::TraceKind;
 
 fn main() {
-    let scale = Scale::from_env();
+    let args = BenchArgs::from_env();
+    let scale = args.scale();
     print_header(
         "Fig. 21 — P99 / P99.9 tail latency under the four traces",
         "LearnedFTL cuts P99 latency by ~5.5x vs TPFTL and ~8.2x vs LeaFTL on average",
@@ -69,4 +70,21 @@ fn main() {
             avg(&leaftl_gains)
         ),
     );
+
+    // Observability: export a traced LearnedFTL replay of the first trace
+    // when requested; the comparison table above stays untraced.
+    if args.tracing() {
+        let trace = TraceKind::all()[0];
+        let traced = trace_traced_run(
+            FtlKind::LearnedFtl,
+            trace,
+            streams,
+            trace_len,
+            device,
+            experiment,
+        );
+        println!("traced run: LearnedFTL, {} replay", trace.label());
+        args.export_observability(&traced)
+            .expect("writing observability output failed");
+    }
 }

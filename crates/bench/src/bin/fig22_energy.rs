@@ -5,14 +5,15 @@
 //! reads), while on the write-heavy Systor trace all FTLs are similar (writes
 //! and erases dominate the energy budget).
 
-use bench::{print_header, print_table_with_verdict, Scale};
+use bench::{print_header, print_table_with_verdict, BenchArgs};
 use harness::experiments::trace_run;
 use harness::FtlKind;
 use metrics::{EnergyModel, Table};
 use workloads::TraceKind;
 
 fn main() {
-    let scale = Scale::from_env();
+    let args = BenchArgs::from_env();
+    let scale = args.scale();
     print_header(
         "Fig. 22 — normalized energy under the four traces",
         "LearnedFTL saves 1.09-1.2x energy on the read-intensive traces; Systor is a wash",
@@ -71,4 +72,6 @@ fn main() {
              (paper: 1.09-1.2x); on Systor the ratio is {systor_ratio:.2} (paper: ~1.0)"
         ),
     );
+
+    bench::export_default_observability(&args);
 }

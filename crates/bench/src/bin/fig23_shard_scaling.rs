@@ -25,7 +25,7 @@
 //! `{1, 2, 4, 8}`.
 
 use bench::{print_header, print_table_with_verdict, shard_scaling_device, BenchArgs};
-use harness::experiments::{fio_open_loop_run, fio_qd_sharded_run};
+use harness::experiments::{fio_open_loop_run, fio_qd_sharded_run, fio_qd_sharded_traced_run};
 use harness::FtlKind;
 use metrics::Table;
 use ssd_sim::Duration;
@@ -174,6 +174,26 @@ fn main() {
         "the single-engine frontend saturates first: its latency blows up at offered \
          loads the sharded frontend still serves near service time",
     );
+
+    // Observability: when `--trace-out` / `--metrics-out` are given, re-run
+    // the headline configuration — LearnedFTL at QD 16 on the largest swept
+    // shard count — with tracing on and export it. Per-shard activity lands
+    // on separate trace processes ("shard N" in Perfetto).
+    if args.tracing() {
+        let shards = shard_counts[big];
+        let traced = fio_qd_sharded_traced_run(
+            FtlKind::LearnedFtl,
+            FioPattern::RandRead,
+            threads,
+            16,
+            shards,
+            device,
+            experiment,
+        );
+        println!("traced run: LearnedFTL, FIO randread, QD 16, shards={shards}");
+        args.export_observability(&traced.result)
+            .expect("writing observability output failed");
+    }
 
     if !scaling_holds {
         std::process::exit(1);

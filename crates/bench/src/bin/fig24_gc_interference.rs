@@ -33,12 +33,12 @@
 //! the timeline the tail latencies actually experience.
 
 use ftl_base::GcMode;
-use harness::experiments::fio_gc_interference_run;
+use harness::experiments::{fio_gc_interference_run, fio_gc_interference_traced_run};
 use harness::{FtlKind, RunResult};
 use metrics::{GcTimeline, Table};
 use ssd_sim::Duration;
 
-use bench::{print_header, print_table_with_verdict, shard_scaling_device, times, Scale};
+use bench::{print_header, print_table_with_verdict, shard_scaling_device, times, BenchArgs};
 
 /// 128 KiB requests: large writes keep several page programs in flight per
 /// chip, which is what makes queued GC charges yield — and the starvation
@@ -48,7 +48,8 @@ const WRITE_PAGES: u32 = 32;
 const THREADS: usize = 4;
 
 fn main() {
-    let scale = Scale::from_env();
+    let args = BenchArgs::from_env();
+    let scale = args.scale();
     let device = shard_scaling_device(scale);
     print_header(
         "Fig. 24 (extension) — GC interference: blocking vs scheduled GC, FIO randwrite 128 KiB",
@@ -210,6 +211,26 @@ fn main() {
             }
         ),
     );
+
+    // Observability: when `--trace-out` / `--metrics-out` are given, re-run
+    // the write-heavy scheduled-GC point (LearnedFTL, shards=4) with tracing
+    // on and export it — the trace shows GC charge spans yielding to host
+    // commands on the per-chip scheduler tracks.
+    if args.tracing() {
+        let traced = fio_gc_interference_traced_run(
+            FtlKind::LearnedFtl,
+            THREADS,
+            WRITE_PAGES,
+            4,
+            GcMode::Scheduled,
+            Duration::from_micros(gaps_us[gaps_us.len() - 1]),
+            device,
+            experiment,
+        );
+        println!("traced run: LearnedFTL, scheduled GC, shards=4, write-heavy point");
+        args.export_observability(&traced)
+            .expect("writing observability output failed");
+    }
 
     if !ok {
         std::process::exit(1);

@@ -128,6 +128,8 @@ fn main() {
         ),
     );
 
+    bench::export_default_observability(&args);
+
     if !scaling_holds {
         std::process::exit(1);
     }

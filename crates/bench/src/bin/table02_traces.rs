@@ -1,12 +1,13 @@
 //! Table II: the characteristics of the four traces, compared with the
 //! synthetic stand-ins this reproduction generates.
 
-use bench::{print_header, print_table_with_verdict, Scale};
+use bench::{print_header, print_table_with_verdict, BenchArgs, Scale};
 use metrics::Table;
 use workloads::{SyntheticTrace, TraceKind};
 
 fn main() {
-    let scale = Scale::from_env();
+    let args = BenchArgs::from_env();
+    let scale = args.scale();
     print_header(
         "Table II — trace characteristics (paper vs synthetic stand-ins)",
         "the synthetic traces must match the paper's I/O counts, mean sizes and read ratios",
@@ -48,4 +49,6 @@ fn main() {
             max_read_error * 100.0
         ),
     );
+
+    bench::export_default_observability(&args);
 }

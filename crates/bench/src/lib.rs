@@ -18,8 +18,9 @@
 #![warn(missing_docs)]
 
 use harness::experiments::ExperimentScale;
+use harness::RunResult;
 use metrics::Table;
-use ssd_sim::{Geometry, SsdConfig};
+use ssd_sim::{Duration, Geometry, SsdConfig};
 
 /// The experiment size selected via `LEARNEDFTL_SCALE`.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -141,7 +142,7 @@ pub fn plane_scaling_device(scale: Scale) -> SsdConfig {
 }
 
 /// Command-line options shared by the figure binaries.
-#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+#[derive(Debug, Clone, PartialEq, Eq)]
 pub struct BenchArgs {
     /// Number of FTL shards (`--shards N`); `1` (the default) runs the
     /// monolithic FTLs exactly as before.
@@ -152,6 +153,17 @@ pub struct BenchArgs {
     /// Force the quick (smoke-test) scale regardless of `LEARNEDFTL_SCALE`
     /// (`--quick`); what CI passes to the wall-clock scaling check.
     pub quick: bool,
+    /// Write a Chrome-trace-event JSON of the binary's designated traced run
+    /// to this path (`--trace-out PATH`). Open it in Perfetto or
+    /// `chrome://tracing`. Enables tracing for that run.
+    pub trace_out: Option<String>,
+    /// Write an interval time-series CSV (plane/bus/GC utilisation, queue
+    /// depths, CMT hit rate) of the traced run to this path
+    /// (`--metrics-out PATH`). Enables tracing for that run.
+    pub metrics_out: Option<String>,
+    /// Sampling interval of the metrics CSV in microseconds of simulated
+    /// time (`--metrics-interval N`); defaults to 100 µs.
+    pub metrics_interval_us: Option<u64>,
 }
 
 impl Default for BenchArgs {
@@ -160,6 +172,9 @@ impl Default for BenchArgs {
             shards: 1,
             planes: 1,
             quick: false,
+            trace_out: None,
+            metrics_out: None,
+            metrics_interval_us: None,
         }
     }
 }
@@ -172,7 +187,10 @@ impl BenchArgs {
             Ok(args) => args,
             Err(msg) => {
                 eprintln!("error: {msg}");
-                eprintln!("usage: <figure> [--shards N] [--quick]");
+                eprintln!(
+                    "usage: <figure> [--shards N] [--planes N] [--quick] \
+                     [--trace-out PATH] [--metrics-out PATH] [--metrics-interval US]"
+                );
                 std::process::exit(2);
             }
         }
@@ -189,21 +207,33 @@ impl BenchArgs {
     }
 
     /// Parses an argument list (`--shards N` / `--shards=N` / `--planes N` /
-    /// `--planes=N` / `--quick`).
+    /// `--planes=N` / `--quick` / `--trace-out PATH` / `--metrics-out PATH` /
+    /// `--metrics-interval US`, with `=` spellings throughout).
     pub fn parse<I: IntoIterator<Item = String>>(args: I) -> Result<BenchArgs, String> {
-        /// Extracts the positive-integer value of `--name N` / `--name=N`
-        /// (where `arg` is the current argument and `iter` supplies a
-        /// space-separated value), or `None` when `arg` is a different flag.
+        /// Extracts the string value of `--name V` / `--name=V` (where `arg`
+        /// is the current argument and `iter` supplies a space-separated
+        /// value), or `None` when `arg` is a different flag.
+        fn flag_string(
+            name: &str,
+            arg: &str,
+            iter: &mut impl Iterator<Item = String>,
+        ) -> Result<Option<String>, String> {
+            if arg == name {
+                Ok(Some(iter.next().ok_or(format!("{name} needs a value"))?))
+            } else if let Some(v) = arg.strip_prefix(name).and_then(|v| v.strip_prefix('=')) {
+                Ok(Some(v.to_string()))
+            } else {
+                Ok(None)
+            }
+        }
+
+        /// Like [`flag_string`] but for positive-integer values.
         fn flag_value(
             name: &str,
             arg: &str,
             iter: &mut impl Iterator<Item = String>,
         ) -> Result<Option<u64>, String> {
-            let value = if arg == name {
-                iter.next().ok_or(format!("{name} needs a value"))?
-            } else if let Some(v) = arg.strip_prefix(name).and_then(|v| v.strip_prefix('=')) {
-                v.to_string()
-            } else {
+            let Some(value) = flag_string(name, arg, iter)? else {
                 return Ok(None);
             };
             value
@@ -223,11 +253,105 @@ impl BenchArgs {
                 parsed.shards = n as usize;
             } else if let Some(n) = flag_value("--planes", &arg, &mut iter)? {
                 parsed.planes = n.min(u64::from(u32::MAX)) as u32;
+            } else if let Some(n) = flag_value("--metrics-interval", &arg, &mut iter)? {
+                parsed.metrics_interval_us = Some(n);
+            } else if let Some(path) = flag_string("--trace-out", &arg, &mut iter)? {
+                parsed.trace_out = Some(path);
+            } else if let Some(path) = flag_string("--metrics-out", &arg, &mut iter)? {
+                parsed.metrics_out = Some(path);
             } else {
                 return Err(format!("unknown argument `{arg}`"));
             }
         }
         Ok(parsed)
+    }
+
+    /// Whether this invocation asked for observability output: binaries use
+    /// this to route their designated run through the traced experiment
+    /// variants in [`harness::experiments`].
+    pub fn tracing(&self) -> bool {
+        self.trace_out.is_some() || self.metrics_out.is_some()
+    }
+
+    /// The metrics CSV sampling interval (simulated time).
+    pub fn metrics_interval(&self) -> Duration {
+        Duration::from_micros(self.metrics_interval_us.unwrap_or(100))
+    }
+
+    /// Writes the requested observability artifacts of a traced `result`:
+    /// the Chrome trace JSON to `--trace-out`, the interval CSV to
+    /// `--metrics-out`, plus a self-profiling summary line on stdout. A
+    /// no-op when neither flag was given.
+    pub fn export_observability(&self, result: &RunResult) -> std::io::Result<()> {
+        if !self.tracing() {
+            return Ok(());
+        }
+        if let Some(path) = &self.trace_out {
+            std::fs::write(path, metrics::chrome_trace_json(&result.trace))?;
+            println!(
+                "trace: wrote {} events to {path} (open in Perfetto / chrome://tracing)",
+                result.profile.trace_events
+            );
+        }
+        if let Some(path) = &self.metrics_out {
+            let interval = self.metrics_interval();
+            std::fs::write(path, metrics::metrics_csv(&result.trace, interval))?;
+            println!(
+                "metrics: wrote {} us interval series to {path}",
+                interval.as_nanos() / 1_000
+            );
+        }
+        println!(
+            "self-profile: {:.3} s wall, {:.0} requests/s, {:.0} trace events/s",
+            result.profile.wall.as_secs_f64(),
+            result.profile.requests_per_sec(),
+            result.profile.events_per_sec()
+        );
+        print_alloc_profile();
+        Ok(())
+    }
+}
+
+/// Fallback observability export for figures without a figure-specific
+/// traced protocol: when `--trace-out` / `--metrics-out` was given, re-runs
+/// the canonical closed-loop FIO randread workload (LearnedFTL) at this
+/// invocation's scale with tracing on and exports it. Binaries with a more
+/// representative protocol (the QD sweep, shard scaling, GC interference)
+/// trace that protocol instead of calling this. A no-op when no
+/// observability flag was given.
+pub fn export_default_observability(args: &BenchArgs) {
+    if !args.tracing() {
+        return;
+    }
+    let scale = args.scale();
+    let traced = harness::experiments::fio_read_traced_run(
+        harness::FtlKind::LearnedFtl,
+        workloads::FioPattern::RandRead,
+        scale.fio_threads(),
+        scale.device(),
+        scale.experiment(),
+    );
+    println!("traced run (default protocol): LearnedFTL, FIO randread, closed loop");
+    args.export_observability(&traced)
+        .expect("writing observability output failed");
+}
+
+/// Prints the per-phase allocation profile when the harness was built with
+/// the `alloc-profile` feature (`cargo run --features bench/alloc-profile`);
+/// silent otherwise, so untraced output is byte-identical.
+pub fn print_alloc_profile() {
+    use harness::alloc_profile::{self, Phase};
+    if !alloc_profile::enabled() {
+        return;
+    }
+    for phase in Phase::ALL {
+        let stats = alloc_profile::phase_stats(phase);
+        println!(
+            "alloc-profile: {:>6}: {:>12} allocations {:>14} bytes",
+            phase.label(),
+            stats.allocations,
+            stats.bytes
+        );
     }
 }
 
@@ -314,6 +438,35 @@ mod tests {
         assert_eq!(args(&["--planes=4"]).unwrap().planes, 4);
         assert!(args(&["--planes"]).is_err());
         assert!(args(&["--planes", "0"]).is_err());
+    }
+
+    #[test]
+    fn observability_flags_parse_both_spellings() {
+        let args = |v: &[&str]| BenchArgs::parse(v.iter().map(|s| s.to_string()));
+        let none = args(&[]).unwrap();
+        assert_eq!(none.trace_out, None);
+        assert_eq!(none.metrics_out, None);
+        assert!(!none.tracing());
+        assert_eq!(none.metrics_interval(), Duration::from_micros(100));
+
+        let traced = args(&["--trace-out", "t.json"]).unwrap();
+        assert_eq!(traced.trace_out.as_deref(), Some("t.json"));
+        assert!(traced.tracing());
+
+        let full = args(&[
+            "--trace-out=t.json",
+            "--metrics-out=m.csv",
+            "--metrics-interval=250",
+        ])
+        .unwrap();
+        assert_eq!(full.trace_out.as_deref(), Some("t.json"));
+        assert_eq!(full.metrics_out.as_deref(), Some("m.csv"));
+        assert_eq!(full.metrics_interval(), Duration::from_micros(250));
+
+        assert!(args(&["--trace-out"]).is_err());
+        assert!(args(&["--metrics-out"]).is_err());
+        assert!(args(&["--metrics-interval", "0"]).is_err());
+        assert!(args(&["--metrics-interval", "x"]).is_err());
     }
 
     #[test]

@@ -1,0 +1,85 @@
+//! The figure binaries' observability path: the shared `BenchArgs` export
+//! helper must write a schema-valid Chrome trace and a well-formed metrics
+//! CSV, and the GC-interference protocol's traced variant must surface the
+//! scheduler's GC activity in the trace.
+
+use bench::{BenchArgs, Scale};
+use ftl_base::GcMode;
+use harness::experiments::{fio_gc_interference_traced_run, fio_read_traced_run};
+use harness::FtlKind;
+use metrics::{chrome_trace_json, validate_chrome_trace};
+use ssd_sim::{Duration, SsdConfig};
+use workloads::FioPattern;
+
+#[test]
+fn export_helper_writes_valid_artifacts() {
+    let dir = std::env::temp_dir();
+    let trace_path = dir.join(format!("bench_obs_{}.trace.json", std::process::id()));
+    let metrics_path = dir.join(format!("bench_obs_{}.metrics.csv", std::process::id()));
+    let args = BenchArgs {
+        trace_out: Some(trace_path.to_string_lossy().into_owned()),
+        metrics_out: Some(metrics_path.to_string_lossy().into_owned()),
+        metrics_interval_us: Some(50),
+        ..BenchArgs::default()
+    };
+    assert!(args.tracing());
+
+    let result = fio_read_traced_run(
+        FtlKind::LearnedFtl,
+        FioPattern::RandRead,
+        2,
+        SsdConfig::tiny(),
+        Scale::Quick.experiment(),
+    );
+    assert!(result.profile.trace_events > 0);
+    assert!(result.profile.requests_per_sec() > 0.0);
+    args.export_observability(&result)
+        .expect("export must succeed");
+
+    let json = std::fs::read_to_string(&trace_path).expect("trace file written");
+    let summary = validate_chrome_trace(&json).expect("exported trace must validate");
+    assert!(summary.plane_spans > 0);
+    assert!(summary.host_spans > 0);
+    assert!(summary.flows > 0);
+
+    let csv = std::fs::read_to_string(&metrics_path).expect("metrics file written");
+    let mut lines = csv.lines();
+    assert_eq!(
+        lines.next(),
+        Some(
+            "t_us,plane_util,gc_plane_util,bus_util,host_qdepth,gc_qdepth,\
+             gc_debt,cmt_hits,reads_classified,cmt_hit_rate"
+        )
+    );
+    assert!(lines.next().is_some(), "metrics CSV must have data rows");
+
+    let _ = std::fs::remove_file(&trace_path);
+    let _ = std::fs::remove_file(&metrics_path);
+}
+
+#[test]
+fn traced_gc_interference_surfaces_gc_activity() {
+    // The fig24 protocol's traced variant at its write-heavy scheduled-GC
+    // point: the trace must contain GC instants/spans, not just host I/O.
+    let result = fio_gc_interference_traced_run(
+        FtlKind::LearnedFtl,
+        4,
+        32,
+        1,
+        GcMode::Scheduled,
+        Duration::from_micros(900),
+        bench::shard_scaling_device(Scale::Quick),
+        Scale::Quick.experiment(),
+    );
+    assert!(
+        result.stats.gc_count > 0,
+        "the write-heavy point must collect"
+    );
+    let summary = validate_chrome_trace(&chrome_trace_json(&result.trace))
+        .expect("traced GC run must validate");
+    assert!(summary.gc_events > 0, "no GC events in the trace");
+    assert!(summary.cmd_spans > 0, "no scheduler lifecycle spans");
+    assert!(summary.counters > 0, "no queue-depth counter samples");
+    assert!(summary.plane_spans > 0);
+    assert!(summary.host_spans > 0);
+}

@@ -426,7 +426,7 @@ impl Ftl for LearnedFtl {
 
             // 1. The demand-based cache handles locality.
             if let Some(cached) = self.cmt.lookup(tpn, offset) {
-                self.core.stats.record_read_class(ReadClass::CmtHit);
+                self.core.note_read_class(ReadClass::CmtHit, now);
                 let t = self.core.read_data(cached, now);
                 done = done.max(t);
                 continue;
@@ -447,14 +447,14 @@ impl Ftl for LearnedFtl {
                     ppn, true_ppn,
                     "bitmap filter must guarantee exact predictions"
                 );
-                self.core.stats.record_read_class(ReadClass::ModelHit);
+                self.core.note_read_class(ReadClass::ModelHit, now);
                 let t = self.core.read_data(ppn, now);
                 done = done.max(t);
                 continue;
             }
 
             // 3. Fall back to TPFTL's double read.
-            self.core.stats.record_read_class(ReadClass::DoubleRead);
+            self.core.note_read_class(ReadClass::DoubleRead, now);
             let ready = self.load_with_prefetch(l, now);
             let t = self.core.read_data(true_ppn, ready);
             done = done.max(t);

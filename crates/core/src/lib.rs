@@ -45,3 +45,18 @@ pub use config::LearnedFtlConfig;
 pub use ftl::LearnedFtl;
 pub use group::{GcRequest, GroupAllocator, GroupSlot};
 pub use model::InPlaceModel;
+
+/// Simulator observability, re-exported for downstream users of this crate:
+/// the structured trace stream types ([`ssd_sim::trace`]) and the exporters /
+/// schema checker over them ([`metrics::sim_trace`]). Enable collection with
+/// [`ftl_base::Ftl::set_tracing`], take the merged stream with
+/// [`ftl_base::Ftl::take_trace`], then render it with
+/// [`sim_trace::chrome_trace_json`] or [`sim_trace::metrics_csv`].
+pub mod sim_trace {
+    pub use metrics::sim_trace::{
+        chrome_trace_json, metrics_csv, validate_chrome_trace, ChromeTraceSummary,
+    };
+    pub use ssd_sim::trace::{
+        merge_shard_traces, TraceBuffer, TraceData, TraceEvent, TraceReadClass, TraceSink,
+    };
+}

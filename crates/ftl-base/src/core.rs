@@ -205,8 +205,18 @@ impl FtlCore {
         let ops = self.dev.end_staging();
         let bounds = std::mem::take(&mut self.gc_unit_bounds);
         let engine = self.engine.as_mut().expect("checked above");
-        engine.submit_job(&ops, &bounds, now);
+        engine.submit_job(&mut self.dev, &ops, &bounds, now);
         now
+    }
+
+    /// Records how one logical page read was resolved: the statistics
+    /// counters always, plus a trace instant when tracing is enabled. FTL
+    /// read paths call this instead of touching the stats directly so the
+    /// translation-path taxonomy (CMT hit/miss, model hit, double/triple
+    /// read) lands in the trace stream with its simulated timestamp.
+    pub fn note_read_class(&mut self, class: crate::ReadClass, now: SimTime) {
+        self.stats.record_read_class(class);
+        self.dev.trace_read_class(now, class.into());
     }
 
     /// Records that one collection unit (a victim block or a group) finished

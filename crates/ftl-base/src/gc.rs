@@ -29,7 +29,7 @@
 use std::collections::{BTreeMap, BTreeSet};
 
 use ssd_sched::{CmdId, CmdKind, IoScheduler, Priority, SchedConfig};
-use ssd_sim::{FlashDevice, Geometry, SimTime, StagedOp};
+use ssd_sim::{FlashDevice, Geometry, SimTime, StagedOp, TraceData, TraceSink};
 
 use crate::stats::FtlStats;
 
@@ -117,7 +117,22 @@ impl GcEngine {
     ///
     /// The call is non-blocking: the charges drain as the event loop runs
     /// (host waits, or [`GcEngine::drain`]).
-    pub fn submit_job(&mut self, ops: &[StagedOp], unit_bounds: &[usize], now: SimTime) {
+    pub fn submit_job(
+        &mut self,
+        dev: &mut FlashDevice,
+        ops: &[StagedOp],
+        unit_bounds: &[usize],
+        now: SimTime,
+    ) {
+        if let Some(t) = dev.trace_sink() {
+            t.instant(
+                now,
+                TraceData::GcStaged {
+                    ops: ops.len() as u32,
+                    units: unit_bounds.len() as u32,
+                },
+            );
+        }
         for (i, &op) in ops.iter().enumerate() {
             let id = self
                 .sched
@@ -203,7 +218,20 @@ impl GcEngine {
     /// host command, though the host path never leaves one behind)
     /// completes — and returns the time the engine went idle.
     pub fn drain(&mut self, dev: &mut FlashDevice, stats: &mut FtlStats) -> SimTime {
+        let outstanding = self.job.outstanding;
+        let begun = self.sched.now();
         let t = self.sched.drain(dev);
+        if outstanding > 0 {
+            if let Some(sink) = dev.trace_sink() {
+                sink.span(
+                    begun,
+                    t,
+                    TraceData::GcDrain {
+                        outstanding: outstanding as u32,
+                    },
+                );
+            }
+        }
         self.reap(stats);
         debug_assert_eq!(self.job.outstanding, 0, "drain must finish the job");
         // Any still-parked host completions were claimed by value before the
@@ -255,7 +283,7 @@ mod tests {
             .unwrap();
         dev.read_page(0, SimTime::ZERO).unwrap();
         let ops = dev.end_staging();
-        engine.submit_job(&ops, &[ops.len()], SimTime::ZERO);
+        engine.submit_job(&mut dev, &ops, &[ops.len()], SimTime::ZERO);
         assert_eq!(engine.job().outstanding(), 3);
 
         let end = engine.drain(&mut dev, &mut stats);
@@ -282,7 +310,7 @@ mod tests {
             dev.read_page(ppn, t).unwrap();
         }
         let ops = dev.end_staging();
-        engine.submit_job(&ops, &[ops.len()], t);
+        engine.submit_job(&mut dev, &ops, &[ops.len()], t);
 
         // A host read on the same chip bypasses the queued GC work.
         dev.begin_staging();

@@ -58,7 +58,7 @@ pub use request::{HostOp, HostRequest, Lpn, ReadClass};
 pub use stats::{FtlStats, FtlStatsSnapshot};
 pub use transpage::TransPageStore;
 
-use ssd_sim::{DeviceStats, FlashDevice, SimTime};
+use ssd_sim::{DeviceStats, FlashDevice, SimTime, TraceEvent};
 
 /// The interface every flash translation layer exposes to the experiment
 /// harness.
@@ -145,6 +145,25 @@ pub trait Ftl: Send {
     fn drain_gc(&mut self) -> SimTime {
         self.drain_time()
     }
+
+    /// Enables or disables structured tracing on every device this FTL owns.
+    /// Tracing records sim-time spans/instants without affecting any
+    /// simulated timing; it is off by default.
+    fn set_tracing(&mut self, on: bool) {
+        self.device_mut().set_tracing(on);
+    }
+
+    /// Whether structured tracing is currently enabled.
+    fn tracing(&self) -> bool {
+        self.device().tracing()
+    }
+
+    /// Takes every recorded trace event across every device this FTL owns,
+    /// merged into one deterministic stream (sharded frontends tag events
+    /// with their shard index and stably sort by start time).
+    fn take_trace(&mut self) -> Vec<TraceEvent> {
+        self.device_mut().take_trace()
+    }
 }
 
 /// Boxed FTLs are FTLs: forwarding impl so frontends generic over `F: Ftl`
@@ -205,5 +224,17 @@ impl<F: Ftl + ?Sized> Ftl for Box<F> {
 
     fn drain_gc(&mut self) -> SimTime {
         (**self).drain_gc()
+    }
+
+    fn set_tracing(&mut self, on: bool) {
+        (**self).set_tracing(on)
+    }
+
+    fn tracing(&self) -> bool {
+        (**self).tracing()
+    }
+
+    fn take_trace(&mut self) -> Vec<TraceEvent> {
+        (**self).take_trace()
     }
 }

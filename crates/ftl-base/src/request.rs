@@ -100,6 +100,18 @@ impl ReadClass {
     }
 }
 
+impl From<ReadClass> for ssd_sim::TraceReadClass {
+    fn from(class: ReadClass) -> Self {
+        match class {
+            ReadClass::CmtHit => ssd_sim::TraceReadClass::CmtHit,
+            ReadClass::ModelHit => ssd_sim::TraceReadClass::ModelHit,
+            ReadClass::BufferHit => ssd_sim::TraceReadClass::BufferHit,
+            ReadClass::DoubleRead => ssd_sim::TraceReadClass::DoubleRead,
+            ReadClass::TripleRead => ssd_sim::TraceReadClass::TripleRead,
+        }
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;

@@ -2,7 +2,9 @@
 
 use ftl_base::{Ftl, FtlStats, GcMode, Lpn};
 use ssd_sched::MultiIssuer;
-use ssd_sim::{DeviceStats, FlashDevice, SimTime, SsdConfig};
+use ssd_sim::{
+    trace::merge_shard_traces, DeviceStats, FlashDevice, SimTime, SsdConfig, TraceEvent,
+};
 
 use crate::map::ShardMap;
 
@@ -262,5 +264,24 @@ impl<F: Ftl> Ftl for ShardedFtl<F> {
                 .merge_delta(&snap, self.shards[shard_idx].stats());
         }
         t
+    }
+
+    fn set_tracing(&mut self, on: bool) {
+        for shard in &mut self.shards {
+            shard.set_tracing(on);
+        }
+    }
+
+    fn tracing(&self) -> bool {
+        self.shards[0].tracing()
+    }
+
+    /// Collects every shard's trace, tags events with their shard index and
+    /// merges them into one stream, stably sorted by start time. Per-shard
+    /// streams are identical on both execution backends (each shard's device
+    /// is driven by exactly one worker in dispatch order), so the merged
+    /// trace is too.
+    fn take_trace(&mut self) -> Vec<TraceEvent> {
+        merge_shard_traces(self.shards.iter_mut().map(|s| s.take_trace()).collect())
     }
 }

@@ -1,0 +1,201 @@
+//! Opt-in allocation self-profiling.
+//!
+//! With the `alloc-profile` cargo feature, this module installs a counting
+//! global allocator that attributes every heap allocation to the current
+//! run [`Phase`], so an experiment binary can report where the *simulator's
+//! own* memory traffic happens (setup vs warm-up vs the measured run vs
+//! report formatting) — the input the allocation-free-hot-path work needs.
+//!
+//! Without the feature (the default), the same API compiles to no-op stubs
+//! and no global allocator is installed: release builds are untouched, and
+//! the workspace-wide `forbid(unsafe_code)` stays in force (the allocator
+//! shim is the one place unsafe is conditionally permitted).
+//!
+//! ```
+//! use harness::alloc_profile::{self, Phase};
+//!
+//! alloc_profile::set_phase(Phase::Run);
+//! // ... drive the measured run ...
+//! let during_run = alloc_profile::phase_stats(Phase::Run);
+//! if alloc_profile::enabled() {
+//!     println!("run phase: {} allocations", during_run.allocations);
+//! }
+//! ```
+
+/// The coarse phases an experiment binary moves through. Attribution is by
+/// whatever phase is current when an allocation happens; phases are global
+/// (the profiler is a process-wide allocator), so set them from the main
+/// thread around single-run sections.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Phase {
+    /// Building configurations, devices and FTLs.
+    Setup = 0,
+    /// Warm-up traffic before the measured phase.
+    Warmup = 1,
+    /// The measured run itself.
+    Run = 2,
+    /// Result aggregation and output formatting.
+    Report = 3,
+}
+
+impl Phase {
+    /// All phases, in lifecycle order.
+    pub const ALL: [Phase; 4] = [Phase::Setup, Phase::Warmup, Phase::Run, Phase::Report];
+
+    /// The phase's display name.
+    pub fn label(self) -> &'static str {
+        match self {
+            Phase::Setup => "setup",
+            Phase::Warmup => "warmup",
+            Phase::Run => "run",
+            Phase::Report => "report",
+        }
+    }
+}
+
+/// Allocation counts attributed to one phase.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct PhaseAllocStats {
+    /// Number of heap allocations (`alloc` + `realloc` calls).
+    pub allocations: u64,
+    /// Total bytes requested by those allocations.
+    pub bytes: u64,
+}
+
+#[cfg(feature = "alloc-profile")]
+mod imp {
+    use super::{Phase, PhaseAllocStats};
+    use std::alloc::{GlobalAlloc, Layout, System};
+    use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
+
+    static PHASE: AtomicUsize = AtomicUsize::new(0);
+    static ALLOCATIONS: [AtomicU64; 4] = [
+        AtomicU64::new(0),
+        AtomicU64::new(0),
+        AtomicU64::new(0),
+        AtomicU64::new(0),
+    ];
+    static BYTES: [AtomicU64; 4] = [
+        AtomicU64::new(0),
+        AtomicU64::new(0),
+        AtomicU64::new(0),
+        AtomicU64::new(0),
+    ];
+
+    /// The counting allocator: forwards to the system allocator, charging
+    /// each allocation to the current phase with relaxed atomics (counts
+    /// need no ordering with respect to anything else).
+    struct CountingAllocator;
+
+    // SAFETY: every method delegates directly to `System`, which upholds the
+    // `GlobalAlloc` contract; the counter updates have no safety impact.
+    unsafe impl GlobalAlloc for CountingAllocator {
+        unsafe fn alloc(&self, layout: Layout) -> *mut u8 {
+            charge(layout.size());
+            System.alloc(layout)
+        }
+
+        unsafe fn dealloc(&self, ptr: *mut u8, layout: Layout) {
+            System.dealloc(ptr, layout)
+        }
+
+        unsafe fn alloc_zeroed(&self, layout: Layout) -> *mut u8 {
+            charge(layout.size());
+            System.alloc_zeroed(layout)
+        }
+
+        unsafe fn realloc(&self, ptr: *mut u8, layout: Layout, new_size: usize) -> *mut u8 {
+            charge(new_size);
+            System.realloc(ptr, layout, new_size)
+        }
+    }
+
+    #[global_allocator]
+    static GLOBAL: CountingAllocator = CountingAllocator;
+
+    fn charge(bytes: usize) {
+        let idx = PHASE.load(Ordering::Relaxed) & 3;
+        ALLOCATIONS[idx].fetch_add(1, Ordering::Relaxed);
+        BYTES[idx].fetch_add(bytes as u64, Ordering::Relaxed);
+    }
+
+    pub fn enabled() -> bool {
+        true
+    }
+
+    pub fn set_phase(phase: Phase) {
+        PHASE.store(phase as usize, Ordering::Relaxed);
+    }
+
+    pub fn phase_stats(phase: Phase) -> PhaseAllocStats {
+        let idx = phase as usize;
+        PhaseAllocStats {
+            allocations: ALLOCATIONS[idx].load(Ordering::Relaxed),
+            bytes: BYTES[idx].load(Ordering::Relaxed),
+        }
+    }
+
+    pub fn reset() {
+        for idx in 0..4 {
+            ALLOCATIONS[idx].store(0, Ordering::Relaxed);
+            BYTES[idx].store(0, Ordering::Relaxed);
+        }
+    }
+}
+
+#[cfg(not(feature = "alloc-profile"))]
+mod imp {
+    use super::{Phase, PhaseAllocStats};
+
+    pub fn enabled() -> bool {
+        false
+    }
+
+    pub fn set_phase(_phase: Phase) {}
+
+    pub fn phase_stats(_phase: Phase) -> PhaseAllocStats {
+        PhaseAllocStats::default()
+    }
+
+    pub fn reset() {}
+}
+
+/// Whether the counting allocator is compiled in (the `alloc-profile`
+/// feature). When false, the other functions are no-ops returning zeros.
+pub fn enabled() -> bool {
+    imp::enabled()
+}
+
+/// Declares the current run phase; subsequent allocations are charged to it.
+pub fn set_phase(phase: Phase) {
+    imp::set_phase(phase)
+}
+
+/// The allocation counts charged to `phase` so far.
+pub fn phase_stats(phase: Phase) -> PhaseAllocStats {
+    imp::phase_stats(phase)
+}
+
+/// Zeroes all phase counters (e.g. between repetitions).
+pub fn reset() {
+    imp::reset()
+}
+
+#[cfg(all(test, feature = "alloc-profile"))]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn allocations_are_charged_to_the_current_phase() {
+        // Tests share the process-wide counters; measure growth, not
+        // absolute values, and do not reset.
+        let before = phase_stats(Phase::Warmup);
+        set_phase(Phase::Warmup);
+        let v: Vec<u64> = (0..4096).collect();
+        std::hint::black_box(&v);
+        set_phase(Phase::Setup);
+        let after = phase_stats(Phase::Warmup);
+        assert!(after.allocations > before.allocations);
+        assert!(after.bytes >= before.bytes + 4096 * 8);
+    }
+}

@@ -8,7 +8,7 @@
 use baselines::BaselineConfig;
 use ftl_base::{Ftl, GcMode};
 use learnedftl::LearnedFtlConfig;
-use ssd_sim::{Duration, SsdConfig};
+use ssd_sim::{Duration, SsdConfig, TraceData};
 use workloads::{
     warmup, FilebenchPreset, FilebenchWorkload, FioPattern, FioWorkload, RocksDbPhase,
     RocksDbWorkload, SyntheticTrace, TraceKind,
@@ -135,8 +135,10 @@ pub fn fio_read_run(
 /// The shared warm-up and workload construction behind [`fio_read_run`] and
 /// [`fio_qd_run`]. Kept in one place so the queue-depth sweep always measures
 /// the identically warmed device with the identical request stream — the
-/// QD-vs-legacy comparisons depend on it.
-fn warmed_fio_read_setup(
+/// QD-vs-legacy comparisons depend on it. Public so callers that drive the
+/// measured phase themselves (e.g. to enable tracing on the warmed FTL
+/// first) prepare identically to the canned runs.
+pub fn warmed_fio_read_setup(
     kind: FtlKind,
     pattern: FioPattern,
     threads: usize,
@@ -236,6 +238,77 @@ pub fn warmed_sharded_fio_setup_with(
     (ftl, wl)
 }
 
+/// [`fio_read_run`] with structured tracing enabled for the measured phase:
+/// the warm-up runs untraced (its events are not part of the measurement),
+/// then tracing turns on and the measured closed-loop phase records the full
+/// span/instant stream into [`RunResult::trace`].
+pub fn fio_read_traced_run(
+    kind: FtlKind,
+    pattern: FioPattern,
+    threads: usize,
+    device: SsdConfig,
+    scale: ExperimentScale,
+) -> RunResult {
+    assert!(pattern.is_read(), "use fio_write_run for write patterns");
+    let (mut ftl, mut wl) = warmed_fio_read_setup(kind, pattern, threads, device, scale);
+    ftl.set_tracing(true);
+    Runner::new().run(ftl.as_mut(), &mut wl)
+}
+
+/// [`fio_qd_run`] with structured tracing enabled for the measured phase
+/// (see [`fio_read_traced_run`]); what the queue-depth sweep binary exports
+/// when `--trace-out` is given.
+pub fn fio_qd_traced_run(
+    kind: FtlKind,
+    pattern: FioPattern,
+    threads: usize,
+    depth: usize,
+    device: SsdConfig,
+    scale: ExperimentScale,
+) -> RunResult {
+    assert!(pattern.is_read(), "the QD sweep measures read traffic");
+    let (mut ftl, mut wl) = warmed_fio_read_setup(kind, pattern, threads, device, scale);
+    ftl.set_tracing(true);
+    Runner::new().run_qd(ftl.as_mut(), &mut wl, depth)
+}
+
+/// [`fio_qd_sharded_run`] with structured tracing enabled for the measured
+/// phase (see [`fio_read_traced_run`]); the trace determinism suite compares
+/// this against [`fio_qd_threaded_traced_run`] byte for byte.
+#[allow(clippy::too_many_arguments)]
+pub fn fio_qd_sharded_traced_run(
+    kind: FtlKind,
+    pattern: FioPattern,
+    threads: usize,
+    depth: usize,
+    shards: usize,
+    device: SsdConfig,
+    scale: ExperimentScale,
+) -> ShardedRunResult {
+    let (mut ftl, mut wl) = warmed_sharded_fio_setup(kind, pattern, threads, shards, device, scale);
+    ftl.set_tracing(true);
+    Runner::new().run_sharded_qd(&mut ftl, &mut wl, depth)
+}
+
+/// [`fio_qd_threaded_run`] with structured tracing enabled for the measured
+/// phase: per-shard traces are recorded worker-locally and merged after the
+/// run, producing the identical stream to the simulated backend's.
+#[allow(clippy::too_many_arguments)]
+pub fn fio_qd_threaded_traced_run(
+    kind: FtlKind,
+    pattern: FioPattern,
+    threads: usize,
+    depth: usize,
+    shards: usize,
+    workers: usize,
+    device: SsdConfig,
+    scale: ExperimentScale,
+) -> ShardedRunResult {
+    let (mut ftl, mut wl) = warmed_sharded_fio_setup(kind, pattern, threads, shards, device, scale);
+    ftl.set_tracing(true);
+    Runner::new().run_threaded_qd(&mut ftl, &mut wl, depth, workers)
+}
+
 /// [`fio_qd_sharded_run`] on the thread-parallel backend
 /// ([`Runner::run_threaded_qd`]): identical preparation, identical
 /// simulated-time results (the cross-backend equivalence suite pins this),
@@ -331,6 +404,62 @@ pub fn fio_gc_interference_run(
     device: SsdConfig,
     scale: ExperimentScale,
 ) -> RunResult {
+    gc_interference_run_impl(
+        kind,
+        threads,
+        write_pages,
+        shards,
+        gc_mode,
+        mean_interarrival,
+        device,
+        scale,
+        false,
+    )
+}
+
+/// [`fio_gc_interference_run`] with structured tracing enabled for the
+/// measured phase — the run whose trace actually shows GC-priority flash
+/// spans, arbitration yields and forced collections interleaving with host
+/// traffic. The post-run GC drain's flash events are folded into the trace,
+/// and the GC trigger/complete instants are rebuilt from the final
+/// statistics, so the trace covers the run's complete GC work just as its
+/// statistics do.
+#[allow(clippy::too_many_arguments)]
+pub fn fio_gc_interference_traced_run(
+    kind: FtlKind,
+    threads: usize,
+    write_pages: u32,
+    shards: usize,
+    gc_mode: GcMode,
+    mean_interarrival: Duration,
+    device: SsdConfig,
+    scale: ExperimentScale,
+) -> RunResult {
+    gc_interference_run_impl(
+        kind,
+        threads,
+        write_pages,
+        shards,
+        gc_mode,
+        mean_interarrival,
+        device,
+        scale,
+        true,
+    )
+}
+
+#[allow(clippy::too_many_arguments)]
+fn gc_interference_run_impl(
+    kind: FtlKind,
+    threads: usize,
+    write_pages: u32,
+    shards: usize,
+    gc_mode: GcMode,
+    mean_interarrival: Duration,
+    device: SsdConfig,
+    scale: ExperimentScale,
+    traced: bool,
+) -> RunResult {
     let baseline = BaselineConfig::default()
         .for_shard(shards)
         .with_gc_mode(gc_mode);
@@ -344,6 +473,7 @@ pub fn fio_gc_interference_run(
     let mut ftl = kind.build_sharded_with(device, shards, baseline, learned);
     warmup::sequential_fill(&mut ftl, scale.warmup_io_pages, 1, ssd_sim::SimTime::ZERO);
     ftl.drain_gc();
+    ftl.set_tracing(traced);
     let mut wl = FioWorkload::new(
         FioPattern::RandWrite,
         ftl.logical_pages(),
@@ -357,6 +487,38 @@ pub fn fio_gc_interference_run(
     ftl.drain_gc();
     result.stats = ftl.stats().clone();
     result.device = ftl.device_stats();
+    if traced {
+        // The drain just above ran scheduled collections to completion after
+        // the runner had already taken the trace: fold the drain's flash
+        // events in, and rebuild the GC trigger/complete instants from the
+        // final statistics so they cover the same window the statistics do.
+        result.trace.extend(ftl.take_trace());
+        result
+            .trace
+            .retain(|e| !matches!(e.data, TraceData::GcTrigger | TraceData::GcComplete));
+        let instant = |at: ssd_sim::SimTime, data: TraceData| ssd_sim::TraceEvent {
+            start: at,
+            end: at,
+            shard: 0,
+            data,
+        };
+        let mut triggers = result.stats.gc_events.clone();
+        triggers.sort_unstable();
+        let mut completes = result.stats.gc_complete_events.clone();
+        completes.sort_unstable();
+        result.trace.extend(
+            triggers
+                .into_iter()
+                .map(|at| instant(at, TraceData::GcTrigger)),
+        );
+        result.trace.extend(
+            completes
+                .into_iter()
+                .map(|at| instant(at, TraceData::GcComplete)),
+        );
+        result.trace.sort_by_key(|e| e.start);
+        result.profile.trace_events = result.trace.len() as u64;
+    }
     result
 }
 
@@ -505,6 +667,32 @@ pub fn trace_run(
     device: SsdConfig,
     scale: ExperimentScale,
 ) -> RunResult {
+    trace_run_impl(kind, trace, streams, trace_len, device, scale, false)
+}
+
+/// [`trace_run`] with structured tracing enabled for the measured replay
+/// phase (see [`fio_read_traced_run`]); what the tail-latency binary exports
+/// when `--trace-out` is given.
+pub fn trace_traced_run(
+    kind: FtlKind,
+    trace: TraceKind,
+    streams: usize,
+    trace_len: u64,
+    device: SsdConfig,
+    scale: ExperimentScale,
+) -> RunResult {
+    trace_run_impl(kind, trace, streams, trace_len, device, scale, true)
+}
+
+fn trace_run_impl(
+    kind: FtlKind,
+    trace: TraceKind,
+    streams: usize,
+    trace_len: u64,
+    device: SsdConfig,
+    scale: ExperimentScale,
+    traced: bool,
+) -> RunResult {
     let mut ftl = kind.build(device);
     warmup::paper_warmup(
         ftl.as_mut(),
@@ -514,6 +702,9 @@ pub fn trace_run(
     );
     let synthetic = SyntheticTrace::generate(trace, ftl.logical_pages(), trace_len, 0xD00D);
     let mut wl = synthetic.into_workload(streams);
+    if traced {
+        ftl.set_tracing(true);
+    }
     Runner::new().run(ftl.as_mut(), &mut wl)
 }
 

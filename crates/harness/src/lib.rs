@@ -28,16 +28,20 @@
 //! assert!(result.throughput().mib_per_sec() > 0.0);
 //! ```
 
-#![forbid(unsafe_code)]
+// The opt-in `alloc-profile` feature installs a counting global allocator
+// (`alloc_profile`), whose `GlobalAlloc` impl is necessarily unsafe; every
+// other configuration keeps the workspace-wide forbid.
+#![cfg_attr(not(feature = "alloc-profile"), forbid(unsafe_code))]
 #![warn(missing_docs)]
 
+pub mod alloc_profile;
 pub mod experiments;
 mod kind;
 mod result;
 mod runner;
 
 pub use kind::FtlKind;
-pub use result::{RunResult, ShardLane, ShardedRunResult};
+pub use result::{RunResult, SelfProfile, ShardLane, ShardedRunResult};
 pub use runner::{Runner, RunnerConfig};
 // Re-exported so harness callers (the figure binaries) can name the sharded
 // frontend returned by `experiments::warmed_sharded_fio_setup` without

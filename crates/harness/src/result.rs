@@ -2,7 +2,7 @@
 
 use ftl_base::FtlStats;
 use metrics::{LatencyHistogram, Throughput};
-use ssd_sim::{DeviceStats, Duration};
+use ssd_sim::{DeviceStats, Duration, TraceEvent};
 
 /// Everything the paper's figures need from one workload run against one FTL.
 #[derive(Debug, Clone)]
@@ -31,6 +31,56 @@ pub struct RunResult {
     /// Device-level operation counts accumulated during the run (energy model
     /// inputs).
     pub device: DeviceStats,
+    /// The structured trace of the run, when the FTL had tracing enabled
+    /// ([`ftl_base::Ftl::set_tracing`]): device/scheduler/GC events taken
+    /// from the FTL plus the host-request spans and GC trigger/complete
+    /// instants the runner synthesises, stably sorted by start time. Empty
+    /// when tracing was off. Render with
+    /// [`metrics::sim_trace::chrome_trace_json`] or
+    /// [`metrics::sim_trace::metrics_csv`].
+    pub trace: Vec<TraceEvent>,
+    /// Wall-clock self-profiling of the run (how fast the *simulator* ran,
+    /// as opposed to the simulated `elapsed`).
+    pub profile: SelfProfile,
+}
+
+/// Wall-clock self-profiling measurements of one run: what the simulator
+/// itself cost, independent of simulated time.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct SelfProfile {
+    /// Host wall-clock time the run loop took (submission of the first
+    /// request to the last completion record, including worker threads).
+    pub wall: std::time::Duration,
+    /// Host requests the run completed (copied from the result for rate
+    /// computation).
+    pub requests: u64,
+    /// Structured trace events recorded during the run (zero with tracing
+    /// off).
+    pub trace_events: u64,
+}
+
+impl SelfProfile {
+    /// Host requests simulated per wall-clock second, or zero for an
+    /// instantaneous run.
+    pub fn requests_per_sec(&self) -> f64 {
+        let secs = self.wall.as_secs_f64();
+        if secs <= 0.0 {
+            0.0
+        } else {
+            self.requests as f64 / secs
+        }
+    }
+
+    /// Trace events recorded per wall-clock second, or zero for an
+    /// instantaneous or untraced run.
+    pub fn events_per_sec(&self) -> f64 {
+        let secs = self.wall.as_secs_f64();
+        if secs <= 0.0 {
+            0.0
+        } else {
+            self.trace_events as f64 / secs
+        }
+    }
 }
 
 impl RunResult {
@@ -157,6 +207,8 @@ mod tests {
             queueing: LatencyHistogram::new(),
             stats: FtlStats::new(),
             device: DeviceStats::new(),
+            trace: Vec::new(),
+            profile: SelfProfile::default(),
         }
     }
 

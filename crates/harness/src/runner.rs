@@ -8,10 +8,10 @@ use ftl_shard::{ReqId, ShardedFtl, ThreadedDispatcher};
 use metrics::LatencyHistogram;
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
-use ssd_sim::{Duration, SimTime};
+use ssd_sim::{Duration, SimTime, TraceData, TraceEvent};
 use workloads::Workload;
 
-use crate::result::{RunResult, ShardLane, ShardedRunResult};
+use crate::result::{RunResult, SelfProfile, ShardLane, ShardedRunResult};
 
 /// Per-request bookkeeping of the threaded runners, indexed by [`ReqId`]
 /// (dispatch order — identical to the simulated runner's pop order, so
@@ -21,6 +21,71 @@ struct ThreadedRecord {
     issue: SimTime,
     lane: usize,
     completion: SimTime,
+    write: bool,
+    pages: u32,
+}
+
+/// One host request's trace bookkeeping, recorded (only while tracing) in
+/// the order requests are popped — the same order on every backend.
+struct HostSpan {
+    arrival: SimTime,
+    issue: SimTime,
+    completion: SimTime,
+    lane: u32,
+    /// The clock domain the span's times belong to: the serving shard where
+    /// lanes are shards (the sharded queue-depth runners), shard 0 otherwise
+    /// (single-device runners and the stream-lane open-loop runners). The
+    /// exporters rebase each shard's timeline onto its own epoch, so every
+    /// event must declare which timeline it rides.
+    shard: u32,
+    write: bool,
+    pages: u32,
+}
+
+/// Assembles the run's final trace: the FTL's device/scheduler/GC events,
+/// the GC trigger/complete instants synthesised from [`ftl_base::FtlStats`]
+/// (sorted by time so backend-dependent merge order cannot leak in), and one
+/// flow-linked host-request span per popped request — stably sorted by start
+/// time, so identical inputs produce byte-identical traces.
+fn assemble_trace(ftl: &mut dyn Ftl, host: &[HostSpan]) -> Vec<TraceEvent> {
+    let mut trace = ftl.take_trace();
+    let instant = |at: SimTime, data: TraceData| TraceEvent {
+        start: at,
+        end: at,
+        shard: 0,
+        data,
+    };
+    let stats = ftl.stats();
+    let mut triggers = stats.gc_events.clone();
+    triggers.sort_unstable();
+    let mut completes = stats.gc_complete_events.clone();
+    completes.sort_unstable();
+    trace.extend(
+        triggers
+            .into_iter()
+            .map(|at| instant(at, TraceData::GcTrigger)),
+    );
+    trace.extend(
+        completes
+            .into_iter()
+            .map(|at| instant(at, TraceData::GcComplete)),
+    );
+    for (req, span) in host.iter().enumerate() {
+        trace.push(TraceEvent {
+            start: span.arrival,
+            end: span.completion,
+            shard: span.shard,
+            data: TraceData::HostRequest {
+                req: req as u64,
+                lane: span.lane,
+                write: span.write,
+                pages: span.pages,
+                issue: span.issue,
+            },
+        });
+    }
+    trace.sort_by_key(|e| e.start);
+    trace
 }
 
 /// One stream of the threaded closed-loop host model.
@@ -124,6 +189,9 @@ impl Runner {
         // the measured phase.
         let start = self.config.start.max(ftl.drain_time());
         let page_size = ftl.device().geometry().page_size;
+        let tracing = ftl.tracing();
+        let mut host_spans: Vec<HostSpan> = Vec::new();
+        let wall = std::time::Instant::now();
 
         let mut ready: BinaryHeap<Reverse<(SimTime, usize)>> = (0..workload.streams())
             .map(|s| Reverse((start, s)))
@@ -147,10 +215,27 @@ impl Runner {
                 HostOp::Read => read_pages += u64::from(req.pages),
                 HostOp::Write => write_pages += u64::from(req.pages),
             }
+            if tracing {
+                host_spans.push(HostSpan {
+                    arrival: issue,
+                    issue,
+                    completion,
+                    lane: stream as u32,
+                    shard: 0,
+                    write: req.op == HostOp::Write,
+                    pages: req.pages,
+                });
+            }
             last_completion = last_completion.max(completion);
             ready.push(Reverse((completion, stream)));
         }
 
+        let wall = wall.elapsed();
+        let trace = if tracing {
+            assemble_trace(ftl, &host_spans)
+        } else {
+            Vec::new()
+        };
         RunResult {
             ftl_name: ftl.name().to_string(),
             requests,
@@ -162,6 +247,12 @@ impl Runner {
             queueing: LatencyHistogram::new(),
             stats: ftl.stats().clone(),
             device: ftl.device_stats(),
+            profile: SelfProfile {
+                wall,
+                requests,
+                trace_events: trace.len() as u64,
+            },
+            trace,
         }
     }
 
@@ -196,6 +287,9 @@ impl Runner {
         }
         let start = self.config.start.max(ftl.drain_time());
         let page_size = ftl.device().geometry().page_size;
+        let tracing = ftl.tracing();
+        let mut host_spans: Vec<HostSpan> = Vec::new();
+        let wall = std::time::Instant::now();
 
         let mut queue = ssd_sched::QueuePair::new(depth);
         let mut ready: BinaryHeap<Reverse<(SimTime, usize)>> = (0..workload.streams())
@@ -222,10 +316,27 @@ impl Runner {
                 HostOp::Read => read_pages += u64::from(req.pages),
                 HostOp::Write => write_pages += u64::from(req.pages),
             }
+            if tracing {
+                host_spans.push(HostSpan {
+                    arrival,
+                    issue,
+                    completion,
+                    lane: stream as u32,
+                    shard: 0,
+                    write: req.op == HostOp::Write,
+                    pages: req.pages,
+                });
+            }
             last_completion = last_completion.max(completion);
             ready.push(Reverse((completion, stream)));
         }
 
+        let wall = wall.elapsed();
+        let trace = if tracing {
+            assemble_trace(ftl, &host_spans)
+        } else {
+            Vec::new()
+        };
         RunResult {
             ftl_name: ftl.name().to_string(),
             requests,
@@ -237,6 +348,12 @@ impl Runner {
             queueing,
             stats: ftl.stats().clone(),
             device: ftl.device_stats(),
+            profile: SelfProfile {
+                wall,
+                requests,
+                trace_events: trace.len() as u64,
+            },
+            trace,
         }
     }
 
@@ -276,6 +393,9 @@ impl Runner {
         }
         let start = self.config.start.max(ftl.drain_time());
         let page_size = ftl.device().geometry().page_size;
+        let tracing = ftl.tracing();
+        let mut host_spans: Vec<HostSpan> = Vec::new();
+        let wall = std::time::Instant::now();
 
         let mut queue = ssd_sched::QueuePair::new(depth);
         let mut ready: BinaryHeap<Reverse<(SimTime, usize)>> = (0..workload.streams())
@@ -310,10 +430,27 @@ impl Runner {
                 HostOp::Read => read_pages += u64::from(req.pages),
                 HostOp::Write => write_pages += u64::from(req.pages),
             }
+            if tracing {
+                host_spans.push(HostSpan {
+                    arrival,
+                    issue,
+                    completion,
+                    lane: lane as u32,
+                    shard: lane as u32,
+                    write: req.op == HostOp::Write,
+                    pages: req.pages,
+                });
+            }
             last_completion = last_completion.max(completion);
             ready.push(Reverse((completion, stream)));
         }
 
+        let wall = wall.elapsed();
+        let trace = if tracing {
+            assemble_trace(ftl, &host_spans)
+        } else {
+            Vec::new()
+        };
         let mut latencies = LatencyHistogram::new();
         for lane in &mut lanes {
             lane.latencies.finalize();
@@ -331,6 +468,12 @@ impl Runner {
                 queueing,
                 stats: ftl.stats().clone(),
                 device: ftl.device_stats(),
+                profile: SelfProfile {
+                    wall,
+                    requests,
+                    trace_events: trace.len() as u64,
+                },
+                trace,
             },
             lanes,
         }
@@ -373,6 +516,8 @@ impl Runner {
         let page_size = ftl.device().geometry().page_size;
         let shard_count = ftl.shard_count();
         let streams = workload.streams();
+        let tracing = ftl.tracing();
+        let wall = std::time::Instant::now();
 
         let mut requests = 0u64;
         let mut read_pages = 0u64;
@@ -508,6 +653,8 @@ impl Runner {
                     issue,
                     lane,
                     completion: SimTime::ZERO,
+                    write: req.op == HostOp::Write,
+                    pages: req.pages,
                 });
                 req_stream.push(stream);
                 slots[stream] = StreamSlot::Waiting(rid);
@@ -554,6 +701,26 @@ impl Runner {
             queueing.record(record.issue - record.arrival);
             last_completion = last_completion.max(record.completion);
         }
+        let wall = wall.elapsed();
+        let trace = if tracing {
+            // Replaying the dispatch-order log reproduces the simulated
+            // runner's recording order, so the host spans are identical.
+            let host_spans: Vec<HostSpan> = records
+                .iter()
+                .map(|r| HostSpan {
+                    arrival: r.arrival,
+                    issue: r.issue,
+                    completion: r.completion,
+                    lane: r.lane as u32,
+                    shard: r.lane as u32,
+                    write: r.write,
+                    pages: r.pages,
+                })
+                .collect();
+            assemble_trace(ftl, &host_spans)
+        } else {
+            Vec::new()
+        };
         let mut latencies = LatencyHistogram::new();
         for lane in &mut lanes {
             lane.latencies.finalize();
@@ -571,6 +738,12 @@ impl Runner {
                 queueing,
                 stats: ftl.stats().clone(),
                 device: ftl.device_stats(),
+                profile: SelfProfile {
+                    wall,
+                    requests,
+                    trace_events: trace.len() as u64,
+                },
+                trace,
             },
             lanes,
         }
@@ -613,6 +786,9 @@ impl Runner {
         let start = self.config.start.max(ftl.drain_time());
         let page_size = ftl.device().geometry().page_size;
         let streams = workload.streams();
+        let tracing = ftl.tracing();
+        let mut host_spans: Vec<HostSpan> = Vec::new();
+        let wall = std::time::Instant::now();
 
         let mut rng = StdRng::seed_from_u64(seed);
         let mut latencies = LatencyHistogram::new();
@@ -632,6 +808,7 @@ impl Runner {
                 continue;
             };
             exhausted = 0;
+            let issuing_stream = stream;
             stream = (stream + 1) % streams;
             let completion = ftl.submit(req, arrival);
             latencies.record(completion - arrival);
@@ -641,10 +818,27 @@ impl Runner {
                 HostOp::Read => read_pages += u64::from(req.pages),
                 HostOp::Write => write_pages += u64::from(req.pages),
             }
+            if tracing {
+                host_spans.push(HostSpan {
+                    arrival,
+                    issue: arrival,
+                    completion,
+                    lane: issuing_stream as u32,
+                    shard: 0,
+                    write: req.op == HostOp::Write,
+                    pages: req.pages,
+                });
+            }
             last_completion = last_completion.max(completion);
             arrival += exponential(&mut rng, mean_interarrival);
         }
 
+        let wall = wall.elapsed();
+        let trace = if tracing {
+            assemble_trace(ftl, &host_spans)
+        } else {
+            Vec::new()
+        };
         RunResult {
             ftl_name: ftl.name().to_string(),
             requests,
@@ -656,6 +850,12 @@ impl Runner {
             queueing: LatencyHistogram::new(),
             stats: ftl.stats().clone(),
             device: ftl.device_stats(),
+            profile: SelfProfile {
+                wall,
+                requests,
+                trace_events: trace.len() as u64,
+            },
+            trace,
         }
     }
 
@@ -693,16 +893,21 @@ impl Runner {
         let start = self.config.start.max(ftl.drain_time());
         let page_size = ftl.device().geometry().page_size;
         let streams = workload.streams();
+        let tracing = ftl.tracing();
+        let wall = std::time::Instant::now();
 
         let mut requests = 0u64;
         let mut read_pages = 0u64;
         let mut write_pages = 0u64;
         let mut bytes = 0u64;
 
-        let (arrivals, completions) = ftl.run_threaded(workers, |dispatcher| {
+        let (arrivals, completions, meta) = ftl.run_threaded(workers, |dispatcher| {
             let mut rng = StdRng::seed_from_u64(seed);
             let mut arrivals: Vec<SimTime> = Vec::new();
             let mut completions: Vec<SimTime> = Vec::new();
+            // (stream, write, pages) per request, dispatch order; only
+            // filled while tracing.
+            let mut meta: Vec<(u32, bool, u32)> = Vec::new();
             let mut arrival = start;
             let mut exhausted = 0usize;
             let mut stream = 0usize;
@@ -714,11 +919,15 @@ impl Runner {
                     continue;
                 };
                 exhausted = 0;
+                let issuing_stream = stream;
                 stream = (stream + 1) % streams;
                 let rid = dispatcher.dispatch(req, arrival);
                 debug_assert_eq!(rid, arrivals.len());
                 arrivals.push(arrival);
                 completions.push(SimTime::ZERO);
+                if tracing {
+                    meta.push((issuing_stream as u32, req.op == HostOp::Write, req.pages));
+                }
                 requests += 1;
                 bytes += req.bytes(page_size);
                 match req.op {
@@ -735,9 +944,31 @@ impl Runner {
                 let (req, completion) = dispatcher.wait_resolved();
                 completions[req] = completion;
             }
-            (arrivals, completions)
+            (arrivals, completions, meta)
         });
 
+        let wall = wall.elapsed();
+        let trace = if tracing {
+            let host_spans: Vec<HostSpan> = arrivals
+                .iter()
+                .zip(&completions)
+                .zip(&meta)
+                .map(
+                    |((&arrival, &completion), &(lane, write, pages))| HostSpan {
+                        arrival,
+                        issue: arrival,
+                        completion,
+                        lane,
+                        shard: 0,
+                        write,
+                        pages,
+                    },
+                )
+                .collect();
+            assemble_trace(ftl, &host_spans)
+        } else {
+            Vec::new()
+        };
         let mut latencies = LatencyHistogram::new();
         let mut last_completion = start;
         for (arrival, completion) in arrivals.iter().zip(&completions) {
@@ -755,6 +986,12 @@ impl Runner {
             queueing: LatencyHistogram::new(),
             stats: ftl.stats().clone(),
             device: ftl.device_stats(),
+            profile: SelfProfile {
+                wall,
+                requests,
+                trace_events: trace.len() as u64,
+            },
+            trace,
         }
     }
 }

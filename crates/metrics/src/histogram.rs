@@ -283,6 +283,65 @@ mod tests {
         assert_eq!(a.max(), Duration::from_micros(7));
     }
 
+    /// Regression pin: `finalize` must be idempotent — a second call (or a
+    /// percentile query after an explicit finalize) must not disturb counts,
+    /// percentiles or the sorted flag.
+    #[test]
+    fn finalize_is_idempotent() {
+        let mut h = LatencyHistogram::new();
+        for us in [9u64, 1, 5, 5, 2] {
+            h.record(Duration::from_micros(us));
+        }
+        assert!(!h.is_sorted());
+        h.finalize();
+        let (count, p50, p100, max) = (h.count(), h.percentile(0.5), h.percentile(1.0), h.max());
+        h.finalize();
+        h.finalize();
+        assert!(h.is_sorted());
+        assert_eq!(h.count(), count);
+        assert_eq!(h.percentile(0.5), p50);
+        assert_eq!(h.percentile(1.0), p100);
+        assert_eq!(h.max(), max);
+    }
+
+    /// Regression pin: merging into an already-finalized histogram must keep
+    /// the sorted flag truthful and percentiles exact — both when the other
+    /// side is sorted (O(n+m) merge path) and when it is not (the flag must
+    /// drop so the next query re-sorts).
+    #[test]
+    fn merge_after_finalize_keeps_percentiles_exact() {
+        let mut a = LatencyHistogram::new();
+        for us in [40u64, 10, 30] {
+            a.record(Duration::from_micros(us));
+        }
+        a.finalize();
+
+        let mut sorted_other = LatencyHistogram::new();
+        for us in [20u64, 50] {
+            sorted_other.record(Duration::from_micros(us));
+        }
+        a.merge(&sorted_other);
+        assert!(a.is_sorted(), "finalized + sorted stays sorted");
+        assert_eq!(a.count(), 5);
+        assert_eq!(a.percentile(0.5), Duration::from_micros(30));
+        assert_eq!(a.percentile(1.0), Duration::from_micros(50));
+
+        let mut unsorted_other = LatencyHistogram::new();
+        unsorted_other.record(Duration::from_micros(25));
+        unsorted_other.record(Duration::from_micros(5));
+        a.merge(&unsorted_other);
+        assert!(!a.is_sorted(), "unsorted input must drop the flag");
+        assert_eq!(a.count(), 7);
+        assert_eq!(a.percentile(0.0), Duration::from_micros(5));
+        assert_eq!(a.percentile(0.5), Duration::from_micros(25));
+        assert_eq!(a.max(), Duration::from_micros(50));
+        // A finalize after the mixed merge restores O(1) queries and is again
+        // stable under repetition.
+        a.finalize();
+        a.finalize();
+        assert_eq!(a.percentile(0.5), Duration::from_micros(25));
+    }
+
     #[test]
     #[should_panic(expected = "quantile")]
     fn out_of_range_quantile_panics() {
@@ -307,6 +366,41 @@ mod tests {
             let p_hi = h.percentile(hi);
             prop_assert!(p_lo <= p_hi);
             prop_assert!(p_hi <= h.max());
+        }
+
+        /// Model check: any interleaving of record / merge / finalize leaves
+        /// the histogram agreeing with a naive sort of everything recorded,
+        /// and the sorted flag never claims order that does not exist.
+        #[test]
+        fn prop_operations_match_naive_model(
+            batches in proptest::collection::vec(
+                proptest::collection::vec(0u64..1_000_000, 1..40),
+                1..8,
+            ),
+            finalize_mask in proptest::collection::vec(any::<bool>(), 8..9),
+        ) {
+            let mut h = LatencyHistogram::new();
+            let mut model: Vec<u64> = Vec::new();
+            for (i, batch) in batches.iter().enumerate() {
+                let mut other = LatencyHistogram::new();
+                for &ns in batch {
+                    other.record(Duration::from_nanos(ns));
+                }
+                model.extend_from_slice(batch);
+                h.merge(&other);
+                if finalize_mask[i] {
+                    h.finalize();
+                    h.finalize(); // idempotence under the same interleaving
+                }
+            }
+            model.sort_unstable();
+            prop_assert_eq!(h.count(), model.len());
+            prop_assert_eq!(h.max(), Duration::from_nanos(*model.last().unwrap()));
+            for q in [0.0, 0.25, 0.5, 0.99, 1.0] {
+                let rank = ((model.len() as f64) * q).ceil() as usize;
+                let idx = rank.clamp(1, model.len()) - 1;
+                prop_assert_eq!(h.percentile(q), Duration::from_nanos(model[idx]));
+            }
         }
     }
 }

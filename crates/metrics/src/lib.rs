@@ -10,7 +10,9 @@
 //!   (Figure 22),
 //! * [`GcTimeline`] — GC-frequency-over-time bucketing (Figure 16),
 //! * [`Table`] — plain-text table formatting for the figure-reproduction
-//!   binaries.
+//!   binaries,
+//! * [`sim_trace`] — exporters (Chrome trace-event JSON, interval-sampled
+//!   CSV) and a schema checker for the simulator's structured trace stream.
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
@@ -18,11 +20,13 @@
 mod energy;
 mod gc_timeline;
 mod histogram;
+pub mod sim_trace;
 mod table;
 mod throughput;
 
 pub use energy::EnergyModel;
 pub use gc_timeline::GcTimeline;
 pub use histogram::LatencyHistogram;
+pub use sim_trace::{chrome_trace_json, metrics_csv, validate_chrome_trace, ChromeTraceSummary};
 pub use table::Table;
 pub use throughput::Throughput;

@@ -15,7 +15,7 @@
 use std::collections::VecDeque;
 
 use metrics::LatencyHistogram;
-use ssd_sim::{FlashDevice, Geometry, PhysAddr, SimTime};
+use ssd_sim::{FlashDevice, FlashOp, Geometry, PhysAddr, SimTime, TraceData, TraceSink};
 
 use crate::cmd::{CmdId, CmdKind, Command, Completion, Priority};
 use crate::event::EventQueue;
@@ -336,6 +336,28 @@ impl IoScheduler {
                     self.stats.queueing.record(completion.queueing());
                     self.stats.service.record(completion.service());
                 }
+                if let Some(t) = dev.trace_sink() {
+                    // One lifecycle span per command, emitted at completion so
+                    // it carries the full submit→issue→complete record.
+                    t.span(
+                        completion.submitted,
+                        completion.completed,
+                        TraceData::CmdLifecycle {
+                            chip: chip as u32,
+                            op: Self::op_of(&completion.kind),
+                            gc: completion.priority == Priority::Gc,
+                            issued: completion.issued,
+                        },
+                    );
+                    t.counter(
+                        completion.completed,
+                        TraceData::QueueDepth {
+                            chip: chip as u32,
+                            host: self.chips[chip].host.len() as u32,
+                            gc: self.chips[chip].gc.len() as u32,
+                        },
+                    );
+                }
                 self.completions.push(completion);
                 self.dispatch_chip(chip, dev);
             }
@@ -419,10 +441,26 @@ impl IoScheduler {
                         // times in a row.
                         chip.gc_bypassed = 0;
                         self.stats.gc_forced += 1;
+                        if let Some(t) = dev.trace_sink() {
+                            t.instant(
+                                now,
+                                TraceData::GcForced {
+                                    chip: chip_idx as u32,
+                                },
+                            );
+                        }
                         chip.gc.remove(g).expect("gc candidate exists")
                     } else {
                         chip.gc_bypassed += 1;
                         self.stats.gc_yields += 1;
+                        if let Some(t) = dev.trace_sink() {
+                            t.instant(
+                                now,
+                                TraceData::GcYield {
+                                    chip: chip_idx as u32,
+                                },
+                            );
+                        }
                         chip.host.remove(h).expect("host candidate exists")
                     }
                 }
@@ -494,6 +532,17 @@ impl IoScheduler {
                 self.chips[chip_idx].wakeup_at = Some(t);
                 self.events.schedule(t, Event::Wakeup { chip: chip_idx });
             }
+        }
+    }
+
+    /// The flash operation a command performs (a charge replays the staged
+    /// operation it carries).
+    fn op_of(kind: &CmdKind) -> FlashOp {
+        match kind {
+            CmdKind::Read { .. } => FlashOp::Read,
+            CmdKind::Program { .. } => FlashOp::Program,
+            CmdKind::Erase { .. } => FlashOp::Erase,
+            CmdKind::Charge { op, .. } => *op,
         }
     }
 
@@ -973,6 +1022,58 @@ mod tests {
             done[1].queueing() > ssd_sim::Duration::ZERO,
             "the read must wait for the fused charge to release its plane"
         );
+    }
+
+    #[test]
+    fn tracing_emits_lifecycle_spans_and_arbitration_instants() {
+        let mut dev = FlashDevice::new(SsdConfig::tiny());
+        let bound = 2;
+        let mut sched = IoScheduler::new(
+            *dev.geometry(),
+            SchedConfig {
+                queue_depth: 64,
+                gc_starvation_bound: bound,
+            },
+        );
+        let t0 = populate(&mut dev, 8);
+        dev.set_tracing(true);
+        dev.take_trace(); // discard the populate spans
+        sched
+            .submit(CmdKind::Read { ppn: 7 }, Priority::Gc, t0)
+            .unwrap();
+        for ppn in 0..6 {
+            sched
+                .submit(CmdKind::Read { ppn }, Priority::Host, t0)
+                .unwrap();
+        }
+        sched.drain(&mut dev);
+        let events = dev.take_trace();
+        let lifecycles: Vec<_> = events
+            .iter()
+            .filter_map(|e| match e.data {
+                TraceData::CmdLifecycle { gc, issued, op, .. } => {
+                    assert_eq!(op, FlashOp::Read);
+                    assert!(e.start <= issued && issued <= e.end);
+                    Some(gc)
+                }
+                _ => None,
+            })
+            .collect();
+        assert_eq!(lifecycles.len(), 7, "one span per command");
+        assert_eq!(lifecycles.iter().filter(|&&gc| gc).count(), 1);
+        let yields = events
+            .iter()
+            .filter(|e| matches!(e.data, TraceData::GcYield { .. }))
+            .count();
+        let forced = events
+            .iter()
+            .filter(|e| matches!(e.data, TraceData::GcForced { .. }))
+            .count();
+        assert_eq!(yields as u64, sched.stats().gc_yields);
+        assert_eq!(forced as u64, sched.stats().gc_forced);
+        assert!(events
+            .iter()
+            .any(|e| matches!(e.data, TraceData::QueueDepth { .. })));
     }
 
     #[test]

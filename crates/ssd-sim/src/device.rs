@@ -12,6 +12,7 @@ use crate::error::{DeviceError, DeviceResult};
 use crate::geometry::Geometry;
 use crate::oob::OobData;
 use crate::stats::{DeviceStats, FlashOp};
+use crate::trace::{TraceBuffer, TraceData, TraceEvent, TraceReadClass, TraceSink};
 use crate::PageState;
 
 /// A simulated NAND flash device.
@@ -59,6 +60,12 @@ pub struct FlashDevice {
     next_cmd_id: u64,
     in_flight: BinaryHeap<Reverse<QueuedCommand>>,
     staging: Option<Vec<StagedOp>>,
+    /// Recording trace sink; `None` (the default) disables tracing and keeps
+    /// every emission site down to a single branch.
+    trace: Option<Box<TraceBuffer>>,
+    /// Whether the current timing call replays a staged GC charge
+    /// ([`FlashDevice::charge_op`]); marks the emitted spans as GC traffic.
+    charge_replay: bool,
 }
 
 /// One flash operation whose state effects have been applied under
@@ -128,6 +135,50 @@ impl FlashDevice {
             next_cmd_id: 0,
             in_flight: BinaryHeap::new(),
             staging: None,
+            trace: None,
+            charge_replay: false,
+        }
+    }
+
+    /// Turns tracing on or off. Turning it on installs an empty
+    /// [`TraceBuffer`]; turning it off drops any recorded events. Tracing
+    /// never affects simulated timing — it only records it.
+    pub fn set_tracing(&mut self, on: bool) {
+        if on {
+            if self.trace.is_none() {
+                self.trace = Some(Box::default());
+            }
+        } else {
+            self.trace = None;
+        }
+    }
+
+    /// Whether tracing is currently enabled.
+    pub fn tracing(&self) -> bool {
+        self.trace.is_some()
+    }
+
+    /// Takes every recorded trace event, leaving tracing enabled (if it was)
+    /// with an empty buffer.
+    pub fn take_trace(&mut self) -> Vec<TraceEvent> {
+        self.trace.as_mut().map(|t| t.take()).unwrap_or_default()
+    }
+
+    /// The active trace sink, or `None` when tracing is disabled. Layers
+    /// above the device (the I/O scheduler, the FTLs, the harness) emit
+    /// their events through this, so one buffer per device collects the
+    /// whole stack's stream in execution order.
+    #[inline]
+    pub fn trace_sink(&mut self) -> Option<&mut TraceBuffer> {
+        self.trace.as_deref_mut()
+    }
+
+    /// Records how one logical page read was resolved by the FTL's
+    /// translation path (a point event; no-op when tracing is off).
+    #[inline]
+    pub fn trace_read_class(&mut self, at: SimTime, class: TraceReadClass) {
+        if let Some(t) = self.trace.as_mut() {
+            t.instant(at, TraceData::ReadClass { class });
         }
     }
 
@@ -192,14 +243,14 @@ impl FlashDevice {
             !plane_list.is_empty(),
             "charge_op needs at least one plane in the mask"
         );
-        match op {
+        self.charge_replay = true;
+        let done = match op {
             FlashOp::Read => self.time_read(chip as usize, channel, &plane_list, issue),
             FlashOp::Program => self.time_program(chip as usize, channel, &plane_list, issue),
-            FlashOp::Erase => {
-                let lat = self.config.latency;
-                self.chips[chip as usize].occupy_plane(plane_list[0], issue, lat.erase)
-            }
-        }
+            FlashOp::Erase => self.time_erase(chip as usize, plane_list[0], issue),
+        };
+        self.charge_replay = false;
+        done
     }
 
     /// The ascending plane indices set in a plane bitmask.
@@ -233,8 +284,20 @@ impl FlashDevice {
         let nand_done = start + nand_latency;
         let mut done = nand_done;
         for &p in planes {
-            done = self.occupy_channel(channel, done, lat.channel_transfer);
+            done = self.occupy_channel(channel, FlashOp::Read, done, lat.channel_transfer);
             self.chips[chip].reserve_plane(p, nand_done, done);
+            if let Some(t) = self.trace.as_mut() {
+                t.span(
+                    start,
+                    done,
+                    TraceData::PlaneOp {
+                        chip: chip as u32,
+                        plane: p,
+                        op: FlashOp::Read,
+                        gc: self.charge_replay,
+                    },
+                );
+            }
         }
         done
     }
@@ -264,15 +327,50 @@ impl FlashDevice {
             } else {
                 issue.max(self.chips[chip].plane_free(p))
             };
-            last_bus = self.occupy_channel(channel, from, lat.channel_transfer);
+            last_bus = self.occupy_channel(channel, FlashOp::Program, from, lat.channel_transfer);
         }
         let planes_free = planes
             .iter()
             .map(|&p| self.chips[chip].plane_free(p))
             .fold(SimTime::ZERO, SimTime::max);
-        let done = last_bus.max(planes_free) + nand_latency;
+        let nand_start = last_bus.max(planes_free);
+        let done = nand_start + nand_latency;
         for &p in planes {
             self.chips[chip].reserve_plane(p, done, done);
+            if let Some(t) = self.trace.as_mut() {
+                t.span(
+                    nand_start,
+                    done,
+                    TraceData::PlaneOp {
+                        chip: chip as u32,
+                        plane: p,
+                        op: FlashOp::Program,
+                        gc: self.charge_replay,
+                    },
+                );
+            }
+        }
+        done
+    }
+
+    /// Charges the timing of a block erase on one plane: the plane is held
+    /// for the erase latency, no channel traffic.
+    fn time_erase(&mut self, chip: usize, plane: u32, issue: SimTime) -> SimTime {
+        let lat = self.config.latency;
+        let start = issue.max(self.chips[chip].plane_free(plane));
+        let done = self.chips[chip].occupy_plane(plane, issue, lat.erase);
+        debug_assert_eq!(done, start + lat.erase);
+        if let Some(t) = self.trace.as_mut() {
+            t.span(
+                start,
+                done,
+                TraceData::PlaneOp {
+                    chip: chip as u32,
+                    plane,
+                    op: FlashOp::Erase,
+                    gc: self.charge_replay,
+                },
+            );
         }
         done
     }
@@ -565,8 +663,7 @@ impl FlashDevice {
             });
             return Ok(issue);
         }
-        let lat = self.config.latency;
-        Ok(self.chips[chip_idx].occupy_plane(plane, issue, lat.erase))
+        Ok(self.time_erase(chip_idx, plane, issue))
     }
 
     /// Enqueues a page read, issued at `issue`. The non-blocking twin of
@@ -824,6 +921,7 @@ impl FlashDevice {
     fn occupy_channel(
         &mut self,
         channel: u32,
+        op: FlashOp,
         issue: SimTime,
         transfer: crate::Duration,
     ) -> SimTime {
@@ -831,6 +929,17 @@ impl FlashDevice {
         let start = issue.max(*busy);
         let done = start + transfer;
         *busy = done;
+        if let Some(t) = self.trace.as_mut() {
+            t.span(
+                start,
+                done,
+                TraceData::BusXfer {
+                    channel,
+                    op,
+                    gc: self.charge_replay,
+                },
+            );
+        }
         done
     }
 
@@ -1382,6 +1491,64 @@ mod tests {
         t_block = blocking_dev.read_pages(&[p0, p1], t_block).unwrap();
         assert_eq!(t_charge, t_block, "charge replay must equal blocking time");
         assert_eq!(staged_dev.drain_time(), blocking_dev.drain_time());
+    }
+
+    #[test]
+    fn tracing_records_spans_without_changing_timing() {
+        let mut plain = dev();
+        let mut traced = dev();
+        traced.set_tracing(true);
+        assert!(traced.tracing());
+        for d in [&mut plain, &mut traced] {
+            let t = d
+                .program_page(0, OobData::mapped(1), SimTime::ZERO)
+                .unwrap();
+            let t = d.read_page(0, t).unwrap();
+            d.invalidate_page(0).unwrap();
+            d.erase_block(0, t).unwrap();
+        }
+        assert_eq!(plain.drain_time(), traced.drain_time());
+        assert_eq!(plain.stats(), traced.stats());
+        let events = traced.take_trace();
+        // program: 1 bus + 1 plane; read: 1 bus + 1 plane; erase: 1 plane.
+        assert_eq!(events.len(), 5);
+        let plane_ops: Vec<FlashOp> = events
+            .iter()
+            .filter_map(|e| match e.data {
+                TraceData::PlaneOp { op, gc, .. } => {
+                    assert!(!gc, "blocking calls are not charge replay");
+                    Some(op)
+                }
+                _ => None,
+            })
+            .collect();
+        assert_eq!(
+            plane_ops,
+            vec![FlashOp::Program, FlashOp::Read, FlashOp::Erase]
+        );
+        assert!(events.iter().all(|e| e.end >= e.start && e.shard == 0));
+        // Buffer was drained but tracing stays on.
+        assert!(traced.tracing());
+        assert!(traced.take_trace().is_empty());
+    }
+
+    #[test]
+    fn charge_replay_marks_spans_as_gc() {
+        let mut d = dev();
+        d.begin_staging();
+        d.program_page(0, OobData::mapped(1), SimTime::ZERO)
+            .unwrap();
+        let ops = d.end_staging();
+        d.set_tracing(true);
+        for op in &ops {
+            d.charge_op(op.op, op.chip, op.channel, op.planes, SimTime::ZERO);
+        }
+        let events = d.take_trace();
+        assert!(!events.is_empty());
+        assert!(events.iter().all(|e| match e.data {
+            TraceData::PlaneOp { gc, .. } | TraceData::BusXfer { gc, .. } => gc,
+            _ => false,
+        }));
     }
 
     #[test]

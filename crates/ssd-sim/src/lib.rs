@@ -52,6 +52,7 @@ mod geometry;
 mod latency;
 mod oob;
 mod stats;
+pub mod trace;
 
 pub use address::{ppn_to_vppn, vppn_to_ppn, PhysAddr, Ppn, Vppn};
 pub use block::{Block, BlockState};
@@ -64,6 +65,7 @@ pub use geometry::Geometry;
 pub use latency::LatencyConfig;
 pub use oob::OobData;
 pub use stats::{DeviceStats, FlashOp};
+pub use trace::{TraceBuffer, TraceData, TraceEvent, TraceReadClass, TraceSink};
 
 /// The page state of a single physical flash page.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default)]
