@@ -111,5 +111,5 @@ fn main() {
         ),
     );
 
-    bench::export_default_observability(&args);
+    bench::export_default_observability(&args, "ablation_learnedftl");
 }

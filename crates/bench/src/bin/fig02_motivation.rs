@@ -76,5 +76,5 @@ fn main() {
     );
     print_table_with_verdict(&table, &verdict);
 
-    bench::export_default_observability(&args);
+    bench::export_default_observability(&args, "fig02_motivation");
 }

@@ -179,5 +179,5 @@ fn main() {
         ),
     );
 
-    bench::export_default_observability(&args);
+    bench::export_default_observability(&args, "fig14_fio");
 }

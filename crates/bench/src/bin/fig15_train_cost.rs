@@ -72,5 +72,5 @@ fn main() {
         predict_us
     );
 
-    bench::export_default_observability(&args);
+    bench::export_default_observability(&args, "fig15_train_cost");
 }

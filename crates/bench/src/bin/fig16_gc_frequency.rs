@@ -62,5 +62,5 @@ fn main() {
         print_table_with_verdict(&table, &verdict);
     }
 
-    bench::export_default_observability(&args);
+    bench::export_default_observability(&args, "fig16_gc_frequency");
 }

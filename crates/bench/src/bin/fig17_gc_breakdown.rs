@@ -78,5 +78,5 @@ fn main() {
     );
     print_table_with_verdict(&table, &verdict);
 
-    bench::export_default_observability(&args);
+    bench::export_default_observability(&args, "fig17_gc_breakdown");
 }

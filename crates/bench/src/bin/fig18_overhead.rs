@@ -126,5 +126,5 @@ fn main() {
         ),
     );
 
-    bench::export_default_observability(&args);
+    bench::export_default_observability(&args, "fig18_overhead");
 }

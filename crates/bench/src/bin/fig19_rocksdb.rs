@@ -71,5 +71,5 @@ fn main() {
         );
     }
 
-    bench::export_default_observability(&args);
+    bench::export_default_observability(&args, "fig19_rocksdb");
 }

@@ -86,5 +86,5 @@ fn main() {
         ),
     );
 
-    bench::export_default_observability(&args);
+    bench::export_default_observability(&args, "fig20_filebench");
 }

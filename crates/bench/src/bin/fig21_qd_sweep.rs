@@ -155,7 +155,7 @@ fn main() {
             )
         };
         println!("traced run: LearnedFTL, FIO randread, QD 16");
-        args.export_observability(&traced)
+        args.export_observability("fig21_qd_sweep", &traced)
             .expect("writing observability output failed");
     }
 

@@ -84,7 +84,7 @@ fn main() {
             experiment,
         );
         println!("traced run: LearnedFTL, {} replay", trace.label());
-        args.export_observability(&traced)
+        args.export_observability("fig21_tail_latency", &traced)
             .expect("writing observability output failed");
     }
 }

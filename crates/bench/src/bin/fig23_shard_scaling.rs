@@ -191,7 +191,7 @@ fn main() {
             experiment,
         );
         println!("traced run: LearnedFTL, FIO randread, QD 16, shards={shards}");
-        args.export_observability(&traced.result)
+        args.export_observability("fig23_shard_scaling", &traced.result)
             .expect("writing observability output failed");
     }
 

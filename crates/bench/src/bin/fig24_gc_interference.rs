@@ -228,7 +228,7 @@ fn main() {
             experiment,
         );
         println!("traced run: LearnedFTL, scheduled GC, shards=4, write-heavy point");
-        args.export_observability(&traced)
+        args.export_observability("fig24_gc_interference", &traced)
             .expect("writing observability output failed");
     }
 

@@ -274,7 +274,7 @@ fn main() {
         eprintln!("FAIL: threaded backend diverged from the simulated backend");
         std::process::exit(1);
     }
-    bench::export_default_observability(&args);
+    bench::export_default_observability(&args, "fig25_wallclock_scaling");
 
     if cores >= 2 && !(closed_scaling_holds && open_scaling_holds) {
         eprintln!("FAIL: threaded x4 did not beat threaded x1 in wall-clock");

@@ -128,7 +128,7 @@ fn main() {
         ),
     );
 
-    bench::export_default_observability(&args);
+    bench::export_default_observability(&args, "fig26_plane_scaling");
 
     if !scaling_holds {
         std::process::exit(1);

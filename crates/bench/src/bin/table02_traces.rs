@@ -50,5 +50,5 @@ fn main() {
         ),
     );
 
-    bench::export_default_observability(&args);
+    bench::export_default_observability(&args, "table02_traces");
 }

@@ -164,6 +164,16 @@ pub struct BenchArgs {
     /// Sampling interval of the metrics CSV in microseconds of simulated
     /// time (`--metrics-interval N`); defaults to 100 µs.
     pub metrics_interval_us: Option<u64>,
+    /// Write the deterministic trace-analysis report (latency decomposition,
+    /// GC tax, utilisation, tail exemplars — [`metrics::analysis`]) of the
+    /// traced run to this path (`--analyze-out PATH`). Enables tracing for
+    /// that run.
+    pub analyze_out: Option<String>,
+    /// Write the machine-readable `BENCH_*.json` wall-clock artifact of a
+    /// benchmark binary to this path (`--bench-out PATH`); only
+    /// `fig27_throughput` consumes it today, other binaries accept and
+    /// ignore it.
+    pub bench_out: Option<String>,
 }
 
 impl Default for BenchArgs {
@@ -175,6 +185,8 @@ impl Default for BenchArgs {
             trace_out: None,
             metrics_out: None,
             metrics_interval_us: None,
+            analyze_out: None,
+            bench_out: None,
         }
     }
 }
@@ -189,7 +201,8 @@ impl BenchArgs {
                 eprintln!("error: {msg}");
                 eprintln!(
                     "usage: <figure> [--shards N] [--planes N] [--quick] \
-                     [--trace-out PATH] [--metrics-out PATH] [--metrics-interval US]"
+                     [--trace-out PATH] [--metrics-out PATH] [--metrics-interval US] \
+                     [--analyze-out PATH] [--bench-out PATH]"
                 );
                 std::process::exit(2);
             }
@@ -259,6 +272,10 @@ impl BenchArgs {
                 parsed.trace_out = Some(path);
             } else if let Some(path) = flag_string("--metrics-out", &arg, &mut iter)? {
                 parsed.metrics_out = Some(path);
+            } else if let Some(path) = flag_string("--analyze-out", &arg, &mut iter)? {
+                parsed.analyze_out = Some(path);
+            } else if let Some(path) = flag_string("--bench-out", &arg, &mut iter)? {
+                parsed.bench_out = Some(path);
             } else {
                 return Err(format!("unknown argument `{arg}`"));
             }
@@ -270,7 +287,7 @@ impl BenchArgs {
     /// this to route their designated run through the traced experiment
     /// variants in [`harness::experiments`].
     pub fn tracing(&self) -> bool {
-        self.trace_out.is_some() || self.metrics_out.is_some()
+        self.trace_out.is_some() || self.metrics_out.is_some() || self.analyze_out.is_some()
     }
 
     /// The metrics CSV sampling interval (simulated time).
@@ -280,9 +297,11 @@ impl BenchArgs {
 
     /// Writes the requested observability artifacts of a traced `result`:
     /// the Chrome trace JSON to `--trace-out`, the interval CSV to
-    /// `--metrics-out`, plus a self-profiling summary line on stdout. A
-    /// no-op when neither flag was given.
-    pub fn export_observability(&self, result: &RunResult) -> std::io::Result<()> {
+    /// `--metrics-out`, the trace-analysis report to `--analyze-out`, plus a
+    /// self-profiling summary line on stdout. `figure` names the producing
+    /// binary/protocol and is embedded in the analysis artifact as
+    /// provenance. A no-op when no observability flag was given.
+    pub fn export_observability(&self, figure: &str, result: &RunResult) -> std::io::Result<()> {
         if !self.tracing() {
             return Ok(());
         }
@@ -299,6 +318,18 @@ impl BenchArgs {
             println!(
                 "metrics: wrote {} us interval series to {path}",
                 interval.as_nanos() / 1_000
+            );
+        }
+        if let Some(path) = &self.analyze_out {
+            let analysis = metrics::analyze(&result.trace);
+            std::fs::write(path, analysis.to_json(figure))?;
+            let tax = analysis.gc_tax();
+            println!(
+                "analysis: wrote decomposition of {} requests to {path} \
+                 (gc tax {} ns over {} requests)",
+                analysis.requests.len(),
+                tax.host_wait_ns,
+                tax.affected_requests,
             );
         }
         println!(
@@ -318,8 +349,9 @@ impl BenchArgs {
 /// invocation's scale with tracing on and exports it. Binaries with a more
 /// representative protocol (the QD sweep, shard scaling, GC interference)
 /// trace that protocol instead of calling this. A no-op when no
-/// observability flag was given.
-pub fn export_default_observability(args: &BenchArgs) {
+/// observability flag was given. `figure` names the calling binary; it is
+/// recorded in the analysis artifact as provenance.
+pub fn export_default_observability(args: &BenchArgs, figure: &str) {
     if !args.tracing() {
         return;
     }
@@ -332,7 +364,7 @@ pub fn export_default_observability(args: &BenchArgs) {
         scale.experiment(),
     );
     println!("traced run (default protocol): LearnedFTL, FIO randread, closed loop");
-    args.export_observability(&traced)
+    args.export_observability(figure, &traced)
         .expect("writing observability output failed");
 }
 
@@ -467,6 +499,17 @@ mod tests {
         assert!(args(&["--metrics-out"]).is_err());
         assert!(args(&["--metrics-interval", "0"]).is_err());
         assert!(args(&["--metrics-interval", "x"]).is_err());
+
+        // --analyze-out enables tracing on its own; --bench-out does not
+        // (wall-clock benchmarks time untraced runs too).
+        let analyze = args(&["--analyze-out", "a.json"]).unwrap();
+        assert_eq!(analyze.analyze_out.as_deref(), Some("a.json"));
+        assert!(analyze.tracing());
+        let bench = args(&["--bench-out=BENCH_fig27.json"]).unwrap();
+        assert_eq!(bench.bench_out.as_deref(), Some("BENCH_fig27.json"));
+        assert!(!bench.tracing());
+        assert!(args(&["--analyze-out"]).is_err());
+        assert!(args(&["--bench-out"]).is_err());
     }
 
     #[test]

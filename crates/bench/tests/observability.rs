@@ -7,7 +7,7 @@ use bench::{BenchArgs, Scale};
 use ftl_base::GcMode;
 use harness::experiments::{fio_gc_interference_traced_run, fio_read_traced_run};
 use harness::FtlKind;
-use metrics::{chrome_trace_json, validate_chrome_trace};
+use metrics::{chrome_trace_json, validate_analysis_json, validate_chrome_trace};
 use ssd_sim::{Duration, SsdConfig};
 use workloads::FioPattern;
 
@@ -16,9 +16,11 @@ fn export_helper_writes_valid_artifacts() {
     let dir = std::env::temp_dir();
     let trace_path = dir.join(format!("bench_obs_{}.trace.json", std::process::id()));
     let metrics_path = dir.join(format!("bench_obs_{}.metrics.csv", std::process::id()));
+    let analysis_path = dir.join(format!("bench_obs_{}.analysis.json", std::process::id()));
     let args = BenchArgs {
         trace_out: Some(trace_path.to_string_lossy().into_owned()),
         metrics_out: Some(metrics_path.to_string_lossy().into_owned()),
+        analyze_out: Some(analysis_path.to_string_lossy().into_owned()),
         metrics_interval_us: Some(50),
         ..BenchArgs::default()
     };
@@ -33,7 +35,7 @@ fn export_helper_writes_valid_artifacts() {
     );
     assert!(result.profile.trace_events > 0);
     assert!(result.profile.requests_per_sec() > 0.0);
-    args.export_observability(&result)
+    args.export_observability("observability-test", &result)
         .expect("export must succeed");
 
     let json = std::fs::read_to_string(&trace_path).expect("trace file written");
@@ -53,8 +55,22 @@ fn export_helper_writes_valid_artifacts() {
     );
     assert!(lines.next().is_some(), "metrics CSV must have data rows");
 
+    // The analysis artifact must validate, carry the figure provenance, and
+    // its exported export must be byte-stable against an in-process re-run.
+    let analysis = std::fs::read_to_string(&analysis_path).expect("analysis file written");
+    let summary = validate_analysis_json(&analysis).expect("exported analysis must validate");
+    assert_eq!(summary.requests, result.requests);
+    assert!(summary.exemplars > 0, "tail exemplars missing");
+    assert!(analysis.contains("\"figure\":\"observability-test\""));
+    assert_eq!(
+        analysis,
+        metrics::analysis_json(&result.trace, "observability-test"),
+        "analysis export must be a pure function of the trace"
+    );
+
     let _ = std::fs::remove_file(&trace_path);
     let _ = std::fs::remove_file(&metrics_path);
+    let _ = std::fs::remove_file(&analysis_path);
 }
 
 #[test]
@@ -82,4 +98,24 @@ fn traced_gc_interference_surfaces_gc_activity() {
     assert!(summary.counters > 0, "no queue-depth counter samples");
     assert!(summary.plane_spans > 0);
     assert!(summary.host_spans > 0);
+
+    // The analysis engine must see the same GC activity as interference:
+    // GC plane work exists, some host request time is attributed to it, and
+    // the decomposition invariant holds under real GC contention.
+    let analysis = metrics::analyze(&result.trace);
+    let tax = analysis.gc_tax();
+    assert!(tax.gc_plane_busy_ns > 0, "no GC plane work in the analysis");
+    assert!(
+        tax.host_wait_ns > 0,
+        "write-heavy scheduled GC must charge some host time to GC"
+    );
+    assert!(tax.affected_requests > 0);
+    for r in &analysis.requests {
+        assert_eq!(
+            r.components_sum_ns(),
+            r.latency_ns(),
+            "req {}: decomposition must sum to measured latency",
+            r.req
+        );
+    }
 }

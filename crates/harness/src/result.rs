@@ -246,6 +246,36 @@ mod tests {
     }
 
     #[test]
+    fn self_profile_rates_guard_against_zero_wall() {
+        // An instantaneous (or clock-glitched) run must report zero rates,
+        // not NaN/inf — BENCH artifact consumers divide and compare these.
+        let instant = SelfProfile {
+            wall: std::time::Duration::ZERO,
+            requests: 1_000,
+            trace_events: 9_000,
+        };
+        assert_eq!(instant.requests_per_sec(), 0.0);
+        assert_eq!(instant.events_per_sec(), 0.0);
+
+        let timed = SelfProfile {
+            wall: std::time::Duration::from_millis(500),
+            ..instant
+        };
+        assert!((timed.requests_per_sec() - 2_000.0).abs() < 1e-9);
+        assert!((timed.events_per_sec() - 18_000.0).abs() < 1e-9);
+        assert!(timed.requests_per_sec().is_finite());
+
+        // Zero work over nonzero wall is a valid (zero) rate, not an error.
+        let idle = SelfProfile {
+            wall: std::time::Duration::from_millis(500),
+            requests: 0,
+            trace_events: 0,
+        };
+        assert_eq!(idle.requests_per_sec(), 0.0);
+        assert_eq!(idle.events_per_sec(), 0.0);
+    }
+
+    #[test]
     fn breakdown_comes_from_stats() {
         let mut r = result(0, 1);
         r.stats.host_read_pages = 10;

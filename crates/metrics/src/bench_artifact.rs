@@ -1,0 +1,177 @@
+//! Schema checker for the machine-readable `BENCH_*.json` wall-clock
+//! benchmark artifacts (`fig27_throughput` writes the first one).
+//!
+//! A BENCH artifact records how fast the *simulator* ran — requests/sec and
+//! trace events/sec of wall clock per (FTL, shards, backend) configuration —
+//! so later optimisation PRs have a trajectory to regress against. Unlike
+//! `analysis.json` the numbers are inherently nondeterministic (they measure
+//! the host), so CI validates the **shape** and the embedded self-consistency
+//! verdicts rather than bytes: [`validate_bench_artifact`] checks the schema
+//! tag, that every run carries finite non-negative rates and positive request
+//! counts, and that every recorded `checks` flag is `true`.
+
+use crate::json::{Json, JsonParser};
+
+/// Schema tag required at the top of a BENCH artifact.
+pub const BENCH_SCHEMA: &str = "learnedftl-bench-v1";
+
+/// What [`validate_bench_artifact`] observed.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct BenchArtifactSummary {
+    /// Entries in the `runs` array.
+    pub runs: usize,
+    /// Sum of the runs' request counts.
+    pub total_requests: u64,
+    /// Self-consistency flags verified `true` (runs' plus top-level).
+    pub checks_passed: usize,
+}
+
+fn numeric(v: Option<&Json>, what: &str) -> Result<f64, String> {
+    v.and_then(Json::as_number)
+        .filter(|n| n.is_finite() && *n >= 0.0)
+        .ok_or_else(|| format!("missing finite non-negative numeric {what}"))
+}
+
+fn string(v: Option<&Json>, what: &str) -> Result<(), String> {
+    if v.and_then(Json::as_str).is_some_and(|s| !s.is_empty()) {
+        Ok(())
+    } else {
+        Err(format!("missing non-empty string {what}"))
+    }
+}
+
+/// Counts the flags of a `checks` object, failing on the first one that is
+/// not `true` (a benchmark must not ship an artifact whose own
+/// self-consistency checks failed).
+fn all_checks_true(v: Option<&Json>, what: &str) -> Result<usize, String> {
+    let fields = v
+        .and_then(Json::as_object)
+        .ok_or_else(|| format!("missing {what} object"))?;
+    for (key, value) in fields {
+        if value.as_bool() != Some(true) {
+            return Err(format!("{what}.{key} is not true"));
+        }
+    }
+    Ok(fields.len())
+}
+
+/// Validates a `BENCH_*.json` document against the [`BENCH_SCHEMA`] shape.
+///
+/// # Errors
+///
+/// Returns a description of the first malformed construct or failed
+/// self-consistency flag.
+pub fn validate_bench_artifact(json: &str) -> Result<BenchArtifactSummary, String> {
+    let doc = JsonParser::new(json).parse_document()?;
+    if doc.get("schema").and_then(Json::as_str) != Some(BENCH_SCHEMA) {
+        return Err(format!("schema must be {BENCH_SCHEMA:?}"));
+    }
+    string(doc.get("bench"), "bench")?;
+    string(doc.get("scale"), "scale")?;
+    numeric(doc.get("host_cores"), "host_cores")?;
+    let runs = doc
+        .get("runs")
+        .and_then(Json::as_array)
+        .ok_or("missing runs array")?;
+    if runs.is_empty() {
+        return Err("runs array is empty".into());
+    }
+    let mut summary = BenchArtifactSummary {
+        runs: runs.len(),
+        ..BenchArtifactSummary::default()
+    };
+    for (i, run) in runs.iter().enumerate() {
+        let at = |f: &str| format!("runs[{i}].{f}");
+        string(run.get("ftl"), &at("ftl"))?;
+        string(run.get("backend"), &at("backend"))?;
+        let shards = numeric(run.get("shards"), &at("shards"))?;
+        if shards < 1.0 {
+            return Err(format!("{}: must be >= 1", at("shards")));
+        }
+        let requests = numeric(run.get("requests"), &at("requests"))?;
+        if requests < 1.0 {
+            return Err(format!(
+                "{}: benchmark run completed no requests",
+                at("requests")
+            ));
+        }
+        summary.total_requests += requests as u64;
+        numeric(run.get("sim_elapsed_ns"), &at("sim_elapsed_ns"))?;
+        numeric(run.get("wall_s"), &at("wall_s"))?;
+        numeric(run.get("requests_per_sec"), &at("requests_per_sec"))?;
+        numeric(run.get("traced_wall_s"), &at("traced_wall_s"))?;
+        let events = numeric(run.get("trace_events"), &at("trace_events"))?;
+        if events < requests {
+            // Every completed request records at least its own host span.
+            return Err(format!(
+                "runs[{i}]: trace_events ({events}) < requests ({requests})"
+            ));
+        }
+        numeric(run.get("events_per_sec"), &at("events_per_sec"))?;
+        summary.checks_passed += all_checks_true(run.get("checks"), &at("checks"))?;
+    }
+    summary.checks_passed += all_checks_true(doc.get("checks"), "checks")?;
+    Ok(summary)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn artifact(run_tail: &str, top_checks: &str) -> String {
+        format!(
+            "{{\"schema\":\"{BENCH_SCHEMA}\",\"bench\":\"fig27_throughput\",\
+             \"scale\":\"quick\",\"host_cores\":4,\"runs\":[{{\
+             \"ftl\":\"learnedftl\",\"backend\":\"simulated\",\"shards\":1,\
+             \"requests\":800,\"sim_elapsed_ns\":123456,\"wall_s\":0.25,\
+             \"requests_per_sec\":3200.0,\"traced_wall_s\":0.30,\
+             \"trace_events\":9000,\"events_per_sec\":30000.0,{run_tail}}}],\
+             \"checks\":{top_checks}}}"
+        )
+    }
+
+    #[test]
+    fn accepts_a_well_formed_artifact() {
+        let json = artifact(
+            "\"checks\":{\"traced_matches_untraced\":true,\"rates_finite\":true}",
+            "{\"all_backends_equivalent\":true}",
+        );
+        let summary = validate_bench_artifact(&json).expect("valid artifact");
+        assert_eq!(summary.runs, 1);
+        assert_eq!(summary.total_requests, 800);
+        assert_eq!(summary.checks_passed, 3);
+    }
+
+    #[test]
+    fn rejects_failed_self_consistency_checks() {
+        let json = artifact(
+            "\"checks\":{\"traced_matches_untraced\":false}",
+            "{\"all_backends_equivalent\":true}",
+        );
+        let err = validate_bench_artifact(&json).unwrap_err();
+        assert!(err.contains("traced_matches_untraced"), "{err}");
+    }
+
+    #[test]
+    fn rejects_wrong_schema_and_shape() {
+        assert!(validate_bench_artifact("{\"schema\":\"other\"}").is_err());
+        assert!(validate_bench_artifact("not json").is_err());
+        let no_runs = format!(
+            "{{\"schema\":\"{BENCH_SCHEMA}\",\"bench\":\"b\",\"scale\":\"quick\",\
+             \"host_cores\":1,\"runs\":[],\"checks\":{{}}}}"
+        );
+        assert!(validate_bench_artifact(&no_runs).is_err(), "empty runs");
+    }
+
+    #[test]
+    fn rejects_impossible_rates_and_counts() {
+        // trace_events below requests is impossible for a traced run.
+        let json =
+            artifact("\"checks\":{}", "{}").replace("\"trace_events\":9000", "\"trace_events\":10");
+        assert!(validate_bench_artifact(&json).is_err());
+        // Infinite rate must be rejected even if formatted as a huge number
+        // string; a missing field certainly is.
+        let json = artifact("\"checks\":{}", "{}").replace("\"requests_per_sec\":3200.0,", "");
+        assert!(validate_bench_artifact(&json).is_err());
+    }
+}

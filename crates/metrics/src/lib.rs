@@ -12,18 +12,29 @@
 //! * [`Table`] — plain-text table formatting for the figure-reproduction
 //!   binaries,
 //! * [`sim_trace`] — exporters (Chrome trace-event JSON, interval-sampled
-//!   CSV) and a schema checker for the simulator's structured trace stream.
+//!   CSV) and a schema checker for the simulator's structured trace stream,
+//! * [`analysis`] — the in-memory trace analysis engine: per-request latency
+//!   decomposition, GC-interference attribution, utilisation/idle-gap
+//!   accounting, tail exemplars, and the deterministic `analysis.json`
+//!   artifact,
+//! * [`bench_artifact`] — a schema checker for the machine-readable
+//!   `BENCH_*.json` wall-clock benchmark artifacts.
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+pub mod analysis;
+pub mod bench_artifact;
 mod energy;
 mod gc_timeline;
 mod histogram;
+mod json;
 pub mod sim_trace;
 mod table;
 mod throughput;
 
+pub use analysis::{analysis_json, analyze, validate_analysis_json, TraceAnalysis};
+pub use bench_artifact::{validate_bench_artifact, BenchArtifactSummary};
 pub use energy::EnergyModel;
 pub use gc_timeline::GcTimeline;
 pub use histogram::LatencyHistogram;

@@ -22,6 +22,7 @@
 //! the exporter's output, so CI can assert a traced run emitted well-formed
 //! Chrome JSON without adding a serde dependency.
 
+use crate::json::{Json, JsonParser};
 use ssd_sim::{Duration, FlashOp, SimTime, TraceData, TraceEvent};
 use std::collections::{BTreeMap, BTreeSet};
 use std::fmt::Write as _;
@@ -64,7 +65,7 @@ fn dur_us(start: SimTime, end: SimTime) -> String {
 /// a pure function of the *relative* event stream — byte-identical across
 /// runs and backends whenever the measured phase is deterministic — and
 /// aligns the shards' measured-phase starts for side-by-side viewing.
-fn shard_epochs(events: &[TraceEvent]) -> BTreeMap<u32, u64> {
+pub(crate) fn shard_epochs(events: &[TraceEvent]) -> BTreeMap<u32, u64> {
     let mut epochs: BTreeMap<u32, u64> = BTreeMap::new();
     for e in events {
         let ns = e.start.as_nanos();
@@ -471,7 +472,11 @@ pub struct ChromeTraceSummary {
 /// Checks: the document is a JSON object with a `traceEvents` array; every
 /// event is an object with a string `ph` ∈ {M, X, i, C, s, f} and a numeric
 /// `pid`; non-metadata events carry a numeric `ts`; `X` events carry a
-/// non-negative numeric `dur`; flow events carry an `id`.
+/// non-negative numeric `dur`; counter (`C`) events carry an `args` object
+/// whose values are all numeric (at least one); flow events carry an `id`,
+/// flow *finishes* (`f`) also carry `"bp":"e"` and bind to an earlier flow
+/// start (`s`) with the same (pid, id) — and every start must be finished by
+/// the end of the document.
 ///
 /// # Errors
 ///
@@ -486,6 +491,8 @@ pub fn validate_chrome_trace(json: &str) -> Result<ChromeTraceSummary, String> {
         return Err("missing traceEvents array".into());
     };
     let mut summary = ChromeTraceSummary::default();
+    // Flow binding: (pid, id) pairs with an open `s` not yet matched by `f`.
+    let mut open_flows: BTreeSet<(u64, u64)> = BTreeSet::new();
     for (i, e) in events.iter().enumerate() {
         let Json::Object(fields) = e else {
             return Err(format!("event {i}: not an object"));
@@ -497,9 +504,10 @@ pub fn validate_chrome_trace(json: &str) -> Result<ChromeTraceSummary, String> {
         if !matches!(ph.as_str(), "M" | "X" | "i" | "C" | "s" | "f") {
             return Err(format!("event {i}: unknown phase {ph:?}"));
         }
-        if !matches!(get("pid"), Some(Json::Number(_))) {
+        let Some(Json::Number(pid)) = get("pid") else {
             return Err(format!("event {i}: missing numeric pid"));
-        }
+        };
+        let pid = *pid as u64;
         if !matches!(get("name"), Some(Json::String(_))) {
             return Err(format!("event {i}: missing name"));
         }
@@ -512,8 +520,44 @@ pub fn validate_chrome_trace(json: &str) -> Result<ChromeTraceSummary, String> {
                 _ => return Err(format!("event {i}: X span needs non-negative dur")),
             }
         }
-        if (ph == "s" || ph == "f") && !matches!(get("id"), Some(Json::Number(_))) {
-            return Err(format!("event {i}: flow event needs an id"));
+        if ph == "C" {
+            let Some(Json::Object(args)) = get("args") else {
+                return Err(format!("event {i}: counter needs an args object"));
+            };
+            if args.is_empty() {
+                return Err(format!("event {i}: counter args must carry a series"));
+            }
+            for (key, v) in args {
+                if !matches!(v, Json::Number(_)) {
+                    return Err(format!("event {i}: counter series {key:?} is not numeric"));
+                }
+            }
+        }
+        if ph == "s" || ph == "f" {
+            let Some(Json::Number(id)) = get("id") else {
+                return Err(format!("event {i}: flow event needs an id"));
+            };
+            let id = *id as u64;
+            if ph == "s" {
+                if !open_flows.insert((pid, id)) {
+                    return Err(format!(
+                        "event {i}: flow (pid {pid}, id {id}) started twice"
+                    ));
+                }
+            } else {
+                if get("bp").and_then(|v| match v {
+                    Json::String(s) => Some(s.as_str()),
+                    _ => None,
+                }) != Some("e")
+                {
+                    return Err(format!("event {i}: flow finish needs \"bp\":\"e\""));
+                }
+                if !open_flows.remove(&(pid, id)) {
+                    return Err(format!(
+                        "event {i}: flow finish (pid {pid}, id {id}) has no earlier start"
+                    ));
+                }
+            }
         }
         summary.events += 1;
         let cat = match get("cat") {
@@ -532,197 +576,12 @@ pub fn validate_chrome_trace(json: &str) -> Result<ChromeTraceSummary, String> {
             summary.gc_events += 1;
         }
     }
+    if let Some((pid, id)) = open_flows.first() {
+        return Err(format!(
+            "flow (pid {pid}, id {id}) started but never finished"
+        ));
+    }
     Ok(summary)
-}
-
-/// A parsed JSON value (just enough structure for the schema checks).
-enum Json {
-    Null,
-    Bool,
-    Number(f64),
-    String(String),
-    Array(Vec<Json>),
-    Object(Vec<(String, Json)>),
-}
-
-/// A minimal recursive-descent JSON parser — no dependencies, strict enough
-/// to reject the malformed output a broken exporter would produce.
-struct JsonParser<'a> {
-    bytes: &'a [u8],
-    pos: usize,
-}
-
-impl<'a> JsonParser<'a> {
-    fn new(text: &'a str) -> Self {
-        JsonParser {
-            bytes: text.as_bytes(),
-            pos: 0,
-        }
-    }
-
-    fn parse_document(mut self) -> Result<Json, String> {
-        let v = self.parse_value()?;
-        self.skip_ws();
-        if self.pos != self.bytes.len() {
-            return Err(format!("trailing data at byte {}", self.pos));
-        }
-        Ok(v)
-    }
-
-    fn skip_ws(&mut self) {
-        while let Some(&b) = self.bytes.get(self.pos) {
-            if b == b' ' || b == b'\t' || b == b'\n' || b == b'\r' {
-                self.pos += 1;
-            } else {
-                break;
-            }
-        }
-    }
-
-    fn peek(&mut self) -> Result<u8, String> {
-        self.skip_ws();
-        self.bytes
-            .get(self.pos)
-            .copied()
-            .ok_or_else(|| "unexpected end of input".to_string())
-    }
-
-    fn expect(&mut self, b: u8) -> Result<(), String> {
-        if self.peek()? == b {
-            self.pos += 1;
-            Ok(())
-        } else {
-            Err(format!("expected {:?} at byte {}", b as char, self.pos))
-        }
-    }
-
-    fn parse_value(&mut self) -> Result<Json, String> {
-        match self.peek()? {
-            b'{' => self.parse_object(),
-            b'[' => self.parse_array(),
-            b'"' => Ok(Json::String(self.parse_string()?)),
-            b't' => self.parse_keyword("true", Json::Bool),
-            b'f' => self.parse_keyword("false", Json::Bool),
-            b'n' => self.parse_keyword("null", Json::Null),
-            _ => self.parse_number(),
-        }
-    }
-
-    fn parse_keyword(&mut self, kw: &str, value: Json) -> Result<Json, String> {
-        if self.bytes[self.pos..].starts_with(kw.as_bytes()) {
-            self.pos += kw.len();
-            Ok(value)
-        } else {
-            Err(format!("invalid literal at byte {}", self.pos))
-        }
-    }
-
-    fn parse_object(&mut self) -> Result<Json, String> {
-        self.expect(b'{')?;
-        let mut fields = Vec::new();
-        if self.peek()? == b'}' {
-            self.pos += 1;
-            return Ok(Json::Object(fields));
-        }
-        loop {
-            let key = self.parse_string()?;
-            self.expect(b':')?;
-            fields.push((key, self.parse_value()?));
-            match self.peek()? {
-                b',' => self.pos += 1,
-                b'}' => {
-                    self.pos += 1;
-                    return Ok(Json::Object(fields));
-                }
-                _ => return Err(format!("expected ',' or '}}' at byte {}", self.pos)),
-            }
-        }
-    }
-
-    fn parse_array(&mut self) -> Result<Json, String> {
-        self.expect(b'[')?;
-        let mut items = Vec::new();
-        if self.peek()? == b']' {
-            self.pos += 1;
-            return Ok(Json::Array(items));
-        }
-        loop {
-            items.push(self.parse_value()?);
-            match self.peek()? {
-                b',' => self.pos += 1,
-                b']' => {
-                    self.pos += 1;
-                    return Ok(Json::Array(items));
-                }
-                _ => return Err(format!("expected ',' or ']' at byte {}", self.pos)),
-            }
-        }
-    }
-
-    fn parse_string(&mut self) -> Result<String, String> {
-        self.expect(b'"')?;
-        let mut s = String::new();
-        loop {
-            let b = *self
-                .bytes
-                .get(self.pos)
-                .ok_or("unterminated string".to_string())?;
-            self.pos += 1;
-            match b {
-                b'"' => return Ok(s),
-                b'\\' => {
-                    let esc = *self
-                        .bytes
-                        .get(self.pos)
-                        .ok_or("unterminated escape".to_string())?;
-                    self.pos += 1;
-                    match esc {
-                        b'"' => s.push('"'),
-                        b'\\' => s.push('\\'),
-                        b'/' => s.push('/'),
-                        b'b' => s.push('\u{8}'),
-                        b'f' => s.push('\u{c}'),
-                        b'n' => s.push('\n'),
-                        b'r' => s.push('\r'),
-                        b't' => s.push('\t'),
-                        b'u' => {
-                            let hex = self
-                                .bytes
-                                .get(self.pos..self.pos + 4)
-                                .ok_or("truncated \\u escape".to_string())?;
-                            let hex = std::str::from_utf8(hex)
-                                .map_err(|_| "invalid \\u escape".to_string())?;
-                            let code = u32::from_str_radix(hex, 16)
-                                .map_err(|_| "invalid \\u escape".to_string())?;
-                            self.pos += 4;
-                            s.push(char::from_u32(code).unwrap_or('\u{fffd}'));
-                        }
-                        _ => return Err(format!("bad escape at byte {}", self.pos)),
-                    }
-                }
-                _ => s.push(b as char),
-            }
-        }
-    }
-
-    fn parse_number(&mut self) -> Result<Json, String> {
-        let start = self.pos;
-        if self.bytes.get(self.pos) == Some(&b'-') {
-            self.pos += 1;
-        }
-        while self
-            .bytes
-            .get(self.pos)
-            .is_some_and(|b| b.is_ascii_digit() || matches!(b, b'.' | b'e' | b'E' | b'+' | b'-'))
-        {
-            self.pos += 1;
-        }
-        let text = std::str::from_utf8(&self.bytes[start..self.pos])
-            .map_err(|_| "invalid number".to_string())?;
-        text.parse::<f64>()
-            .map(Json::Number)
-            .map_err(|_| format!("invalid number {text:?} at byte {start}"))
-    }
 }
 
 #[cfg(test)]
@@ -841,6 +700,55 @@ mod tests {
         assert!(
             validate_chrome_trace("{} trailing").is_err(),
             "trailing data"
+        );
+    }
+
+    #[test]
+    fn validator_shape_checks_counters_and_flow_binds() {
+        let doc = |events: &str| format!("{{\"traceEvents\":[{events}]}}");
+        let counter = |args: &str| {
+            doc(&format!(
+                "{{\"ph\":\"C\",\"pid\":1,\"name\":\"q\",\"ts\":0{args}}}"
+            ))
+        };
+        assert!(
+            validate_chrome_trace(&counter("")).is_err(),
+            "counter without args"
+        );
+        assert!(
+            validate_chrome_trace(&counter(",\"args\":{}")).is_err(),
+            "counter with empty args"
+        );
+        assert!(
+            validate_chrome_trace(&counter(",\"args\":{\"host\":\"2\"}")).is_err(),
+            "counter with non-numeric series"
+        );
+        assert!(validate_chrome_trace(&counter(",\"args\":{\"host\":2,\"gc\":0}")).is_ok());
+
+        let s = "{\"ph\":\"s\",\"pid\":1,\"name\":\"req\",\"ts\":0,\"id\":7}";
+        let f = "{\"ph\":\"f\",\"bp\":\"e\",\"pid\":1,\"name\":\"req\",\"ts\":1,\"id\":7}";
+        let f_unbound = "{\"ph\":\"f\",\"pid\":1,\"name\":\"req\",\"ts\":1,\"id\":7}";
+        let f_other_id = "{\"ph\":\"f\",\"bp\":\"e\",\"pid\":1,\"name\":\"req\",\"ts\":1,\"id\":8}";
+        assert!(validate_chrome_trace(&doc(&format!("{s},{f}"))).is_ok());
+        assert!(
+            validate_chrome_trace(&doc(&format!("{f},{s}"))).is_err(),
+            "finish before start"
+        );
+        assert!(
+            validate_chrome_trace(&doc(&format!("{s},{f_unbound}"))).is_err(),
+            "finish without bp:e"
+        );
+        assert!(
+            validate_chrome_trace(&doc(&format!("{s},{f_other_id}"))).is_err(),
+            "finish never binds the started id"
+        );
+        assert!(
+            validate_chrome_trace(&doc(s)).is_err(),
+            "start never finished"
+        );
+        assert!(
+            validate_chrome_trace(&doc(&format!("{s},{s}"))).is_err(),
+            "duplicate start"
         );
     }
 

@@ -4,10 +4,11 @@
 //! shard counts {1, 4}:
 //!
 //! * **run-to-run determinism** — the same seed produces byte-identical
-//!   Chrome trace JSON (and metrics CSV) across two traced runs,
+//!   Chrome trace JSON (and metrics CSV, and trace-analysis report) across
+//!   two traced runs,
 //! * **backend independence** — the thread-parallel backend
-//!   (`Runner::run_threaded_qd`) produces the byte-identical trace to the
-//!   simulated backend: per-shard streams are recorded worker-locally and
+//!   (`Runner::run_threaded_qd`) produces the byte-identical trace (and
+//!   analysis report) to the simulated backend: per-shard streams are recorded worker-locally and
 //!   merged in shard order, so the interleaving of worker threads must never
 //!   leak into the artifact,
 //! * **zero observer effect** — enabling tracing changes nothing the run
@@ -74,6 +75,11 @@ fn same_seed_produces_byte_identical_artifacts() {
                 metrics_csv(&b.result.trace, interval),
                 "{kind} shards={shards}: metrics CSV differs between identical runs"
             );
+            assert_eq!(
+                metrics::analysis_json(&a.result.trace, "determinism"),
+                metrics::analysis_json(&b.result.trace, "determinism"),
+                "{kind} shards={shards}: analysis JSON differs between identical runs"
+            );
             let summary = validate_chrome_trace(&json_a)
                 .unwrap_or_else(|e| panic!("{kind} shards={shards}: invalid trace JSON: {e}"));
             assert!(summary.plane_spans > 0, "{kind}: no plane activity traced");
@@ -102,6 +108,11 @@ fn threaded_backend_produces_the_identical_trace() {
                 chrome_trace_json(&simulated.result.trace),
                 chrome_trace_json(&threaded.result.trace),
                 "{kind} shards={shards}: threaded backend changed the trace"
+            );
+            assert_eq!(
+                metrics::analysis_json(&simulated.result.trace, "determinism"),
+                metrics::analysis_json(&threaded.result.trace, "determinism"),
+                "{kind} shards={shards}: threaded backend changed the analysis"
             );
         }
     }
