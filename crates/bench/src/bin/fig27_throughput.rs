@@ -360,6 +360,22 @@ fn main() {
             std::process::exit(1);
         }
     }
+    if let Some(floors_path) = &args.bench_floors {
+        let floors = std::fs::read_to_string(floors_path).unwrap_or_else(|err| {
+            eprintln!("FAIL: cannot read floors file {floors_path}: {err}");
+            std::process::exit(1);
+        });
+        match metrics::check_bench_floors(&json, &floors) {
+            Ok(summary) => println!(
+                "bench: all {} floors hold (tightest margin {:.2}x) against {floors_path}",
+                summary.floors, summary.tightest_margin
+            ),
+            Err(err) => {
+                eprintln!("FAIL: BENCH floor check against {floors_path}: {err}");
+                std::process::exit(1);
+            }
+        }
+    }
     if !(all_checked && backends_equivalent) {
         eprintln!("FAIL: self-consistency checks failed");
         std::process::exit(1);

@@ -174,6 +174,11 @@ pub struct BenchArgs {
     /// `fig27_throughput` consumes it today, other binaries accept and
     /// ignore it.
     pub bench_out: Option<String>,
+    /// Check the written BENCH artifact against a checked-in floors document
+    /// (`--bench-floors PATH`; see [`metrics::check_bench_floors`]): the
+    /// binary exits non-zero if any configuration's requests/sec fell below
+    /// its floor. Only `fig27_throughput` consumes it today.
+    pub bench_floors: Option<String>,
 }
 
 impl Default for BenchArgs {
@@ -187,6 +192,7 @@ impl Default for BenchArgs {
             metrics_interval_us: None,
             analyze_out: None,
             bench_out: None,
+            bench_floors: None,
         }
     }
 }
@@ -202,7 +208,7 @@ impl BenchArgs {
                 eprintln!(
                     "usage: <figure> [--shards N] [--planes N] [--quick] \
                      [--trace-out PATH] [--metrics-out PATH] [--metrics-interval US] \
-                     [--analyze-out PATH] [--bench-out PATH]"
+                     [--analyze-out PATH] [--bench-out PATH] [--bench-floors PATH]"
                 );
                 std::process::exit(2);
             }
@@ -276,6 +282,8 @@ impl BenchArgs {
                 parsed.analyze_out = Some(path);
             } else if let Some(path) = flag_string("--bench-out", &arg, &mut iter)? {
                 parsed.bench_out = Some(path);
+            } else if let Some(path) = flag_string("--bench-floors", &arg, &mut iter)? {
+                parsed.bench_floors = Some(path);
             } else {
                 return Err(format!("unknown argument `{arg}`"));
             }
@@ -508,8 +516,15 @@ mod tests {
         let bench = args(&["--bench-out=BENCH_fig27.json"]).unwrap();
         assert_eq!(bench.bench_out.as_deref(), Some("BENCH_fig27.json"));
         assert!(!bench.tracing());
+        let floors = args(&["--bench-floors", "BENCH_floors_fig27.json"]).unwrap();
+        assert_eq!(
+            floors.bench_floors.as_deref(),
+            Some("BENCH_floors_fig27.json")
+        );
+        assert!(!floors.tracing());
         assert!(args(&["--analyze-out"]).is_err());
         assert!(args(&["--bench-out"]).is_err());
+        assert!(args(&["--bench-floors"]).is_err());
     }
 
     #[test]

@@ -32,9 +32,10 @@
 //!   uses),
 //! * the *thread-parallel* backend ([`ShardedFtl::run_threaded`] /
 //!   [`ThreadedDispatcher`]) — each shard's FTL and engine owned by a
-//!   dedicated worker thread, fed over bounded channels, with bit-for-bit
-//!   identical simulated-time results (the workspace `threaded_equivalence`
-//!   suite enforces this).
+//!   dedicated worker thread, fed batched SQ/CQ-ring submission windows
+//!   over bounded channels ([`RingConfig`] sets the depths), with
+//!   bit-for-bit identical simulated-time results (the workspace
+//!   `threaded_equivalence` suite enforces this).
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
@@ -44,5 +45,5 @@ mod par;
 mod sharded;
 
 pub use map::{ShardMap, ShardSegment};
-pub use par::{ReqId, ThreadedDispatcher};
+pub use par::{ReqId, RingConfig, ThreadedDispatcher};
 pub use sharded::ShardedFtl;

@@ -1,4 +1,4 @@
-//! The thread-parallel execution backend.
+//! The thread-parallel execution backend, on batched SQ/CQ rings.
 //!
 //! [`ShardedFtl::run_threaded`] replaces the simulated backend's serial loop
 //! with real host concurrency while keeping the *simulated-time* semantics
@@ -6,13 +6,42 @@
 //!
 //! * every shard's FTL and its [`SerialEngine`] move (as exclusive borrows)
 //!   onto one of `workers` dedicated worker threads,
-//! * a dispatcher on the calling thread feeds each worker over a bounded
-//!   channel, preserving the [`crate::ShardMap`] striping and each shard's
-//!   FIFO order exactly as the simulated backend's dispatch loop would,
-//! * each worker replays its shards' request streams through the identical
-//!   per-engine arithmetic (`issue = max(host_issue, free_at)`), so every
-//!   per-request completion time, statistic and device counter comes out
-//!   equal to the simulated backend's — only host wall-clock changes.
+//! * a dispatcher on the calling thread *stages* each shard's work items
+//!   into a per-shard submission ring and ships them as one
+//!   `Vec<WorkItem>` batch per channel send — one cross-core round-trip
+//!   amortised over the whole eligible window instead of one per request —
+//!   preserving the [`crate::ShardMap`] striping and each shard's FIFO
+//!   order exactly as the simulated backend's dispatch loop would,
+//! * each worker executes a batch through the shard engine's ring entry
+//!   point ([`ssd_sched::ShardEngine::dispatch_batch`], serially identical
+//!   to N single dispatches) and answers with one completion batch, so
+//!   every per-request completion time, statistic and device counter comes
+//!   out equal to the simulated backend's — only host wall-clock changes.
+//!
+//! # Ring flow and the batching knobs
+//!
+//! [`RingConfig`] sets the two depths: `sq_depth` bounds a shard's staging
+//! ring (a full ring auto-flushes), `channel_depth` bounds each worker's
+//! batch channel (backpressure against a runaway open-loop dispatch).
+//! [`ThreadedDispatcher::dispatch`] only stages; staged work is flushed to
+//! the workers when a shard's ring fills and, unconditionally, at the top
+//! of every [`ThreadedDispatcher::wait_resolved`] call — the host loop's
+//! single blocking point, so everything a blocked caller could be waiting
+//! on is always in flight. `sq_depth = 1` degenerates to the historical
+//! piece-at-a-time behaviour.
+//!
+//! # Determinism (the reorder buffer)
+//!
+//! Worker replies arrive in wall-clock order, which varies run to run. The
+//! dispatcher therefore never consumes a reply directly: completed pieces
+//! park in a reorder buffer keyed by their global dispatch sequence number
+//! and are *applied* to the host-visible bookkeeping strictly in dispatch
+//! order, and `wait_resolved` applies only as many pieces as it takes to
+//! resolve the next request. Every host-visible value — resolution order,
+//! [`ThreadedDispatcher::lower_bound`], and hence the host loop's decisions
+//! and the batch boundaries themselves — is then a pure function of the
+//! dispatch history, so traced batch-size counters are byte-identical run
+//! to run.
 //!
 //! Shards share no state, so the only cross-thread coupling is the request /
 //! completion traffic itself. The caller's host model (the harness's
@@ -21,7 +50,9 @@
 //! ([`ThreadedDispatcher::lower_bound`]) so the host loop can prove a
 //! decision's outcome before all in-flight completions are known — classic
 //! conservative parallel discrete-event simulation, with the per-shard FIFO
-//! chain providing the lookahead.
+//! chain providing the lookahead. The bound stays valid for staged
+//! (not-yet-flushed) pieces: a shard executes its pieces in dispatch order,
+//! so no piece can complete before the shard's latest applied completion.
 //!
 //! Scheduled garbage collection needs no extra machinery here: a shard's
 //! `GcEngine` lives inside its FTL and is pumped by the FTL's own submit
@@ -31,7 +62,7 @@
 //!
 //! # Panic safety
 //!
-//! A worker that panics mid-request (a poisoned FTL, an allocation bug)
+//! A worker that panics mid-batch (a poisoned FTL, an allocation bug)
 //! forwards the panic payload to the dispatcher instead of deadlocking it:
 //! the dispatcher re-raises the panic on the calling thread the next time it
 //! needs a completion, the remaining workers exit as their channels close,
@@ -42,8 +73,8 @@ use std::panic::{catch_unwind, resume_unwind, AssertUnwindSafe};
 use std::sync::mpsc::{Receiver, Sender, SyncSender};
 
 use ftl_base::{Ftl, HostOp, HostRequest, Lpn};
-use ssd_sched::{SerialEngine, ShardEngine};
-use ssd_sim::SimTime;
+use ssd_sched::{CompletionBatch, SerialEngine, ShardEngine, SubmissionBatch};
+use ssd_sim::{SimTime, TraceData, TraceSink};
 
 use crate::map::ShardMap;
 use crate::sharded::ShardedFtl;
@@ -52,19 +83,42 @@ use crate::sharded::ShardedFtl;
 /// (dense, in dispatch order).
 pub type ReqId = usize;
 
-/// Bound on each worker's request channel. Deep enough that workers keep a
-/// backlog while the dispatcher runs ahead, small enough to backpressure a
-/// runaway open-loop dispatch instead of buffering the whole workload.
-const WORK_CHANNEL_DEPTH: usize = 1024;
+/// The ring depths of a threaded run — the backend's two batching knobs.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct RingConfig {
+    /// Submission-ring depth per shard: staged work items auto-flush to the
+    /// shard's worker when the ring fills. `1` degenerates to the
+    /// historical piece-at-a-time dispatch.
+    pub sq_depth: usize,
+    /// Bound on each worker's batch channel, in batches. Deep enough that
+    /// workers keep a backlog while the dispatcher runs ahead, small enough
+    /// to backpressure a runaway open-loop dispatch instead of buffering
+    /// the whole workload.
+    pub channel_depth: usize,
+}
 
-/// One shard-local piece of a host request, in flight to a worker.
+impl RingConfig {
+    /// The default ring: submission windows up to 64 pieces per shard, up
+    /// to 64 batches queued per worker.
+    pub const DEFAULT: RingConfig = RingConfig {
+        sq_depth: 64,
+        channel_depth: 64,
+    };
+}
+
+impl Default for RingConfig {
+    fn default() -> Self {
+        RingConfig::DEFAULT
+    }
+}
+
+/// One shard-local piece of a host request, staged for (or in flight to) a
+/// worker.
 struct WorkItem {
     /// Global dispatch sequence number (index into the dispatch log).
     seq: usize,
     /// The owning request.
     req: ReqId,
-    /// The shard this piece routes to.
-    shard: usize,
     local_lpn: Lpn,
     pages: u32,
     op: HostOp,
@@ -73,29 +127,48 @@ struct WorkItem {
     issue: SimTime,
 }
 
-/// A worker's report back to the dispatcher.
+/// One flushed submission window: every staged piece of one shard, shipped
+/// as a single channel send.
+struct WorkBatch {
+    shard: usize,
+    items: Vec<WorkItem>,
+}
+
+/// One completed piece inside a [`Reply::Done`] completion batch.
+/// `gc_events` / `gc_complete_events` count the GC history entries the
+/// shard appended while executing it (the dispatcher uses the counts to
+/// rebuild the aggregate event history in dispatch order).
+struct ItemDone {
+    seq: usize,
+    req: ReqId,
+    completion: SimTime,
+    gc_events: usize,
+    gc_complete_events: usize,
+}
+
+/// A worker's report back to the dispatcher: one completion batch per
+/// executed submission batch.
 enum Reply {
-    /// One piece finished; `gc_events` / `gc_complete_events` count the GC
-    /// history entries the shard appended while executing it (the dispatcher
-    /// uses the counts to rebuild the aggregate event history in dispatch
-    /// order).
-    Done {
-        seq: usize,
-        req: ReqId,
-        shard: usize,
-        completion: SimTime,
-        gc_events: usize,
-        gc_complete_events: usize,
-    },
-    /// The worker panicked executing a piece; the payload is re-raised on
+    /// The whole batch finished, entry `i` answering submission entry `i`.
+    Done(Vec<ItemDone>),
+    /// The worker panicked executing a batch; the payload is re-raised on
     /// the dispatcher's thread.
     Panicked(Box<dyn std::any::Any + Send + 'static>),
 }
 
 /// Dispatch-log entry: which shard ran the `seq`-th piece and how many GC
-/// history events it appended (filled in when the piece resolves).
+/// history events it appended (filled in when the piece is applied).
 struct SegRecord {
     shard: usize,
+    gc_events: usize,
+    gc_complete_events: usize,
+}
+
+/// A completed piece parked in the reorder buffer, waiting for every
+/// earlier piece to be applied first.
+struct ParkedPiece {
+    req: ReqId,
+    completion: SimTime,
     gc_events: usize,
     gc_complete_events: usize,
 }
@@ -104,14 +177,15 @@ struct SegRecord {
 struct ReqState {
     /// `(shard, host_issue)` of every still-unresolved piece.
     pending: Vec<(usize, SimTime)>,
-    /// Max completion over the resolved pieces (the request's completion
+    /// Max completion over the applied pieces (the request's completion
     /// once `pending` empties).
     completion: SimTime,
 }
 
-/// The dispatcher half of a threaded run: routes host requests to the worker
-/// threads and resolves their completion times back, preserving per-shard
-/// FIFO order.
+/// The dispatcher half of a threaded run: stages host requests into
+/// per-shard submission rings, ships them to the worker threads in batches,
+/// and resolves their completion times back in deterministic dispatch
+/// order, preserving per-shard FIFO order.
 ///
 /// Handed by [`ShardedFtl::run_threaded`] to its body closure. The body
 /// dispatches requests ([`ThreadedDispatcher::dispatch`]), blocks for
@@ -120,19 +194,28 @@ struct ReqState {
 /// completion cannot precede some already-known time.
 pub struct ThreadedDispatcher {
     map: ShardMap,
-    work_txs: Vec<SyncSender<WorkItem>>,
+    ring: RingConfig,
+    work_txs: Vec<SyncSender<WorkBatch>>,
     /// shard index → worker index (round-robin).
     shard_worker: Vec<usize>,
     replies: Receiver<Reply>,
     reqs: Vec<ReqState>,
     /// Requests dispatched but not yet fully resolved.
     outstanding: usize,
-    /// Per shard: completion time of its latest *resolved* piece. Workers
+    /// Per shard: the staged submission window not yet shipped.
+    staging: Vec<Vec<WorkItem>>,
+    /// Per shard: completion time of its latest *applied* piece. Workers
     /// resolve each shard's pieces in FIFO order and engine completions are
     /// non-decreasing along that order, so this is a valid lower bound for
-    /// every still-unresolved piece on the shard.
+    /// every later piece on the shard, staged or in flight.
     shard_resolved_free_at: Vec<SimTime>,
     log: Vec<SegRecord>,
+    /// Reorder buffer, indexed by `seq`: completed pieces that arrived from
+    /// the workers but have not been applied yet.
+    parked: Vec<Option<ParkedPiece>>,
+    /// Length of the applied prefix: every piece with `seq < applied` has
+    /// been folded into the host-visible bookkeeping.
+    applied: usize,
     /// Fully resolved requests not yet returned by `wait_resolved`.
     ready: VecDeque<(ReqId, SimTime)>,
 }
@@ -143,6 +226,11 @@ impl ThreadedDispatcher {
         &self.map
     }
 
+    /// The ring depths this run was configured with.
+    pub fn ring(&self) -> RingConfig {
+        self.ring
+    }
+
     /// Number of requests dispatched and not yet fully resolved.
     pub fn outstanding(&self) -> usize {
         self.outstanding
@@ -150,8 +238,10 @@ impl ThreadedDispatcher {
 
     /// Dispatches one host request at host-level issue time `issue`,
     /// splitting it into per-shard pieces exactly like the simulated
-    /// backend's dispatch loop. Returns the request's id; its completion
-    /// arrives later via [`ThreadedDispatcher::wait_resolved`].
+    /// backend's dispatch loop and staging each piece on its shard's
+    /// submission ring (a full ring flushes to the worker immediately).
+    /// Returns the request's id; its completion arrives later via
+    /// [`ThreadedDispatcher::wait_resolved`].
     pub fn dispatch(&mut self, request: HostRequest, issue: SimTime) -> ReqId {
         let req = self.reqs.len();
         let mut pending = Vec::with_capacity(1);
@@ -160,11 +250,11 @@ impl ThreadedDispatcher {
         if request.pages == 1 || self.map.shards() == 1 {
             let shard = self.map.shard_of(request.lpn);
             let local = self.map.local_lpn(request.lpn);
-            self.send_piece(req, shard, local, request.pages, request.op, issue);
+            self.stage_piece(req, shard, local, request.pages, request.op, issue);
             pending.push((shard, issue));
         } else {
             for seg in self.map.split(request.lpn, request.pages) {
-                self.send_piece(req, seg.shard, seg.local_lpn, seg.pages, request.op, issue);
+                self.stage_piece(req, seg.shard, seg.local_lpn, seg.pages, request.op, issue);
                 pending.push((seg.shard, issue));
             }
         }
@@ -181,8 +271,8 @@ impl ThreadedDispatcher {
 
     /// A conservative lower bound on `req`'s completion time: the bound
     /// never exceeds the completion eventually reported, and it tightens as
-    /// other pieces on the same shards resolve. For a resolved request it
-    /// equals the exact completion.
+    /// earlier pieces on the same shards are applied. For a resolved
+    /// request it equals the exact completion.
     pub fn lower_bound(&self, req: ReqId) -> SimTime {
         let state = &self.reqs[req];
         let mut bound = state.completion;
@@ -193,15 +283,20 @@ impl ThreadedDispatcher {
     }
 
     /// Blocks until some request is fully resolved and returns
-    /// `(request, completion)`. Requests resolve in the order their last
-    /// piece completes on the workers; the *values* returned are
-    /// deterministic regardless of that order.
+    /// `(request, completion)`.
+    ///
+    /// Flushes every shard's staged submission window first (so everything
+    /// the caller could be waiting on is in flight), then applies parked
+    /// completions in dispatch order — only as many as it takes to resolve
+    /// the next request, so the host-visible state after each call is a
+    /// pure function of the dispatch history, not of reply timing.
     ///
     /// # Panics
     ///
     /// Re-raises a worker's panic, and panics if called with no requests in
     /// flight or if the workers died without reporting.
     pub fn wait_resolved(&mut self) -> (ReqId, SimTime) {
+        self.flush_all();
         loop {
             if let Some(done) = self.ready.pop_front() {
                 return done;
@@ -210,6 +305,9 @@ impl ThreadedDispatcher {
                 self.outstanding > 0,
                 "wait_resolved called with no requests in flight"
             );
+            if self.apply_next() {
+                continue;
+            }
             match self.replies.recv() {
                 Ok(reply) => self.absorb(reply),
                 Err(_) => panic!("worker threads exited with requests still in flight"),
@@ -218,7 +316,10 @@ impl ThreadedDispatcher {
     }
 
     /// Non-blocking [`ThreadedDispatcher::wait_resolved`]: returns the next
-    /// fully resolved request if one is available right now.
+    /// fully resolved request if its completion batch has already arrived.
+    /// Does **not** flush staged work — staging flushes only on ring
+    /// pressure or on a blocking wait, so opportunistic draining cannot
+    /// shrink the submission windows.
     ///
     /// # Panics
     ///
@@ -228,6 +329,9 @@ impl ThreadedDispatcher {
             if let Some(done) = self.ready.pop_front() {
                 return Some(done);
             }
+            if self.apply_next() {
+                continue;
+            }
             match self.replies.try_recv() {
                 Ok(reply) => self.absorb(reply),
                 Err(_) => return None,
@@ -235,43 +339,62 @@ impl ThreadedDispatcher {
         }
     }
 
-    /// Folds one worker reply into the bookkeeping.
+    /// Applies the next piece in dispatch order if its completion has
+    /// arrived. Returns whether a piece was applied.
+    fn apply_next(&mut self) -> bool {
+        let seq = self.applied;
+        let Some(slot) = self.parked.get_mut(seq) else {
+            return false;
+        };
+        let Some(piece) = slot.take() else {
+            return false;
+        };
+        self.applied += 1;
+        let record = &mut self.log[seq];
+        record.gc_events = piece.gc_events;
+        record.gc_complete_events = piece.gc_complete_events;
+        let shard = record.shard;
+        debug_assert!(
+            piece.completion >= self.shard_resolved_free_at[shard],
+            "per-shard completions must resolve in FIFO order"
+        );
+        self.shard_resolved_free_at[shard] = piece.completion;
+        let state = &mut self.reqs[piece.req];
+        let pos = state
+            .pending
+            .iter()
+            .position(|&(s, _)| s == shard)
+            .expect("applied piece must be pending on its shard");
+        state.pending.swap_remove(pos);
+        state.completion = state.completion.max(piece.completion);
+        if state.pending.is_empty() {
+            self.outstanding -= 1;
+            self.ready.push_back((piece.req, state.completion));
+        }
+        true
+    }
+
+    /// Parks one worker reply's completions in the reorder buffer.
     fn absorb(&mut self, reply: Reply) {
         match reply {
-            Reply::Done {
-                seq,
-                req,
-                shard,
-                completion,
-                gc_events,
-                gc_complete_events,
-            } => {
-                let record = &mut self.log[seq];
-                record.gc_events = gc_events;
-                record.gc_complete_events = gc_complete_events;
-                debug_assert!(
-                    completion >= self.shard_resolved_free_at[shard],
-                    "per-shard completions must resolve in FIFO order"
-                );
-                self.shard_resolved_free_at[shard] = completion;
-                let state = &mut self.reqs[req];
-                let piece = state
-                    .pending
-                    .iter()
-                    .position(|&(s, _)| s == shard)
-                    .expect("resolved piece must be pending on its shard");
-                state.pending.swap_remove(piece);
-                state.completion = state.completion.max(completion);
-                if state.pending.is_empty() {
-                    self.outstanding -= 1;
-                    self.ready.push_back((req, state.completion));
+            Reply::Done(items) => {
+                for item in items {
+                    debug_assert!(self.parked[item.seq].is_none(), "piece completed twice");
+                    self.parked[item.seq] = Some(ParkedPiece {
+                        req: item.req,
+                        completion: item.completion,
+                        gc_events: item.gc_events,
+                        gc_complete_events: item.gc_complete_events,
+                    });
                 }
             }
             Reply::Panicked(payload) => resume_unwind(payload),
         }
     }
 
-    fn send_piece(
+    /// Stages one piece on its shard's submission ring, flushing the ring
+    /// if it reaches the configured depth.
+    fn stage_piece(
         &mut self,
         req: ReqId,
         shard: usize,
@@ -286,17 +409,39 @@ impl ThreadedDispatcher {
             gc_events: 0,
             gc_complete_events: 0,
         });
-        let item = WorkItem {
+        self.parked.push(None);
+        self.staging[shard].push(WorkItem {
             seq,
             req,
-            shard,
             local_lpn,
             pages,
             op,
             issue,
-        };
-        if self.work_txs[self.shard_worker[shard]].send(item).is_err() {
+        });
+        if self.staging[shard].len() >= self.ring.sq_depth {
+            self.flush_shard(shard);
+        }
+    }
+
+    /// Ships one shard's staged submission window as a single batch.
+    fn flush_shard(&mut self, shard: usize) {
+        if self.staging[shard].is_empty() {
+            return;
+        }
+        let items = std::mem::replace(
+            &mut self.staging[shard],
+            Vec::with_capacity(self.ring.sq_depth),
+        );
+        let batch = WorkBatch { shard, items };
+        if self.work_txs[self.shard_worker[shard]].send(batch).is_err() {
             self.propagate_worker_death();
+        }
+    }
+
+    /// Ships every shard's staged window, in shard order.
+    fn flush_all(&mut self) {
+        for shard in 0..self.staging.len() {
+            self.flush_shard(shard);
         }
     }
 
@@ -321,6 +466,15 @@ impl ThreadedDispatcher {
             self.outstanding == 0 && self.ready.is_empty(),
             "threaded run body returned with unresolved requests in flight"
         );
+        debug_assert_eq!(
+            self.applied,
+            self.log.len(),
+            "every dispatched piece resolves before the body may return"
+        );
+        debug_assert!(
+            self.staging.iter().all(Vec::is_empty),
+            "resolved everything implies nothing is still staged"
+        );
         drop(self.work_txs);
         // Defensive: surface a panic a worker reported after its last
         // resolved piece (cannot normally happen once everything resolved).
@@ -333,46 +487,77 @@ impl ThreadedDispatcher {
     }
 }
 
-/// One worker thread's loop: execute each piece on the owned shard's FTL
-/// through the shard's engine, report the completion, and forward panics
-/// instead of dying silently.
+/// One worker thread's loop: execute each submission batch on the owned
+/// shard's FTL through the shard engine's ring entry point, answer with one
+/// completion batch, and forward panics instead of dying silently.
 fn worker_loop<F: Ftl>(
-    work: Receiver<WorkItem>,
+    work: Receiver<WorkBatch>,
     replies: Sender<Reply>,
     mut owned: Vec<(usize, &mut F, &mut SerialEngine)>,
 ) {
-    while let Ok(item) = work.recv() {
+    while let Ok(batch) = work.recv() {
         let outcome = catch_unwind(AssertUnwindSafe(|| {
             let (_, ftl, engine) = owned
                 .iter_mut()
-                .find(|(shard, _, _)| *shard == item.shard)
-                .expect("work item routed to the worker owning its shard");
-            let events_before = ftl.stats().gc_events.len();
-            let completes_before = ftl.stats().gc_complete_events.len();
-            // Dispatch through the ShardEngine interface — the exact seam
-            // the simulated backend's dispatch loop uses.
+                .find(|(shard, _, _)| *shard == batch.shard)
+                .expect("work batch routed to the worker owning its shard");
+            let items = &batch.items;
+            let sq: SubmissionBatch = items.iter().map(|i| i.issue).collect();
+            let mut cq = CompletionBatch::with_capacity(items.len());
+            let mut gc_deltas: Vec<(usize, usize)> = Vec::with_capacity(items.len());
+            // Dispatch through the ShardEngine ring interface — serially
+            // identical to the per-request seam the simulated backend uses.
             let engine: &mut dyn ShardEngine = *engine;
-            let (_issue, completion) = engine.dispatch(item.issue, &mut |t| match item.op {
-                HostOp::Read => ftl.read(item.local_lpn, item.pages, t),
-                HostOp::Write => ftl.write(item.local_lpn, item.pages, t),
-            });
-            (
-                completion,
-                ftl.stats().gc_events.len() - events_before,
-                ftl.stats().gc_complete_events.len() - completes_before,
-            )
+            engine.dispatch_batch(
+                &sq,
+                &mut |index, t| {
+                    let item = &items[index];
+                    let events_before = ftl.stats().gc_events.len();
+                    let completes_before = ftl.stats().gc_complete_events.len();
+                    let completion = match item.op {
+                        HostOp::Read => ftl.read(item.local_lpn, item.pages, t),
+                        HostOp::Write => ftl.write(item.local_lpn, item.pages, t),
+                    };
+                    gc_deltas.push((
+                        ftl.stats().gc_events.len() - events_before,
+                        ftl.stats().gc_complete_events.len() - completes_before,
+                    ));
+                    completion
+                },
+                &mut cq,
+            );
+            // One coalescing counter per executed batch, timestamped at the
+            // batch's first engine issue. Worker-local buffer, so no
+            // synchronisation; batch boundaries are deterministic, so the
+            // traced stream is too.
+            if let Some(&(first_issue, _)) = cq.entries().first() {
+                if let Some(sink) = ftl.device_mut().trace_sink() {
+                    sink.counter(
+                        first_issue,
+                        TraceData::RingBatch {
+                            entries: items.len() as u32,
+                        },
+                    );
+                }
+            }
+            items
+                .iter()
+                .zip(cq.entries())
+                .zip(&gc_deltas)
+                .map(
+                    |((item, &(_, completion)), &(gc_events, gc_complete_events))| ItemDone {
+                        seq: item.seq,
+                        req: item.req,
+                        completion,
+                        gc_events,
+                        gc_complete_events,
+                    },
+                )
+                .collect::<Vec<_>>()
         }));
         match outcome {
-            Ok((completion, gc_events, gc_complete_events)) => {
-                let reply = Reply::Done {
-                    seq: item.seq,
-                    req: item.req,
-                    shard: item.shard,
-                    completion,
-                    gc_events,
-                    gc_complete_events,
-                };
-                if replies.send(reply).is_err() {
+            Ok(items) => {
+                if replies.send(Reply::Done(items)).is_err() {
                     return; // dispatcher is gone (unwinding); stop quietly
                 }
             }
@@ -388,9 +573,10 @@ fn worker_loop<F: Ftl>(
 
 impl<F: Ftl> ShardedFtl<F> {
     /// Runs `body` with this frontend's shards distributed across `workers`
-    /// dedicated worker threads (clamped to the shard count), producing
-    /// simulated-time results **bit-for-bit identical** to driving the same
-    /// request sequence through the simulated backend on one thread.
+    /// dedicated worker threads (clamped to the shard count) under the
+    /// default [`RingConfig`], producing simulated-time results
+    /// **bit-for-bit identical** to driving the same request sequence
+    /// through the simulated backend on one thread.
     ///
     /// `body` receives a [`ThreadedDispatcher`] and must resolve every
     /// request it dispatches before returning. After `body` returns, the
@@ -408,7 +594,25 @@ impl<F: Ftl> ShardedFtl<F> {
         workers: usize,
         body: impl FnOnce(&mut ThreadedDispatcher) -> R,
     ) -> R {
+        self.run_threaded_with(workers, RingConfig::default(), body)
+    }
+
+    /// [`ShardedFtl::run_threaded`] with explicit ring depths. The ring
+    /// configuration changes host wall-clock behaviour only — batch
+    /// boundaries, never simulated-time results.
+    ///
+    /// # Panics
+    ///
+    /// Additionally panics if either ring depth is zero.
+    pub fn run_threaded_with<R>(
+        &mut self,
+        workers: usize,
+        ring: RingConfig,
+        body: impl FnOnce(&mut ThreadedDispatcher) -> R,
+    ) -> R {
         assert!(workers > 0, "need at least one worker thread");
+        assert!(ring.sq_depth > 0, "submission ring depth must be positive");
+        assert!(ring.channel_depth > 0, "channel depth must be positive");
         let shard_count = self.shards.len();
         let workers = workers.min(shard_count);
         let map = self.map;
@@ -439,7 +643,7 @@ impl<F: Ftl> ShardedFtl<F> {
         let mut work_txs = Vec::with_capacity(workers);
         let mut work_rxs = Vec::with_capacity(workers);
         for _ in 0..workers {
-            let (tx, rx) = std::sync::mpsc::sync_channel::<WorkItem>(WORK_CHANNEL_DEPTH);
+            let (tx, rx) = std::sync::mpsc::sync_channel::<WorkBatch>(ring.channel_depth);
             work_txs.push(tx);
             work_rxs.push(rx);
         }
@@ -454,13 +658,19 @@ impl<F: Ftl> ShardedFtl<F> {
             drop(reply_tx);
             let mut dispatcher = ThreadedDispatcher {
                 map,
+                ring,
                 work_txs,
                 shard_worker,
                 replies: reply_rx,
                 reqs: Vec::new(),
                 outstanding: 0,
+                staging: (0..shard_count)
+                    .map(|_| Vec::with_capacity(ring.sq_depth))
+                    .collect(),
                 shard_resolved_free_at: vec![SimTime::ZERO; shard_count],
                 log: Vec::new(),
+                parked: Vec::new(),
+                applied: 0,
                 ready: VecDeque::new(),
             };
             let result = body(&mut dispatcher);
@@ -588,11 +798,46 @@ mod tests {
         ShardedFtl::from_shards((0..shards).map(|_| StubFtl::new(10)).collect())
     }
 
-    #[test]
-    fn threaded_completions_match_simulated_dispatch() {
-        // Drive the identical single-page request sequence through both
-        // backends and compare every completion and the merged stats.
-        let requests: Vec<HostRequest> = (0..64)
+    /// Drives `requests` through the simulated backend and a threaded run
+    /// under `ring`, asserting bit-identical completions and stats.
+    fn assert_ring_matches_simulated(requests: &[HostRequest], shards: usize, ring: RingConfig) {
+        let mut simulated = frontend(shards);
+        let sim_done: Vec<SimTime> = requests
+            .iter()
+            .map(|r| simulated.submit(*r, SimTime::ZERO))
+            .collect();
+
+        let mut threaded = frontend(shards);
+        let thr_done: Vec<SimTime> = threaded.run_threaded_with(2.min(shards), ring, |d| {
+            let ids: Vec<ReqId> = requests
+                .iter()
+                .map(|r| d.dispatch(*r, SimTime::ZERO))
+                .collect();
+            let mut done = vec![SimTime::ZERO; ids.len()];
+            while d.outstanding() > 0 {
+                let (req, completion) = d.wait_resolved();
+                done[req] = completion;
+            }
+            ids.into_iter().map(|id| done[id]).collect()
+        });
+
+        assert_eq!(
+            sim_done, thr_done,
+            "completions must match bit for bit under {ring:?}"
+        );
+        assert_eq!(
+            simulated.stats().host_read_pages,
+            threaded.stats().host_read_pages
+        );
+        assert_eq!(
+            simulated.stats().gc_events,
+            threaded.stats().gc_events,
+            "GC event history must interleave identically under {ring:?}"
+        );
+    }
+
+    fn mixed_requests(n: u64) -> Vec<HostRequest> {
+        (0..n)
             .map(|i| {
                 if i % 4 == 0 {
                     HostRequest::write(i % 16, 1)
@@ -600,7 +845,14 @@ mod tests {
                     HostRequest::read((i * 7) % 16, 1)
                 }
             })
-            .collect();
+            .collect()
+    }
+
+    #[test]
+    fn threaded_completions_match_simulated_dispatch() {
+        // Drive the identical single-page request sequence through both
+        // backends and compare every completion and the merged stats.
+        let requests = mixed_requests(64);
 
         let mut simulated = frontend(4);
         let sim_done: Vec<SimTime> = requests
@@ -644,6 +896,36 @@ mod tests {
                 "engine busy-until state must match"
             );
         }
+    }
+
+    #[test]
+    fn degenerate_ring_depth_one_still_completes() {
+        // sq_depth = 1 flushes every piece as its own batch (the historical
+        // piece-at-a-time behaviour) and channel_depth = 1 forces the
+        // dispatcher to backpressure on every send: the slowest legal ring
+        // must still complete and match the simulated backend exactly.
+        assert_ring_matches_simulated(
+            &mixed_requests(48),
+            3,
+            RingConfig {
+                sq_depth: 1,
+                channel_depth: 1,
+            },
+        );
+    }
+
+    #[test]
+    fn oversized_ring_depth_batches_whole_windows() {
+        // A ring deeper than the workload: nothing flushes until the first
+        // blocking wait, so the entire backlog ships as one batch per shard.
+        assert_ring_matches_simulated(
+            &mixed_requests(48),
+            3,
+            RingConfig {
+                sq_depth: 1 << 16,
+                channel_depth: 2,
+            },
+        );
     }
 
     #[test]
@@ -696,6 +978,38 @@ mod tests {
                 assert_eq!(d.lower_bound(id), done[id], "resolved bound is exact");
             }
         });
+    }
+
+    #[test]
+    fn resolution_order_is_canonical_dispatch_order() {
+        // Shard 1 is 10x slower than shard 0, so replies arrive badly out
+        // of dispatch order in wall-clock; the reorder buffer must still
+        // hand requests back in a deterministic order — here, with every
+        // request single-piece and all arrivals equal, exactly dispatch
+        // order per shard chain, interleaved by completion applicability.
+        let mut shards: Vec<StubFtl> = vec![StubFtl::new(1), StubFtl::new(1)];
+        shards[1].service = Duration::from_micros(10);
+        let order_a = run_and_record_order(ShardedFtl::from_shards(shards));
+        let mut shards: Vec<StubFtl> = vec![StubFtl::new(1), StubFtl::new(1)];
+        shards[1].service = Duration::from_micros(10);
+        let order_b = run_and_record_order(ShardedFtl::from_shards(shards));
+        assert_eq!(
+            order_a, order_b,
+            "wait_resolved order must not depend on reply timing"
+        );
+    }
+
+    fn run_and_record_order(mut threaded: ShardedFtl<StubFtl>) -> Vec<(ReqId, SimTime)> {
+        threaded.run_threaded(2, |d| {
+            for i in 0..64u64 {
+                d.dispatch(HostRequest::read(i, 1), SimTime::ZERO);
+            }
+            let mut order = Vec::new();
+            while d.outstanding() > 0 {
+                order.push(d.wait_resolved());
+            }
+            order
+        })
     }
 
     #[test]

@@ -13,10 +13,14 @@
 //!   worker's replay deterministic).
 
 use ftl_base::{Ftl, FtlStats, HostRequest, Lpn};
-use ftl_shard::{ShardMap, ShardedFtl};
+use ftl_shard::{RingConfig, ShardMap, ShardedFtl};
 use metrics::LatencyHistogram;
 use proptest::prelude::*;
 use ssd_sim::{DeviceStats, Duration, FlashDevice, SimTime, SsdConfig};
+
+/// Host-visible outcome of one threaded run: the `wait_resolved` order and
+/// each shard's request FIFO as its FTL saw it.
+type RunOutcome = (Vec<(usize, SimTime)>, Vec<Vec<(Lpn, u32)>>);
 
 /// A deterministic stand-in FTL that records the exact order in which
 /// shard-local requests reach it, with an LPN-dependent service time so
@@ -206,5 +210,41 @@ proptest! {
         let single = run(1);
         let multi = run(3);
         prop_assert_eq!(single, multi);
+    }
+
+    /// Ring depths shape host-side batching only: whatever submission-window
+    /// and channel depths the backend runs with — including the degenerate
+    /// depth-1 ring, which ships every piece alone — each shard's FTL sees
+    /// the same FIFO and the host sees the same completions, in the same
+    /// resolution order, as the default configuration.
+    #[test]
+    fn prop_ring_depths_never_change_completions(
+        requests in proptest::collection::vec((0u64..4_096, 1u32..9), 1..80),
+        shards in 1usize..5,
+        sq_depth in 1usize..96,
+        channel_depth in 1usize..4,
+    ) {
+        let run = |ring: RingConfig| -> RunOutcome {
+            let mut ftl = ShardedFtl::from_shards(
+                (0..shards).map(|_| RecorderFtl::new()).collect(),
+            );
+            let resolved = ftl.run_threaded_with(2, ring, |dispatcher| {
+                let mut issue = SimTime::ZERO;
+                for &(lpn, pages) in &requests {
+                    issue += Duration::from_nanos(lpn % 1_000);
+                    dispatcher.dispatch(HostRequest::write(lpn, pages), issue);
+                }
+                let mut order = Vec::with_capacity(requests.len());
+                while dispatcher.outstanding() > 0 {
+                    order.push(dispatcher.wait_resolved());
+                }
+                order
+            });
+            let fifos = (0..shards).map(|s| ftl.shard(s).seen.clone()).collect();
+            (resolved, fifos)
+        };
+        let baseline = run(RingConfig::default());
+        let swept = run(RingConfig { sq_depth, channel_depth });
+        prop_assert_eq!(swept, baseline);
     }
 }

@@ -110,6 +110,12 @@ enum FlightSlot {
 /// Blocks for the next resolved request and folds it into the host-side
 /// bookkeeping: the stream whose request resolved becomes `Ready` at the
 /// completion, and every queue slot holding the request learns its value.
+///
+/// This is the conservative loop's **only blocking point**, which makes it
+/// the ring-flush boundary: `wait_resolved` ships every shard's staged
+/// submission window to the workers before blocking, so all requests
+/// dispatched since the previous wakeup travel as one batch per shard —
+/// the eligible window *is* the submission batch.
 fn absorb_resolution(
     dispatcher: &mut ThreadedDispatcher,
     slots: &mut [StreamSlot],
@@ -496,6 +502,17 @@ impl Runner {
     /// concurrently; only host wall-clock differs from the simulated
     /// backend.
     ///
+    /// Dispatches are *staged*, not sent: every request the loop proves
+    /// eligible between two blocking waits lands on its shard's submission
+    /// ring, and the whole window ships as one batched channel send when
+    /// the loop next needs a completion (or a ring fills). At high queue
+    /// depth many streams are provably eligible per wakeup, so the
+    /// per-request cross-core round-trip of the historical backend
+    /// amortises over the window — the win `fig25_wallclock_scaling`
+    /// records per FTL. Batch boundaries are deterministic (the dispatcher
+    /// applies completions in dispatch order), so traced runs are
+    /// byte-identical across repetitions.
+    ///
     /// # Panics
     ///
     /// Panics if `depth` or `workers` is zero, and re-raises a worker
@@ -866,9 +883,12 @@ impl Runner {
     /// Open-loop arrivals are exogenous — the seeded Poisson process and the
     /// round-robin stream cycling depend on nothing the workers compute — so
     /// unlike [`Runner::run_threaded_qd`] the dispatcher never has to prove
-    /// anything: it streams every request to its shard's worker as fast as
-    /// the bounded channels accept them and gathers completions as they
-    /// resolve. This is the backend's best case for wall-clock scaling.
+    /// anything: every request stages onto its shard's submission ring, full
+    /// rings ship to the workers as single batched sends, and completions
+    /// are gathered opportunistically as their batches resolve. The whole
+    /// offered-load window coalesces at the configured ring depth — the
+    /// backend's best case for both wall-clock scaling and round-trip
+    /// amortisation.
     ///
     /// # Panics
     ///

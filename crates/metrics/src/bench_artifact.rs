@@ -114,6 +114,109 @@ pub fn validate_bench_artifact(json: &str) -> Result<BenchArtifactSummary, Strin
     Ok(summary)
 }
 
+/// Schema tag required at the top of a BENCH floors document.
+pub const BENCH_FLOORS_SCHEMA: &str = "learnedftl-bench-floors-v1";
+
+/// What [`check_bench_floors`] observed.
+#[derive(Debug, Clone, Copy, Default, PartialEq)]
+pub struct BenchFloorSummary {
+    /// Floors checked (every one matched a run and held).
+    pub floors: usize,
+    /// The smallest measured/floor ratio across them (`> 1` means head-room;
+    /// `f64::INFINITY` when no floors were listed).
+    pub tightest_margin: f64,
+}
+
+/// Checks a BENCH artifact against a checked-in floors document: every floor
+/// entry must match exactly one run by `(ftl, backend, shards)` and that
+/// run's `requests_per_sec` must be at or above `min_requests_per_sec`.
+///
+/// This is the regression gate for the wall-clock trajectory: the floors are
+/// deliberately conservative (CI hosts are shared and noisy), so a failure
+/// means the simulator got *much* slower, not that a run was unlucky.
+///
+/// # Errors
+///
+/// Returns a description of the first malformed construct, unmatched floor,
+/// or floor violation.
+pub fn check_bench_floors(artifact: &str, floors: &str) -> Result<BenchFloorSummary, String> {
+    let artifact = JsonParser::new(artifact).parse_document()?;
+    let doc = JsonParser::new(floors).parse_document()?;
+    if doc.get("schema").and_then(Json::as_str) != Some(BENCH_FLOORS_SCHEMA) {
+        return Err(format!("floors schema must be {BENCH_FLOORS_SCHEMA:?}"));
+    }
+    let artifact_bench = artifact.get("bench").and_then(Json::as_str);
+    let floors_bench = doc.get("bench").and_then(Json::as_str);
+    if artifact_bench != floors_bench || floors_bench.is_none() {
+        return Err(format!(
+            "floors are for bench {floors_bench:?} but the artifact is {artifact_bench:?}"
+        ));
+    }
+    let runs = artifact
+        .get("runs")
+        .and_then(Json::as_array)
+        .ok_or("artifact has no runs array")?;
+    let floor_list = doc
+        .get("floors")
+        .and_then(Json::as_array)
+        .ok_or("missing floors array")?;
+    let mut summary = BenchFloorSummary {
+        floors: floor_list.len(),
+        tightest_margin: f64::INFINITY,
+    };
+    for (i, floor) in floor_list.iter().enumerate() {
+        let at = |f: &str| format!("floors[{i}].{f}");
+        let ftl = floor
+            .get("ftl")
+            .and_then(Json::as_str)
+            .ok_or_else(|| format!("missing {}", at("ftl")))?;
+        let backend = floor
+            .get("backend")
+            .and_then(Json::as_str)
+            .ok_or_else(|| format!("missing {}", at("backend")))?;
+        let shards = numeric(floor.get("shards"), &at("shards"))?;
+        let min = numeric(
+            floor.get("min_requests_per_sec"),
+            &at("min_requests_per_sec"),
+        )?;
+        if min <= 0.0 {
+            return Err(format!("{}: must be positive", at("min_requests_per_sec")));
+        }
+        let matches: Vec<&Json> = runs
+            .iter()
+            .filter(|run| {
+                run.get("ftl").and_then(Json::as_str) == Some(ftl)
+                    && run.get("backend").and_then(Json::as_str) == Some(backend)
+                    && run.get("shards").and_then(Json::as_number) == Some(shards)
+            })
+            .collect();
+        let run = match matches.as_slice() {
+            [run] => *run,
+            [] => {
+                return Err(format!(
+                    "floor ({ftl}, {backend}, shards={shards}) matches no run — \
+                     the floors file is stale"
+                ))
+            }
+            _ => {
+                return Err(format!(
+                    "floor ({ftl}, {backend}, shards={shards}) matches {} runs",
+                    matches.len()
+                ))
+            }
+        };
+        let measured = numeric(run.get("requests_per_sec"), "matched run requests_per_sec")?;
+        if measured < min {
+            return Err(format!(
+                "REGRESSION: ({ftl}, {backend}, shards={shards}) ran at {measured:.0} \
+                 requests/s, below the floor of {min:.0}"
+            ));
+        }
+        summary.tightest_margin = summary.tightest_margin.min(measured / min);
+    }
+    Ok(summary)
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -161,6 +264,53 @@ mod tests {
              \"host_cores\":1,\"runs\":[],\"checks\":{{}}}}"
         );
         assert!(validate_bench_artifact(&no_runs).is_err(), "empty runs");
+    }
+
+    fn floors(entries: &str) -> String {
+        format!(
+            "{{\"schema\":\"{BENCH_FLOORS_SCHEMA}\",\"bench\":\"fig27_throughput\",\
+             \"floors\":[{entries}]}}"
+        )
+    }
+
+    #[test]
+    fn floors_pass_when_measured_rate_clears_them() {
+        let artifact = artifact("\"checks\":{}", "{}");
+        let floors = floors(
+            "{\"ftl\":\"learnedftl\",\"backend\":\"simulated\",\"shards\":1,\
+             \"min_requests_per_sec\":1600.0}",
+        );
+        let summary = check_bench_floors(&artifact, &floors).expect("floor holds");
+        assert_eq!(summary.floors, 1);
+        assert!((summary.tightest_margin - 2.0).abs() < 1e-9, "3200 / 1600");
+    }
+
+    #[test]
+    fn floors_fail_on_regression_or_staleness() {
+        let artifact = artifact("\"checks\":{}", "{}");
+        // The measured 3200 req/s is below a 4000 floor.
+        let regressed = floors(
+            "{\"ftl\":\"learnedftl\",\"backend\":\"simulated\",\"shards\":1,\
+             \"min_requests_per_sec\":4000.0}",
+        );
+        let err = check_bench_floors(&artifact, &regressed).unwrap_err();
+        assert!(err.contains("REGRESSION"), "{err}");
+        // A floor naming a configuration the artifact no longer sweeps is a
+        // stale-floors error, not a silent pass.
+        let stale = floors(
+            "{\"ftl\":\"learnedftl\",\"backend\":\"threaded\",\"shards\":8,\
+             \"min_requests_per_sec\":1.0}",
+        );
+        let err = check_bench_floors(&artifact, &stale).unwrap_err();
+        assert!(err.contains("stale"), "{err}");
+        // Wrong schema or mismatched bench name must be rejected outright.
+        assert!(check_bench_floors(&artifact, "{\"schema\":\"other\"}").is_err());
+        let wrong_bench = floors("").replace("fig27_throughput", "fig99");
+        assert!(check_bench_floors(&artifact, &wrong_bench).is_err());
+        // An empty floors list passes with infinite margin.
+        let summary = check_bench_floors(&artifact, &floors("")).expect("empty floors");
+        assert_eq!(summary.floors, 0);
+        assert!(summary.tightest_margin.is_infinite());
     }
 
     #[test]

@@ -34,7 +34,9 @@ mod table;
 mod throughput;
 
 pub use analysis::{analysis_json, analyze, validate_analysis_json, TraceAnalysis};
-pub use bench_artifact::{validate_bench_artifact, BenchArtifactSummary};
+pub use bench_artifact::{
+    check_bench_floors, validate_bench_artifact, BenchArtifactSummary, BenchFloorSummary,
+};
 pub use energy::EnergyModel;
 pub use gc_timeline::GcTimeline;
 pub use histogram::LatencyHistogram;

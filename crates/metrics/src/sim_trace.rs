@@ -34,6 +34,7 @@ const TID_BUS_BASE: u64 = 2_000_000;
 const TID_SCHED_BASE: u64 = 3_000_000;
 const TID_GC: u64 = 4_000_000;
 const TID_HOST_BASE: u64 = 5_000_000;
+const TID_RING: u64 = 6_000_000;
 
 fn op_label(op: FlashOp) -> &'static str {
     match op {
@@ -98,12 +99,14 @@ fn track_of(e: &TraceEvent) -> (u64, u64) {
         | TraceData::GcComplete
         | TraceData::ReadClass { .. } => TID_GC,
         TraceData::HostRequest { lane, .. } => TID_HOST_BASE + u64::from(lane),
+        TraceData::RingBatch { .. } => TID_RING,
     };
     (pid, tid)
 }
 
 fn thread_name(tid: u64) -> String {
     match tid {
+        TID_RING => "ring dispatch".to_string(),
         t if t >= TID_HOST_BASE => format!("host lane {}", t - TID_HOST_BASE),
         TID_GC => "gc/translation".to_string(),
         t if t >= TID_SCHED_BASE => format!("sched chip {}", t - TID_SCHED_BASE),
@@ -260,6 +263,14 @@ pub fn chrome_trace_json(events: &[TraceEvent]) -> String {
                     "{{\"ph\":\"i\",\"pid\":{pid},\"tid\":{tid},\"ts\":{ts},\
                      \"s\":\"t\",\"cat\":\"translation\",\"name\":\"{}\"}}",
                     class.label(),
+                );
+            }
+            TraceData::RingBatch { entries } => {
+                let _ = write!(
+                    s,
+                    "{{\"ph\":\"C\",\"pid\":{pid},\"tid\":{tid},\"ts\":{ts},\
+                     \"cat\":\"ring\",\"name\":\"ring batch\",\
+                     \"args\":{{\"entries\":{entries}}}}}"
                 );
             }
             TraceData::HostRequest {

@@ -16,6 +16,10 @@
 //!   from each request's issue to its completion, requests queueing FIFO
 //!   behind it; the seam shared by the simulated and the thread-parallel
 //!   execution backends,
+//! * [`SubmissionBatch`] / [`CompletionBatch`] — the SQ/CQ ring images the
+//!   batch entry point [`ShardEngine::dispatch_batch`] consumes and
+//!   produces: one channel round-trip per eligible window instead of per
+//!   request, serially identical to N single dispatches,
 //! * [`MultiIssuer`] — a bank of serial issue engines modelling the FTL
 //!   frontend's translation cores: one issuer per FTL shard, each processing
 //!   one request at a time (the `ftl-shard` crate routes every shard's
@@ -59,6 +63,7 @@ mod engine;
 mod event;
 mod multi;
 mod queue;
+mod ring;
 mod sched;
 
 pub use cmd::{CmdId, CmdKind, Command, Completion, Priority};
@@ -66,4 +71,5 @@ pub use engine::{SerialEngine, ShardEngine};
 pub use event::EventQueue;
 pub use multi::{MultiIssuer, MultiIssuerStats};
 pub use queue::QueuePair;
+pub use ring::{CompletionBatch, SubmissionBatch};
 pub use sched::{IoScheduler, SchedConfig, SchedError, SchedStats};

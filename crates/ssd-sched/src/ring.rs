@@ -1,0 +1,170 @@
+//! Submission/completion ring batches for the shard-engine seam.
+//!
+//! The thread-parallel backend amortises its cross-core channel round-trips
+//! by shipping *batches*: the dispatcher stages translation requests into a
+//! per-shard [`SubmissionBatch`] (the SQ ring image) and a worker answers
+//! with one [`CompletionBatch`] (the CQ ring image) per submission batch.
+//! The types are deliberately plain — index-addressed parallel arrays, no
+//! generics, no payloads — so [`ShardEngine::dispatch_batch`] stays
+//! object-safe and a future tokio/io_uring backend can map them directly
+//! onto real SQE/CQE rings: the i-th submission entry's answer is the i-th
+//! completion entry, in order, always.
+//!
+//! [`ShardEngine::dispatch_batch`]: crate::ShardEngine::dispatch_batch
+
+use ssd_sim::SimTime;
+
+/// A batch of translation-request arrivals bound for one shard engine: the
+/// submission-queue window of one dispatcher wakeup.
+///
+/// Entries are host arrival times in submission order. Batch execution is
+/// defined to be *serially identical* to dispatching the entries one by one:
+/// entry `i + 1` sees the engine state entry `i` left behind.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct SubmissionBatch {
+    arrivals: Vec<SimTime>,
+}
+
+impl SubmissionBatch {
+    /// An empty batch (no capacity reserved).
+    #[must_use]
+    pub fn new() -> Self {
+        SubmissionBatch::default()
+    }
+
+    /// An empty batch with room for `capacity` entries.
+    #[must_use]
+    pub fn with_capacity(capacity: usize) -> Self {
+        SubmissionBatch {
+            arrivals: Vec::with_capacity(capacity),
+        }
+    }
+
+    /// Append one submission entry; returns its index within the batch.
+    pub fn push(&mut self, arrival: SimTime) -> usize {
+        self.arrivals.push(arrival);
+        self.arrivals.len() - 1
+    }
+
+    /// Number of entries in the batch.
+    #[must_use]
+    pub fn len(&self) -> usize {
+        self.arrivals.len()
+    }
+
+    /// Whether the batch holds no entries.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.arrivals.is_empty()
+    }
+
+    /// The arrival times, in submission order.
+    #[must_use]
+    pub fn arrivals(&self) -> &[SimTime] {
+        &self.arrivals
+    }
+
+    /// Drop all entries, keeping the allocation for reuse.
+    pub fn clear(&mut self) {
+        self.arrivals.clear();
+    }
+}
+
+impl FromIterator<SimTime> for SubmissionBatch {
+    fn from_iter<I: IntoIterator<Item = SimTime>>(iter: I) -> Self {
+        SubmissionBatch {
+            arrivals: iter.into_iter().collect(),
+        }
+    }
+}
+
+/// The completion-queue image answering one [`SubmissionBatch`]: entry `i`
+/// is the `(issue, completion)` pair of submission entry `i`.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct CompletionBatch {
+    entries: Vec<(SimTime, SimTime)>,
+}
+
+impl CompletionBatch {
+    /// An empty batch (no capacity reserved).
+    #[must_use]
+    pub fn new() -> Self {
+        CompletionBatch::default()
+    }
+
+    /// An empty batch with room for `capacity` entries.
+    #[must_use]
+    pub fn with_capacity(capacity: usize) -> Self {
+        CompletionBatch {
+            entries: Vec::with_capacity(capacity),
+        }
+    }
+
+    /// Append one `(issue, completion)` pair.
+    pub fn push(&mut self, issue: SimTime, completion: SimTime) {
+        self.entries.push((issue, completion));
+    }
+
+    /// Number of completion entries.
+    #[must_use]
+    pub fn len(&self) -> usize {
+        self.entries.len()
+    }
+
+    /// Whether the batch holds no entries.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.entries.is_empty()
+    }
+
+    /// The `(issue, completion)` pairs, in submission order.
+    #[must_use]
+    pub fn entries(&self) -> &[(SimTime, SimTime)] {
+        &self.entries
+    }
+
+    /// Drop all entries, keeping the allocation for reuse.
+    pub fn clear(&mut self) {
+        self.entries.clear();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ssd_sim::Duration;
+
+    fn t(us: u64) -> SimTime {
+        SimTime::ZERO + Duration::from_micros(us)
+    }
+
+    #[test]
+    fn submission_batch_preserves_order_and_indices() {
+        let mut sq = SubmissionBatch::new();
+        assert!(sq.is_empty());
+        assert_eq!(sq.push(t(3)), 0);
+        assert_eq!(sq.push(t(1)), 1);
+        assert_eq!(sq.push(t(7)), 2);
+        assert_eq!(sq.len(), 3);
+        assert_eq!(sq.arrivals(), &[t(3), t(1), t(7)]);
+        sq.clear();
+        assert!(sq.is_empty());
+    }
+
+    #[test]
+    fn completion_batch_pairs_in_submission_order() {
+        let mut cq = CompletionBatch::with_capacity(2);
+        cq.push(t(1), t(5));
+        cq.push(t(5), t(9));
+        assert_eq!(cq.entries(), &[(t(1), t(5)), (t(5), t(9))]);
+        assert_eq!(cq.len(), 2);
+        cq.clear();
+        assert!(cq.is_empty());
+    }
+
+    #[test]
+    fn submission_batch_collects_from_iterator() {
+        let sq: SubmissionBatch = [t(2), t(4)].into_iter().collect();
+        assert_eq!(sq.arrivals(), &[t(2), t(4)]);
+    }
+}

@@ -141,6 +141,14 @@ pub enum TraceData {
         /// The resolution.
         class: TraceReadClass,
     },
+    /// One submission-ring batch executed by a shard's translation engine
+    /// (counter): how many requests the thread-parallel backend coalesced
+    /// into a single channel round-trip. Emitted only by the threaded
+    /// backend — exporters comparing backends must filter it out first.
+    RingBatch {
+        /// Work items in the batch.
+        entries: u32,
+    },
     /// One host request's lifecycle (span from arrival to completion;
     /// `issue` marks the dispatch point inside it).
     HostRequest {

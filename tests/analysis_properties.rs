@@ -9,7 +9,18 @@ use harness::experiments::{
 };
 use learnedftl_suite::prelude::*;
 use proptest::prelude::*;
-use ssd_sim::Geometry;
+use ssd_sim::{Geometry, TraceData, TraceEvent};
+
+/// The threaded backend adds `RingBatch` submission-ring counters the
+/// simulated backend has no notion of; drop them before the cross-backend
+/// comparison (their own determinism is pinned by `trace_determinism`).
+fn strip_ring_batches(events: &[TraceEvent]) -> Vec<TraceEvent> {
+    events
+        .iter()
+        .filter(|e| !matches!(e.data, TraceData::RingBatch { .. }))
+        .copied()
+        .collect()
+}
 
 /// Same sizing rationale as the trace-determinism suite: a device every
 /// swept shard count divides cleanly, deeper for LearnedFTL's group rows.
@@ -116,9 +127,15 @@ proptest! {
             device(kind),
             tiny_scale(),
         );
+        let threaded_device_events = strip_ring_batches(&threaded.result.trace);
+        prop_assert!(
+            threaded_device_events.len() < threaded.result.trace.len(),
+            "{} shards={}: the threaded trace must carry RingBatch counters",
+            kind, shards
+        );
         prop_assert_eq!(
             &json,
-            &metrics::analysis_json(&threaded.result.trace, "property"),
+            &metrics::analysis_json(&threaded_device_events, "property"),
             "{} shards={}: backends must analyse identically", kind, shards
         );
     }
