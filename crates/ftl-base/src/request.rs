@@ -31,6 +31,11 @@ pub struct HostRequest {
     pub lpn: Lpn,
     /// Number of consecutive logical pages touched (≥ 1).
     pub pages: u32,
+    /// The tenant (namespace) that issued the request. Single-tenant
+    /// workloads leave this at 0; the multi-tenant harness tags each
+    /// request with its namespace index so the scheduler and the
+    /// per-tenant metrics can attribute it.
+    pub tenant: u32,
 }
 
 impl HostRequest {
@@ -45,6 +50,7 @@ impl HostRequest {
             op: HostOp::Read,
             lpn,
             pages,
+            tenant: 0,
         }
     }
 
@@ -59,7 +65,14 @@ impl HostRequest {
             op: HostOp::Write,
             lpn,
             pages,
+            tenant: 0,
         }
+    }
+
+    /// Tags the request with a tenant (namespace) index.
+    pub fn with_tenant(mut self, tenant: u32) -> Self {
+        self.tenant = tenant;
+        self
     }
 
     /// Iterates over every logical page touched by the request.

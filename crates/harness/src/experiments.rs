@@ -15,7 +15,7 @@ use workloads::{
 };
 
 use crate::kind::FtlKind;
-use crate::result::{RunResult, ShardedRunResult};
+use crate::result::{RunResult, ShardedRunResult, TenantRunResult};
 use crate::runner::Runner;
 
 /// How much work each experiment does. The paper's runs write the device six
@@ -64,6 +64,8 @@ const FIO_WARMUP_SEED: u64 = 0xFEED;
 const FIO_WORKLOAD_SEED: u64 = 0xBEEF;
 /// Arrival-process seed of the open-loop protocol.
 const OPEN_LOOP_ARRIVAL_SEED: u64 = 0xA11CE;
+/// Seed of the multi-tenant arrival/mix/hotspot streams.
+const TENANT_WORKLOAD_SEED: u64 = 0x7E7A;
 
 /// The measured FIO phase every protocol runs: 4 KiB requests over the FTL's
 /// whole logical space from `threads` streams.
@@ -488,38 +490,87 @@ fn gc_interference_run_impl(
     result.stats = ftl.stats().clone();
     result.device = ftl.device_stats();
     if traced {
-        // The drain just above ran scheduled collections to completion after
-        // the runner had already taken the trace: fold the drain's flash
-        // events in, and rebuild the GC trigger/complete instants from the
-        // final statistics so they cover the same window the statistics do.
-        result.trace.extend(ftl.take_trace());
-        result
-            .trace
-            .retain(|e| !matches!(e.data, TraceData::GcTrigger | TraceData::GcComplete));
-        let instant = |at: ssd_sim::SimTime, data: TraceData| ssd_sim::TraceEvent {
-            start: at,
-            end: at,
-            shard: 0,
-            data,
-        };
-        let mut triggers = result.stats.gc_events.clone();
-        triggers.sort_unstable();
-        let mut completes = result.stats.gc_complete_events.clone();
-        completes.sort_unstable();
-        result.trace.extend(
-            triggers
-                .into_iter()
-                .map(|at| instant(at, TraceData::GcTrigger)),
-        );
-        result.trace.extend(
-            completes
-                .into_iter()
-                .map(|at| instant(at, TraceData::GcComplete)),
-        );
-        result.trace.sort_by_key(|e| e.start);
-        result.profile.trace_events = result.trace.len() as u64;
+        fold_drained_gc_trace(&mut ftl, &mut result);
     }
     result
+}
+
+/// Folds a post-run GC drain into an already-taken trace: the drain just ran
+/// scheduled collections to completion after the runner had taken the trace,
+/// so its flash events are appended, and the GC trigger/complete instants
+/// are rebuilt from the final statistics so they cover the same window the
+/// statistics do.
+fn fold_drained_gc_trace(ftl: &mut crate::ShardedFtl<Box<dyn Ftl>>, result: &mut RunResult) {
+    result.trace.extend(ftl.take_trace());
+    result
+        .trace
+        .retain(|e| !matches!(e.data, TraceData::GcTrigger | TraceData::GcComplete));
+    let instant = |at: ssd_sim::SimTime, data: TraceData| ssd_sim::TraceEvent {
+        start: at,
+        end: at,
+        shard: 0,
+        data,
+    };
+    let mut triggers = result.stats.gc_events.clone();
+    triggers.sort_unstable();
+    let mut completes = result.stats.gc_complete_events.clone();
+    completes.sort_unstable();
+    result.trace.extend(
+        triggers
+            .into_iter()
+            .map(|at| instant(at, TraceData::GcTrigger)),
+    );
+    result.trace.extend(
+        completes
+            .into_iter()
+            .map(|at| instant(at, TraceData::GcComplete)),
+    );
+    result.trace.sort_by_key(|e| e.start);
+    result.profile.trace_events = result.trace.len() as u64;
+}
+
+/// The multi-tenant noisy-neighbour protocol (fig28): N namespace-style
+/// tenants with disjoint LPN ranges share a sharded FTL, their merged
+/// arrival streams admitted per shard either under weighted per-tenant
+/// arbitration (`isolate = true`) or in plain FIFO arrival order
+/// (`isolate = false`). Comparing a victim tenant's tail latency across the
+/// two modes quantifies what the weighted scheduler buys back from a
+/// write-heavy aggressor.
+///
+/// Protocol: build the sharded FTL with `gc_mode` collections, sequentially
+/// fill the device (so every tenant's reads hit mapped pages and GC has
+/// work), drain warm-up GC, then run the tenant set to completion and drain
+/// again so the statistics cover all collections the run triggered.
+#[allow(clippy::too_many_arguments)]
+pub fn tenant_noisy_neighbour_run(
+    kind: FtlKind,
+    specs: Vec<workloads::TenantSpec>,
+    shards: usize,
+    gc_mode: GcMode,
+    device: SsdConfig,
+    scale: ExperimentScale,
+    isolate: bool,
+    traced: bool,
+) -> TenantRunResult {
+    let baseline = BaselineConfig::default()
+        .for_shard(shards)
+        .with_gc_mode(gc_mode);
+    let learned = LearnedFtlConfig::default()
+        .with_gc_mode(gc_mode)
+        .with_charge_training_time(false);
+    let mut ftl = kind.build_sharded_with(device, shards, baseline, learned);
+    warmup::sequential_fill(&mut ftl, scale.warmup_io_pages, 1, ssd_sim::SimTime::ZERO);
+    ftl.drain_gc();
+    ftl.set_tracing(traced);
+    let mut tenants = workloads::TenantSet::new(specs, ftl.logical_pages(), TENANT_WORKLOAD_SEED);
+    let mut run = Runner::new().run_tenants(&mut ftl, &mut tenants, isolate);
+    ftl.drain_gc();
+    run.result.stats = ftl.stats().clone();
+    run.result.device = ftl.device_stats();
+    if traced {
+        fold_drained_gc_trace(&mut ftl, &mut run.result);
+    }
+    run
 }
 
 /// Warm-up + closed-loop FIO read phase against an FTL sharded `shards` ways

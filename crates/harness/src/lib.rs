@@ -41,7 +41,9 @@ mod result;
 mod runner;
 
 pub use kind::FtlKind;
-pub use result::{RunResult, SelfProfile, ShardLane, ShardedRunResult};
+pub use result::{
+    RunResult, SelfProfile, ShardLane, ShardedRunResult, TenantLane, TenantRunResult,
+};
 pub use runner::{Runner, RunnerConfig};
 // Re-exported so harness callers (the figure binaries) can name the sharded
 // frontend returned by `experiments::warmed_sharded_fio_setup` without

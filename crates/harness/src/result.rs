@@ -191,6 +191,34 @@ impl ShardedRunResult {
     }
 }
 
+/// The measurements attributed to one tenant of a multi-tenant run.
+#[derive(Debug, Clone)]
+pub struct TenantLane {
+    /// The tenant (namespace) index.
+    pub tenant: u32,
+    /// Requests the tenant issued.
+    pub requests: u64,
+    /// Logical pages the tenant read.
+    pub read_pages: u64,
+    /// Logical pages the tenant wrote.
+    pub write_pages: u64,
+    /// True-arrival-to-completion latencies of the tenant's requests
+    /// (queueing behind other tenants included — that is where isolation
+    /// shows up).
+    pub latencies: LatencyHistogram,
+}
+
+/// A [`RunResult`] plus the per-tenant breakdown recorded by
+/// [`crate::Runner::run_tenants`]. The aggregate result's latency histogram
+/// is the merge of the tenants'.
+#[derive(Debug, Clone)]
+pub struct TenantRunResult {
+    /// The whole-run measurements.
+    pub result: RunResult,
+    /// One lane per tenant, indexed by tenant.
+    pub tenants: Vec<TenantLane>,
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;

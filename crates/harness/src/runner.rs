@@ -1,17 +1,20 @@
 //! The closed-loop host model.
 
 use std::cmp::Reverse;
-use std::collections::BinaryHeap;
+use std::collections::{BinaryHeap, VecDeque};
 
-use ftl_base::{Ftl, HostOp};
+use ftl_base::{Ftl, HostOp, HostRequest};
 use ftl_shard::{ReqId, ShardedFtl, ThreadedDispatcher};
 use metrics::LatencyHistogram;
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
+use ssd_sched::{TenantArbiter, TenantClass, TenantPolicy};
 use ssd_sim::{Duration, SimTime, TraceData, TraceEvent};
-use workloads::Workload;
+use workloads::{TenantSet, Workload};
 
-use crate::result::{RunResult, SelfProfile, ShardLane, ShardedRunResult};
+use crate::result::{
+    RunResult, SelfProfile, ShardLane, ShardedRunResult, TenantLane, TenantRunResult,
+};
 
 /// Per-request bookkeeping of the threaded runners, indexed by [`ReqId`]
 /// (dispatch order — identical to the simulated runner's pop order, so
@@ -23,6 +26,7 @@ struct ThreadedRecord {
     completion: SimTime,
     write: bool,
     pages: u32,
+    tenant: u32,
 }
 
 /// One host request's trace bookkeeping, recorded (only while tracing) in
@@ -40,6 +44,7 @@ struct HostSpan {
     shard: u32,
     write: bool,
     pages: u32,
+    tenant: u32,
 }
 
 /// Assembles the run's final trace: the FTL's device/scheduler/GC events,
@@ -80,6 +85,7 @@ fn assemble_trace(ftl: &mut dyn Ftl, host: &[HostSpan]) -> Vec<TraceEvent> {
                 lane: span.lane,
                 write: span.write,
                 pages: span.pages,
+                tenant: span.tenant,
                 issue: span.issue,
             },
         });
@@ -133,6 +139,212 @@ fn absorb_resolution(
         if matches!(slot, FlightSlot::Pending(r) if *r == req) {
             *slot = FlightSlot::Resolved(completion);
         }
+    }
+}
+
+/// Everything the tenant admission loop measures; the tenant runners wrap
+/// this into a [`TenantRunResult`] after adding the FTL-side statistics.
+struct TenantAdmission {
+    lanes: Vec<TenantLane>,
+    host_spans: Vec<HostSpan>,
+    queueing: LatencyHistogram,
+    requests: u64,
+    read_pages: u64,
+    write_pages: u64,
+    bytes: u64,
+    last_completion: SimTime,
+}
+
+/// The weighted-arbitration policy a [`TenantSet`] implies: one foreground
+/// class per tenant (carrying the spec's weight and starvation bound) plus
+/// the mandatory background GC class, which the admission loop never
+/// presents — host-level arbitration only ranks tenants against each other.
+fn tenant_policy(tenants: &TenantSet) -> TenantPolicy {
+    let classes: Vec<TenantClass> = (0..tenants.num_tenants())
+        .map(|t| {
+            let spec = tenants.spec(t);
+            TenantClass {
+                weight: spec.weight.max(1),
+                starvation_bound: spec.starvation_bound,
+            }
+        })
+        .chain(std::iter::once(TenantClass::background(u32::MAX)))
+        .collect();
+    TenantPolicy::new(classes)
+}
+
+/// The multi-tenant admission loop shared by [`Runner::run_tenants`] and
+/// [`Runner::run_tenants_threaded`]: per-tenant Poisson arrival streams are
+/// merged in arrival order into per-shard per-tenant backlogs, and each
+/// shard dispatches one request at a time — at
+/// `max(shard free, earliest queued arrival)` — picking the next tenant
+/// either by weighted arbitration (`policy` set: one [`TenantArbiter`] per
+/// shard, every backlogged tenant contending) or in plain FIFO arrival
+/// order (`policy` empty: the no-isolation baseline).
+///
+/// Latencies are recorded against the *true* arrival, so time spent queued
+/// behind other tenants' backlogs counts — that queueing is exactly where
+/// isolation pays off. The shard pacing clock is the FTL's completion time
+/// for the previous request, which both variants share, keeping the
+/// isolated-vs-FIFO comparison apples-to-apples.
+#[allow(clippy::too_many_arguments)]
+fn run_tenant_admission(
+    tenants: &mut TenantSet,
+    start: SimTime,
+    shards: usize,
+    shard_of: impl Fn(u64) -> usize,
+    mut submit: impl FnMut(HostRequest, SimTime) -> SimTime,
+    policy: Option<&TenantPolicy>,
+    tracing: bool,
+    page_size: u32,
+) -> TenantAdmission {
+    let n = tenants.num_tenants();
+    let mut lanes: Vec<TenantLane> = (0..n)
+        .map(|t| TenantLane {
+            tenant: t as u32,
+            requests: 0,
+            read_pages: 0,
+            write_pages: 0,
+            latencies: LatencyHistogram::new(),
+        })
+        .collect();
+    let mut host_spans: Vec<HostSpan> = Vec::new();
+    let mut queueing = LatencyHistogram::new();
+    let mut requests = 0u64;
+    let mut read_pages = 0u64;
+    let mut write_pages = 0u64;
+    let mut bytes = 0u64;
+    let mut last_completion = start;
+
+    // Per-tenant arrival clocks and the next pending (not yet enqueued)
+    // arrival of each tenant.
+    let mut clocks: Vec<SimTime> = vec![start; n];
+    let advance = |tenants: &mut TenantSet, t: usize, clocks: &mut Vec<SimTime>| {
+        tenants.next_request(t).map(|(gap, req)| {
+            clocks[t] += gap;
+            (clocks[t], req)
+        })
+    };
+    let mut next: Vec<Option<(SimTime, HostRequest)>> =
+        (0..n).map(|t| advance(tenants, t, &mut clocks)).collect();
+
+    // Per-shard per-tenant backlogs (each tenant's queue is in arrival
+    // order), per-shard pacing clocks and arbiters.
+    let mut backlog: Vec<Vec<VecDeque<(SimTime, HostRequest)>>> =
+        (0..shards).map(|_| vec![VecDeque::new(); n]).collect();
+    let mut queued: Vec<usize> = vec![0; shards];
+    let mut free_at: Vec<SimTime> = vec![start; shards];
+    let mut arbiters: Vec<TenantArbiter> = policy
+        .map(|p| (0..shards).map(|_| TenantArbiter::new(p)).collect())
+        .unwrap_or_default();
+    let mut yielded: Vec<usize> = Vec::new();
+
+    loop {
+        // The next arrival across tenants (earliest time, lowest tenant).
+        let arrival = next
+            .iter()
+            .enumerate()
+            .filter_map(|(t, slot)| slot.as_ref().map(|&(at, _)| (at, t)))
+            .min();
+        // The next dispatch opportunity across shards (earliest time,
+        // lowest shard).
+        let mut dispatch: Option<(SimTime, usize)> = None;
+        for s in 0..shards {
+            if queued[s] == 0 {
+                continue;
+            }
+            let earliest = backlog[s]
+                .iter()
+                .filter_map(|q| q.front().map(|&(at, _)| at))
+                .min()
+                .expect("a queued shard has a head");
+            let d = free_at[s].max(earliest);
+            if dispatch.is_none_or(|best| (d, s) < best) {
+                dispatch = Some((d, s));
+            }
+        }
+        match (arrival, dispatch) {
+            (None, None) => break,
+            // Arrivals first on ties, so every request arriving at or
+            // before a dispatch instant is backlogged (and eligible) by the
+            // time the pick happens.
+            (Some((at, t)), d) if d.is_none_or(|(dd, _)| at <= dd) => {
+                let (_, req) = next[t].take().expect("arrival slot is present");
+                let s = shard_of(req.lpn);
+                backlog[s][t].push_back((at, req));
+                queued[s] += 1;
+                next[t] = advance(tenants, t, &mut clocks);
+            }
+            (_, Some((d, s))) => {
+                let winner = match policy {
+                    Some(_) => {
+                        arbiters[s]
+                            .decide(
+                                |c| c < n && backlog[s][c].front().is_some_and(|&(at, _)| at <= d),
+                                // Host-level admission is one slot per shard:
+                                // every eligible tenant contends for it.
+                                |_, _| true,
+                                &mut yielded,
+                            )
+                            .expect("an eligible tenant exists at dispatch time")
+                            .winner
+                    }
+                    None => {
+                        (0..n)
+                            .filter_map(|t| backlog[s][t].front().map(|&(at, _)| (at, t)))
+                            .filter(|&(at, _)| at <= d)
+                            .min()
+                            .expect("an eligible tenant exists at dispatch time")
+                            .1
+                    }
+                };
+                let (arrived, req) = backlog[s][winner].pop_front().expect("winner has a head");
+                queued[s] -= 1;
+                let completion = submit(req, d);
+                free_at[s] = completion;
+
+                lanes[winner].requests += 1;
+                lanes[winner].latencies.record(completion - arrived);
+                queueing.record(d - arrived);
+                requests += 1;
+                bytes += req.bytes(page_size);
+                match req.op {
+                    HostOp::Read => {
+                        read_pages += u64::from(req.pages);
+                        lanes[winner].read_pages += u64::from(req.pages);
+                    }
+                    HostOp::Write => {
+                        write_pages += u64::from(req.pages);
+                        lanes[winner].write_pages += u64::from(req.pages);
+                    }
+                }
+                if tracing {
+                    host_spans.push(HostSpan {
+                        arrival: arrived,
+                        issue: d,
+                        completion,
+                        lane: s as u32,
+                        shard: s as u32,
+                        write: req.op == HostOp::Write,
+                        pages: req.pages,
+                        tenant: req.tenant,
+                    });
+                }
+                last_completion = last_completion.max(completion);
+            }
+            (Some(_), None) => unreachable!("an unguarded arrival always wins"),
+        }
+    }
+
+    TenantAdmission {
+        lanes,
+        host_spans,
+        queueing,
+        requests,
+        read_pages,
+        write_pages,
+        bytes,
+        last_completion,
     }
 }
 
@@ -230,6 +442,7 @@ impl Runner {
                     shard: 0,
                     write: req.op == HostOp::Write,
                     pages: req.pages,
+                    tenant: req.tenant,
                 });
             }
             last_completion = last_completion.max(completion);
@@ -331,6 +544,7 @@ impl Runner {
                     shard: 0,
                     write: req.op == HostOp::Write,
                     pages: req.pages,
+                    tenant: req.tenant,
                 });
             }
             last_completion = last_completion.max(completion);
@@ -445,6 +659,7 @@ impl Runner {
                     shard: lane as u32,
                     write: req.op == HostOp::Write,
                     pages: req.pages,
+                    tenant: req.tenant,
                 });
             }
             last_completion = last_completion.max(completion);
@@ -672,6 +887,7 @@ impl Runner {
                     completion: SimTime::ZERO,
                     write: req.op == HostOp::Write,
                     pages: req.pages,
+                    tenant: req.tenant,
                 });
                 req_stream.push(stream);
                 slots[stream] = StreamSlot::Waiting(rid);
@@ -732,6 +948,7 @@ impl Runner {
                     shard: r.lane as u32,
                     write: r.write,
                     pages: r.pages,
+                    tenant: r.tenant,
                 })
                 .collect();
             assemble_trace(ftl, &host_spans)
@@ -844,6 +1061,7 @@ impl Runner {
                     shard: 0,
                     write: req.op == HostOp::Write,
                     pages: req.pages,
+                    tenant: req.tenant,
                 });
             }
             last_completion = last_completion.max(completion);
@@ -925,9 +1143,9 @@ impl Runner {
             let mut rng = StdRng::seed_from_u64(seed);
             let mut arrivals: Vec<SimTime> = Vec::new();
             let mut completions: Vec<SimTime> = Vec::new();
-            // (stream, write, pages) per request, dispatch order; only
-            // filled while tracing.
-            let mut meta: Vec<(u32, bool, u32)> = Vec::new();
+            // (stream, write, pages, tenant) per request, dispatch order;
+            // only filled while tracing.
+            let mut meta: Vec<(u32, bool, u32, u32)> = Vec::new();
             let mut arrival = start;
             let mut exhausted = 0usize;
             let mut stream = 0usize;
@@ -946,7 +1164,12 @@ impl Runner {
                 arrivals.push(arrival);
                 completions.push(SimTime::ZERO);
                 if tracing {
-                    meta.push((issuing_stream as u32, req.op == HostOp::Write, req.pages));
+                    meta.push((
+                        issuing_stream as u32,
+                        req.op == HostOp::Write,
+                        req.pages,
+                        req.tenant,
+                    ));
                 }
                 requests += 1;
                 bytes += req.bytes(page_size);
@@ -974,7 +1197,7 @@ impl Runner {
                 .zip(&completions)
                 .zip(&meta)
                 .map(
-                    |((&arrival, &completion), &(lane, write, pages))| HostSpan {
+                    |((&arrival, &completion), &(lane, write, pages, tenant))| HostSpan {
                         arrival,
                         issue: arrival,
                         completion,
@@ -982,6 +1205,7 @@ impl Runner {
                         shard: 0,
                         write,
                         pages,
+                        tenant,
                     },
                 )
                 .collect();
@@ -1012,6 +1236,156 @@ impl Runner {
                 trace_events: trace.len() as u64,
             },
             trace,
+        }
+    }
+
+    /// Runs a multi-tenant [`TenantSet`] against a sharded FTL with the
+    /// per-shard admission model of [`run_tenant_admission`]: tenant arrival
+    /// streams merge by arrival time, each shard serves one request at a
+    /// time, and the next tenant is picked by weighted per-tenant
+    /// arbitration (`isolate = true`: each tenant's spec weight and
+    /// starvation bound, one [`TenantArbiter`] per shard) or in plain FIFO
+    /// arrival order (`isolate = false`: the no-QoS baseline a namespace-
+    /// oblivious host would get).
+    ///
+    /// Per-tenant latencies are measured from the *true* arrival, so
+    /// backlog queueing behind other tenants counts — compare a victim
+    /// tenant's p99 across the two modes to quantify noisy-neighbour
+    /// interference and what the weighted scheduler buys back.
+    pub fn run_tenants<F: Ftl>(
+        &self,
+        ftl: &mut ShardedFtl<F>,
+        tenants: &mut TenantSet,
+        isolate: bool,
+    ) -> TenantRunResult {
+        if self.config.reset_stats_before_run {
+            ftl.reset_stats();
+            ftl.reset_device_stats();
+        }
+        let start = self.config.start.max(ftl.drain_time());
+        let page_size = ftl.device().geometry().page_size;
+        let tracing = ftl.tracing();
+        let shards = ftl.map().shards();
+        let policy = isolate.then(|| tenant_policy(tenants));
+        let map = *ftl.map();
+        let wall = std::time::Instant::now();
+
+        let admission = run_tenant_admission(
+            tenants,
+            start,
+            shards,
+            |lpn| map.shard_of(lpn),
+            |req, at| ftl.submit(req, at),
+            policy.as_ref(),
+            tracing,
+            page_size,
+        );
+
+        self.finish_tenants(ftl, admission, start, wall.elapsed())
+    }
+
+    /// [`Runner::run_tenants`] on the thread-parallel backend
+    /// ([`ShardedFtl::run_threaded`]), producing **bit-for-bit identical**
+    /// simulated-time results.
+    ///
+    /// The admission loop's next decision depends on the previous
+    /// completion (the shard pacing clock), so the host side stays
+    /// sequential: each dispatched request is resolved before the next pick.
+    /// The workers still own their shards' translation and device state —
+    /// this validates the threaded backend's timing under the multi-tenant
+    /// model rather than chasing wall-clock speedup.
+    pub fn run_tenants_threaded<F: Ftl>(
+        &self,
+        ftl: &mut ShardedFtl<F>,
+        tenants: &mut TenantSet,
+        isolate: bool,
+        workers: usize,
+    ) -> TenantRunResult {
+        if self.config.reset_stats_before_run {
+            ftl.reset_stats();
+            ftl.reset_device_stats();
+        }
+        let start = self.config.start.max(ftl.drain_time());
+        let page_size = ftl.device().geometry().page_size;
+        let tracing = ftl.tracing();
+        let shards = ftl.map().shards();
+        let policy = isolate.then(|| tenant_policy(tenants));
+        let wall = std::time::Instant::now();
+
+        let admission = ftl.run_threaded(workers, |dispatcher| {
+            let map = *dispatcher.map();
+            run_tenant_admission(
+                tenants,
+                start,
+                shards,
+                |lpn| map.shard_of(lpn),
+                |req, at| {
+                    let rid = dispatcher.dispatch(req, at);
+                    loop {
+                        let (resolved, completion) = dispatcher.wait_resolved();
+                        if resolved == rid {
+                            return completion;
+                        }
+                    }
+                },
+                policy.as_ref(),
+                tracing,
+                page_size,
+            )
+        });
+
+        self.finish_tenants(ftl, admission, start, wall.elapsed())
+    }
+
+    /// Folds a finished admission loop and the FTL's statistics into the
+    /// [`TenantRunResult`] both tenant runners return.
+    fn finish_tenants<F: Ftl>(
+        &self,
+        ftl: &mut ShardedFtl<F>,
+        admission: TenantAdmission,
+        start: SimTime,
+        wall: std::time::Duration,
+    ) -> TenantRunResult {
+        let TenantAdmission {
+            mut lanes,
+            host_spans,
+            queueing,
+            requests,
+            read_pages,
+            write_pages,
+            bytes,
+            last_completion,
+        } = admission;
+        let trace = if ftl.tracing() {
+            assemble_trace(ftl, &host_spans)
+        } else {
+            Vec::new()
+        };
+        let mut latencies = LatencyHistogram::new();
+        for lane in &mut lanes {
+            lane.latencies.finalize();
+            latencies.merge(&lane.latencies);
+        }
+        TenantRunResult {
+            result: RunResult {
+                ftl_name: ftl.name().to_string(),
+                requests,
+                read_pages,
+                write_pages,
+                bytes,
+                elapsed: last_completion - start,
+                latencies,
+                queueing,
+                stats: ftl.stats().clone(),
+                device: ftl.device_stats(),
+                profile: SelfProfile {
+                    wall,
+                    requests,
+                    trace_events: trace.len() as u64,
+                },
+                trace,
+            },
+            tenants: lanes,
         }
     }
 }
@@ -1444,6 +1818,112 @@ mod tests {
             c.elapsed != a.elapsed || c.latencies.mean() != a.latencies.mean(),
             "a different seed must produce a different arrival process"
         );
+    }
+
+    fn tenant_mix(requests: u64) -> workloads::TenantSet {
+        use workloads::TenantSpec;
+        let specs = vec![
+            TenantSpec::write_heavy(Duration::from_micros(40), requests),
+            TenantSpec::read_mostly(Duration::from_micros(20), requests).with_weight(4),
+            TenantSpec::read_mostly(Duration::from_micros(20), requests).with_weight(4),
+        ];
+        workloads::TenantSet::new(specs, 4000, 0xBEEF)
+    }
+
+    #[test]
+    fn tenant_run_attributes_every_request_to_its_lane() {
+        let mut ftl = warmed_sharded(FtlKind::Dftl, 2);
+        let mut set = tenant_mix(200);
+        let run = Runner::new().run_tenants(&mut ftl, &mut set, true);
+        assert_eq!(run.tenants.len(), 3);
+        for lane in &run.tenants {
+            assert_eq!(lane.requests, 200, "tenant {}", lane.tenant);
+            assert_eq!(lane.latencies.count(), 200);
+            assert_eq!(
+                lane.read_pages + lane.write_pages,
+                200,
+                "single-page requests"
+            );
+        }
+        assert_eq!(run.result.requests, 600);
+        assert_eq!(run.result.latencies.count(), 600);
+        assert_eq!(run.result.queueing.count(), 600);
+        assert!(
+            run.tenants[0].write_pages > run.tenants[0].read_pages,
+            "tenant 0 is the write-heavy aggressor"
+        );
+        assert!(
+            run.tenants[1].read_pages > run.tenants[1].write_pages,
+            "tenant 1 is read-mostly"
+        );
+    }
+
+    #[test]
+    fn tenant_run_is_deterministic() {
+        let run = |isolate: bool| {
+            let mut ftl = warmed_sharded(FtlKind::Dftl, 2);
+            let mut set = tenant_mix(150);
+            Runner::new().run_tenants(&mut ftl, &mut set, isolate)
+        };
+        let a = run(true);
+        let b = run(true);
+        assert_eq!(a.result.elapsed, b.result.elapsed);
+        assert_eq!(a.result.latencies.mean(), b.result.latencies.mean());
+        for (x, y) in a.tenants.iter().zip(&b.tenants) {
+            assert_eq!(x.latencies.mean(), y.latencies.mean());
+            assert_eq!(x.latencies.max(), y.latencies.max());
+        }
+        // The FIFO baseline serves the same requests (arrival processes are
+        // admission-independent), just in a different order.
+        let fifo = run(false);
+        assert_eq!(fifo.result.requests, a.result.requests);
+        for (x, y) in fifo.tenants.iter().zip(&a.tenants) {
+            assert_eq!(x.requests, y.requests);
+            assert_eq!(x.read_pages, y.read_pages);
+            assert_eq!(x.write_pages, y.write_pages);
+        }
+    }
+
+    #[test]
+    fn tenant_threaded_matches_simulated_backend_bit_for_bit() {
+        for isolate in [false, true] {
+            let mut simulated_ftl = warmed_sharded(FtlKind::Dftl, 2);
+            let mut simulated_set = tenant_mix(150);
+            let simulated =
+                Runner::new().run_tenants(&mut simulated_ftl, &mut simulated_set, isolate);
+            let mut threaded_ftl = warmed_sharded(FtlKind::Dftl, 2);
+            let mut threaded_set = tenant_mix(150);
+            let threaded = Runner::new().run_tenants_threaded(
+                &mut threaded_ftl,
+                &mut threaded_set,
+                isolate,
+                2,
+            );
+            assert_eq!(threaded.result.requests, simulated.result.requests);
+            assert_eq!(threaded.result.elapsed, simulated.result.elapsed);
+            assert_eq!(
+                threaded.result.latencies.mean(),
+                simulated.result.latencies.mean()
+            );
+            assert_eq!(
+                threaded.result.latencies.max(),
+                simulated.result.latencies.max()
+            );
+            assert_eq!(
+                threaded.result.queueing.mean(),
+                simulated.result.queueing.mean()
+            );
+            for (t, s) in threaded.tenants.iter().zip(&simulated.tenants) {
+                assert_eq!(t.requests, s.requests, "isolate={isolate}");
+                assert_eq!(t.latencies.mean(), s.latencies.mean());
+                assert_eq!(t.latencies.max(), s.latencies.max());
+            }
+            assert_eq!(
+                threaded.result.stats.host_read_pages,
+                simulated.result.stats.host_read_pages
+            );
+            assert_eq!(threaded.result.device.reads, simulated.result.device.reads);
+        }
     }
 
     #[test]

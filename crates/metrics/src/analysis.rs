@@ -74,6 +74,9 @@ pub struct RequestBreakdown {
     pub shard: u32,
     /// Host lane the request arrived on.
     pub lane: u32,
+    /// Tenant (namespace) the request belongs to (0 for single-tenant
+    /// workloads).
+    pub tenant: u32,
     /// Whether the request was a write.
     pub write: bool,
     /// Pages transferred.
@@ -255,6 +258,38 @@ impl ShardReport {
     }
 }
 
+/// Per-tenant rollup: request mix, latency aggregates and component sums
+/// for one tenant (namespace) in a multi-tenant trace.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct TenantReport {
+    /// The tenant (namespace) index.
+    pub tenant: u32,
+    /// Host requests attributed to the tenant.
+    pub requests: u64,
+    /// Read requests among them.
+    pub reads: u64,
+    /// Write requests among them.
+    pub writes: u64,
+    /// Sum of the tenant's request latencies.
+    pub total_latency_ns: u64,
+    /// The tenant's slowest request.
+    pub max_latency_ns: u64,
+    /// Nearest-rank p99 of the tenant's request latencies.
+    pub p99_latency_ns: u64,
+    /// Component sums over the tenant's requests, in the order queue-wait,
+    /// translation, NAND, bus, GC.
+    pub components_ns: [u64; 5],
+}
+
+impl TenantReport {
+    /// Mean request latency (0 for an empty tenant).
+    pub fn mean_latency_ns(&self) -> u64 {
+        self.total_latency_ns
+            .checked_div(self.requests)
+            .unwrap_or(0)
+    }
+}
+
 /// One node of an exemplar's reconstructed span tree.
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub enum ExemplarSpan {
@@ -334,6 +369,9 @@ pub struct TraceAnalysis {
     pub requests: Vec<RequestBreakdown>,
     /// Per-shard rollups, in shard order.
     pub shards: Vec<ShardReport>,
+    /// Per-tenant rollups, in tenant order. Single-tenant traces produce one
+    /// entry for tenant 0; a trace with no host requests produces none.
+    pub tenants: Vec<TenantReport>,
     /// Per-plane accounting, in (shard, chip, plane) order.
     pub planes: Vec<PlaneUse>,
     /// Per-channel accounting, in (shard, channel) order.
@@ -546,6 +584,7 @@ pub fn analyze(events: &[TraceEvent]) -> TraceAnalysis {
             lane,
             write,
             pages,
+            tenant,
             issue,
         } = e.data
         else {
@@ -562,6 +601,7 @@ pub fn analyze(events: &[TraceEvent]) -> TraceAnalysis {
             req,
             shard: e.shard,
             lane,
+            tenant,
             write,
             pages,
             arrival_ns,
@@ -610,6 +650,40 @@ pub fn analyze(events: &[TraceEvent]) -> TraceAnalysis {
         report.gc_tax.gc_bus_busy_ns += acc.gc_ns;
     }
 
+    // Pass 3.5: per-tenant rollups.
+    let mut tenant_latencies: BTreeMap<u32, Vec<u64>> = BTreeMap::new();
+    let mut tenants_map: BTreeMap<u32, TenantReport> = BTreeMap::new();
+    for r in &requests {
+        let report = tenants_map.entry(r.tenant).or_insert_with(|| TenantReport {
+            tenant: r.tenant,
+            ..TenantReport::default()
+        });
+        report.requests += 1;
+        if r.write {
+            report.writes += 1;
+        } else {
+            report.reads += 1;
+        }
+        let latency = r.latency_ns();
+        report.total_latency_ns += latency;
+        report.max_latency_ns = report.max_latency_ns.max(latency);
+        for (slot, v) in report.components_ns.iter_mut().zip([
+            r.queue_wait_ns,
+            r.translation_ns,
+            r.nand_ns,
+            r.bus_ns,
+            r.gc_ns,
+        ]) {
+            *slot += v;
+        }
+        tenant_latencies.entry(r.tenant).or_default().push(latency);
+    }
+    for (tenant, lat) in &mut tenant_latencies {
+        lat.sort_unstable();
+        let report = tenants_map.get_mut(tenant).expect("tenant seen above");
+        report.p99_latency_ns = lat[((lat.len() * 99).div_ceil(100)).clamp(1, lat.len()) - 1];
+    }
+
     // Pass 4: top-K exemplars with span trees.
     let mut order: Vec<usize> = (0..requests.len()).collect();
     order.sort_by(|&a, &b| {
@@ -628,6 +702,7 @@ pub fn analyze(events: &[TraceEvent]) -> TraceAnalysis {
         events: events.len() as u64,
         requests,
         shards: shards.into_values().collect(),
+        tenants: tenants_map.into_values().collect(),
         planes: planes
             .into_iter()
             .map(|((shard, chip, plane), a)| PlaneUse {
@@ -995,6 +1070,35 @@ impl TraceAnalysis {
         }
         out.push_str("]},");
 
+        // Per-tenant rollups.
+        out.push_str("\"tenants\":[");
+        for (i, t) in self.tenants.iter().enumerate() {
+            if i > 0 {
+                out.push(',');
+            }
+            let _ = write!(
+                out,
+                "{{\"tenant\":{},\"requests\":{},\"reads\":{},\"writes\":{},\
+                 \"latency_ns\":{{\"total\":{},\"mean\":{},\"max\":{},\"p99\":{}}},\
+                 \"components_ns\":{{\"queue_wait\":{},\"translation\":{},\"nand\":{},\
+                 \"bus\":{},\"gc\":{}}}}}",
+                t.tenant,
+                t.requests,
+                t.reads,
+                t.writes,
+                t.total_latency_ns,
+                t.mean_latency_ns(),
+                t.max_latency_ns,
+                t.p99_latency_ns,
+                t.components_ns[0],
+                t.components_ns[1],
+                t.components_ns[2],
+                t.components_ns[3],
+                t.components_ns[4],
+            );
+        }
+        out.push_str("],");
+
         // Exemplars.
         out.push_str("\"exemplars\":[");
         for (i, x) in self.exemplars.iter().enumerate() {
@@ -1099,6 +1203,8 @@ pub struct AnalysisSummary {
     pub shards: usize,
     /// Entries in the `planes` array.
     pub planes: usize,
+    /// Entries in the `tenants` array.
+    pub tenants: usize,
     /// Entries in the `exemplars` array.
     pub exemplars: usize,
 }
@@ -1177,6 +1283,25 @@ pub fn validate_analysis_json(json: &str) -> Result<AnalysisSummary, String> {
         number(r.get("batches"), &format!("ring.shards[{i}].batches"))?;
         number(r.get("entries"), &format!("ring.shards[{i}].entries"))?;
     }
+    let tenants = doc
+        .get("tenants")
+        .and_then(Json::as_array)
+        .ok_or("missing tenants array")?;
+    let mut tenant_requests = 0u64;
+    for (i, t) in tenants.iter().enumerate() {
+        number(t.get("tenant"), &format!("tenants[{i}].tenant"))?;
+        tenant_requests += number(t.get("requests"), &format!("tenants[{i}].requests"))? as u64;
+        t.get("latency_ns")
+            .ok_or_else(|| format!("tenants[{i}]: missing latency_ns"))?;
+        t.get("components_ns")
+            .ok_or_else(|| format!("tenants[{i}]: missing components_ns"))?;
+    }
+    if tenant_requests != count {
+        return Err(format!(
+            "tenant rollups account for {tenant_requests} requests but the \
+             document has {count}"
+        ));
+    }
     let exemplars = doc
         .get("exemplars")
         .and_then(Json::as_array)
@@ -1203,6 +1328,7 @@ pub fn validate_analysis_json(json: &str) -> Result<AnalysisSummary, String> {
         requests: count,
         shards: shards.len(),
         planes: planes.len(),
+        tenants: tenants.len(),
         exemplars: exemplars.len(),
     })
 }
@@ -1274,6 +1400,7 @@ mod tests {
                 lane: 0,
                 write: false,
                 pages: 1,
+                tenant: 0,
                 issue: at(10),
             },
         );
@@ -1285,6 +1412,7 @@ mod tests {
                 lane: 1,
                 write: true,
                 pages: 2,
+                tenant: 1,
                 issue: at(30),
             },
         );

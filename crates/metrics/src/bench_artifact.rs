@@ -127,6 +127,18 @@ pub struct BenchFloorSummary {
     pub tightest_margin: f64,
 }
 
+/// Shard counts are integral: normalise a parsed number before comparing so
+/// a hand-edited `4.0` (or a formatter's `4.00000000001`) still matches an
+/// artifact's `4`, instead of silently failing f64 equality and reporting a
+/// misleading "stale floor".
+fn integral_shards(n: f64, what: &str) -> Result<u64, String> {
+    let rounded = n.round();
+    if (n - rounded).abs() > 1e-6 || rounded < 0.0 {
+        return Err(format!("{what}: shard count {n} is not an integer"));
+    }
+    Ok(rounded as u64)
+}
+
 /// Checks a BENCH artifact against a checked-in floors document: every floor
 /// entry must match exactly one run by `(ftl, backend, shards)` and that
 /// run's `requests_per_sec` must be at or above `min_requests_per_sec`.
@@ -174,7 +186,7 @@ pub fn check_bench_floors(artifact: &str, floors: &str) -> Result<BenchFloorSumm
             .get("backend")
             .and_then(Json::as_str)
             .ok_or_else(|| format!("missing {}", at("backend")))?;
-        let shards = numeric(floor.get("shards"), &at("shards"))?;
+        let shards = integral_shards(numeric(floor.get("shards"), &at("shards"))?, &at("shards"))?;
         let min = numeric(
             floor.get("min_requests_per_sec"),
             &at("min_requests_per_sec"),
@@ -182,21 +194,38 @@ pub fn check_bench_floors(artifact: &str, floors: &str) -> Result<BenchFloorSumm
         if min <= 0.0 {
             return Err(format!("{}: must be positive", at("min_requests_per_sec")));
         }
+        let run_shards = |run: &Json| {
+            run.get("shards")
+                .and_then(Json::as_number)
+                .and_then(|n| integral_shards(n, "run shards").ok())
+        };
         let matches: Vec<&Json> = runs
             .iter()
             .filter(|run| {
                 run.get("ftl").and_then(Json::as_str) == Some(ftl)
                     && run.get("backend").and_then(Json::as_str) == Some(backend)
-                    && run.get("shards").and_then(Json::as_number) == Some(shards)
+                    && run_shards(run) == Some(shards)
             })
             .collect();
         let run = match matches.as_slice() {
             [run] => *run,
             [] => {
+                let available: Vec<String> = runs
+                    .iter()
+                    .map(|run| {
+                        format!(
+                            "({}, {}, shards={})",
+                            run.get("ftl").and_then(Json::as_str).unwrap_or("?"),
+                            run.get("backend").and_then(Json::as_str).unwrap_or("?"),
+                            run_shards(run).map_or_else(|| "?".into(), |s| s.to_string()),
+                        )
+                    })
+                    .collect();
                 return Err(format!(
                     "floor ({ftl}, {backend}, shards={shards}) matches no run — \
-                     the floors file is stale"
-                ))
+                     the floors file is stale; the artifact sweeps [{}]",
+                    available.join(", ")
+                ));
             }
             _ => {
                 return Err(format!(
@@ -311,6 +340,41 @@ mod tests {
         let summary = check_bench_floors(&artifact, &floors("")).expect("empty floors");
         assert_eq!(summary.floors, 0);
         assert!(summary.tightest_margin.is_infinite());
+    }
+
+    #[test]
+    fn floors_match_shards_across_numeric_spellings() {
+        // A hand-edited floors file writing `1.0` (or a float-formatter's
+        // `1.00000000001`) must match the artifact's integral `1` instead of
+        // silently failing f64 equality and claiming the floor is stale.
+        let artifact = artifact("\"checks\":{}", "{}");
+        for spelling in ["1.0", "1.00000000001", "0.9999999999"] {
+            let floors = floors(&format!(
+                "{{\"ftl\":\"learnedftl\",\"backend\":\"simulated\",\
+                 \"shards\":{spelling},\"min_requests_per_sec\":1600.0}}"
+            ));
+            let summary = check_bench_floors(&artifact, &floors)
+                .unwrap_or_else(|e| panic!("shards={spelling} must match: {e}"));
+            assert_eq!(summary.floors, 1);
+        }
+        // A genuinely non-integral shard count is a malformed floor, not a
+        // stale one.
+        let bad = floors(
+            "{\"ftl\":\"learnedftl\",\"backend\":\"simulated\",\"shards\":1.5,\
+             \"min_requests_per_sec\":1600.0}",
+        );
+        let err = check_bench_floors(&artifact, &bad).unwrap_err();
+        assert!(err.contains("not an integer"), "{err}");
+        // The stale-floor message now names the artifact's configurations.
+        let stale = floors(
+            "{\"ftl\":\"learnedftl\",\"backend\":\"simulated\",\"shards\":2,\
+             \"min_requests_per_sec\":1.0}",
+        );
+        let err = check_bench_floors(&artifact, &stale).unwrap_err();
+        assert!(
+            err.contains("stale") && err.contains("(learnedftl, simulated, shards=1)"),
+            "{err}"
+        );
     }
 
     #[test]

@@ -402,5 +402,69 @@ mod tests {
                 prop_assert_eq!(h.percentile(q), Duration::from_nanos(model[idx]));
             }
         }
+
+        /// Model check for the multi-tenant aggregation shape: N per-tenant
+        /// histograms, each finalized after recording (like the harness's
+        /// `TenantLane`s), merged pairwise as a balanced tree — the result
+        /// must agree with a naive sort of everything, stay sorted at every
+        /// tree level (each pairwise merge hits the O(n+m) sorted-merge
+        /// path), and match the flat left-to-right merge the runners use.
+        #[test]
+        fn prop_tenant_merge_tree_matches_naive_model(
+            lanes in proptest::collection::vec(
+                proptest::collection::vec(0u64..1_000_000, 1..30),
+                1..10,
+            ),
+        ) {
+            let leaves: Vec<LatencyHistogram> = lanes
+                .iter()
+                .map(|lane| {
+                    let mut h = LatencyHistogram::new();
+                    for &ns in lane {
+                        h.record(Duration::from_nanos(ns));
+                    }
+                    h.finalize();
+                    h
+                })
+                .collect();
+
+            // Balanced pairwise merge tree.
+            let mut level = leaves.clone();
+            while level.len() > 1 {
+                let mut next = Vec::with_capacity(level.len().div_ceil(2));
+                for pair in level.chunks(2) {
+                    let mut node = pair[0].clone();
+                    if let Some(right) = pair.get(1) {
+                        node.merge(right);
+                    }
+                    prop_assert!(
+                        node.is_sorted(),
+                        "merging finalized histograms must stay sorted"
+                    );
+                    next.push(node);
+                }
+                level = next;
+            }
+            let mut tree = level.pop().unwrap();
+
+            // The flat fold the runners use when aggregating lanes.
+            let mut flat = LatencyHistogram::new();
+            for leaf in &leaves {
+                flat.merge(leaf);
+            }
+
+            let mut model: Vec<u64> = lanes.concat();
+            model.sort_unstable();
+            prop_assert_eq!(tree.count(), model.len());
+            prop_assert_eq!(flat.count(), model.len());
+            prop_assert_eq!(tree.max(), Duration::from_nanos(*model.last().unwrap()));
+            for q in [0.0, 0.25, 0.5, 0.9, 0.99, 0.999, 1.0] {
+                let rank = ((model.len() as f64) * q).ceil() as usize;
+                let idx = rank.clamp(1, model.len()) - 1;
+                let expected = Duration::from_nanos(model[idx]);
+                prop_assert_eq!(tree.percentile(q), expected);
+                prop_assert_eq!(flat.percentile(q), expected);
+            }
+        }
     }
 }

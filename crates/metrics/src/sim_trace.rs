@@ -664,6 +664,7 @@ mod tests {
                 lane: 0,
                 write: false,
                 pages: 4,
+                tenant: 0,
                 issue: at(10),
             },
         );

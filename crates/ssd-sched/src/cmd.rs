@@ -3,6 +3,8 @@
 
 use ssd_sim::{DeviceError, Duration, FlashOp, OobData, Ppn, SimTime};
 
+use crate::tenant::TenantId;
+
 /// Scheduler-assigned command identifier, unique for a scheduler's lifetime.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
 pub struct CmdId(pub u64);
@@ -86,6 +88,10 @@ pub struct Command {
     pub kind: CmdKind,
     /// Arbitration class.
     pub priority: Priority,
+    /// The tenant the command serves (tenant 0 for single-tenant
+    /// submitters; ignored for [`Priority::Gc`] commands, which always land
+    /// in the GC arbitration class).
+    pub tenant: TenantId,
     /// When the submitter handed the command to the scheduler.
     pub submitted: SimTime,
 }
@@ -100,6 +106,8 @@ pub struct Completion {
     pub kind: CmdKind,
     /// Arbitration class, echoed back.
     pub priority: Priority,
+    /// The tenant the command served, echoed back.
+    pub tenant: TenantId,
     /// Flat index of the chip that executed the command.
     pub chip: u64,
     /// When the command entered the scheduler.
@@ -146,6 +154,7 @@ mod tests {
             id: CmdId(3),
             kind: CmdKind::Read { ppn: 7 },
             priority: Priority::Host,
+            tenant: TenantId(0),
             chip: 1,
             submitted: SimTime::from_micros(10),
             issued: SimTime::from_micros(25),

@@ -25,9 +25,12 @@
 //!   one request at a time (the `ftl-shard` crate routes every shard's
 //!   traffic through one of these),
 //! * [`IoScheduler`] — per-chip command queues with out-of-order completion
-//!   and host-vs-GC arbitration: GC commands yield to host commands on the
-//!   same chip, but never more than [`SchedConfig::gc_starvation_bound`]
-//!   times in a row,
+//!   and weighted per-tenant arbitration ([`TenantPolicy`]): host tenant
+//!   classes share contended slots by weighted round-robin with per-class
+//!   starvation bounds, and the background GC class yields to host commands
+//!   on the same chip, but never more than
+//!   [`SchedConfig::gc_starvation_bound`] times in a row (the degenerate
+//!   [`TenantPolicy::two_class`] default),
 //! * [`Command`] / [`Completion`] — the command lifecycle with the three
 //!   timestamps (submitted, issued, completed) that tail-latency analysis
 //!   needs, split into queueing and service components.
@@ -65,6 +68,7 @@ mod multi;
 mod queue;
 mod ring;
 mod sched;
+mod tenant;
 
 pub use cmd::{CmdId, CmdKind, Command, Completion, Priority};
 pub use engine::{SerialEngine, ShardEngine};
@@ -72,4 +76,5 @@ pub use event::EventQueue;
 pub use multi::{MultiIssuer, MultiIssuerStats};
 pub use queue::QueuePair;
 pub use ring::{CompletionBatch, SubmissionBatch};
-pub use sched::{IoScheduler, SchedConfig, SchedError, SchedStats};
+pub use sched::{ClassStats, IoScheduler, SchedConfig, SchedError, SchedStats};
+pub use tenant::{Arbitration, TenantArbiter, TenantClass, TenantId, TenantPolicy};

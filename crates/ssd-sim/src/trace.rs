@@ -160,6 +160,9 @@ pub enum TraceData {
         write: bool,
         /// Pages transferred.
         pages: u32,
+        /// Tenant (namespace) the request belongs to; 0 for single-tenant
+        /// workloads.
+        tenant: u32,
         /// When the host model issued the request.
         issue: SimTime,
     },

@@ -12,6 +12,9 @@
 //!   `readseq` phases (Figure 19),
 //! * [`SyntheticTrace`] — WebSearch1-3 and Systor'17 stand-ins parameterised
 //!   to Table II, plus a replayer (Figures 21 and 22),
+//! * [`TenantSet`] — N namespace-style tenants with disjoint LPN ranges,
+//!   per-tenant Poisson arrivals, read/write mixes and Zipfian hotspots (the
+//!   multi-tenant QoS experiments),
 //! * [`warmup`] — helpers that bring an SSD to the steady state the paper
 //!   requires before read experiments.
 //!
@@ -33,6 +36,7 @@
 mod filebench;
 mod fio;
 mod rocksdb;
+mod tenants;
 mod traces;
 pub mod warmup;
 mod zipf;
@@ -40,6 +44,7 @@ mod zipf;
 pub use filebench::{FilebenchPreset, FilebenchWorkload};
 pub use fio::{FioPattern, FioWorkload};
 pub use rocksdb::{RocksDbPhase, RocksDbWorkload};
+pub use tenants::{TenantSet, TenantSpec};
 pub use traces::{SyntheticTrace, TraceKind, TraceRecord, TraceWorkload};
 pub use zipf::Zipfian;
 

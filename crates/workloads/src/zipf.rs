@@ -58,13 +58,17 @@ impl Zipfian {
 
     /// Draws one sample in `0..n`, with small values being the most popular.
     pub fn sample<R: Rng + ?Sized>(&self, rng: &mut R) -> u64 {
+        // Every return is clamped into the domain: for n == 1 the zeta-based
+        // early returns would otherwise emit rank 1 (zeta(1, theta) == 1
+        // exactly, so the second branch is reachable through float slop on
+        // degenerate domains — per-tenant hotspot ranges instantiate these).
         let u: f64 = rng.gen();
         let uz = u * self.zeta_n;
         if uz < 1.0 {
             return 0;
         }
         if uz < 1.0 + 0.5f64.powf(self.theta) {
-            return 1;
+            return 1.min(self.n - 1);
         }
         let v = (self.n as f64 * (self.eta * u - self.eta + 1.0).powf(self.alpha)) as u64;
         v.min(self.n - 1)
@@ -155,5 +159,49 @@ mod tests {
     #[should_panic(expected = "domain")]
     fn empty_domain_rejected() {
         Zipfian::new(0, 0.5);
+    }
+
+    // Regression tests for the early-return clamps: degenerate domains must
+    // never emit an out-of-range rank. With n == 1, zeta(1, theta) == 1.0
+    // exactly, so `u * zeta_n < 1.0 + 0.5^theta` holds for every u and the
+    // second early return fires constantly — unclamped it returned 1.
+    #[test]
+    fn single_element_domain_always_samples_zero() {
+        for theta in [0.0, 0.5, 0.99] {
+            let mut rng = StdRng::seed_from_u64(3);
+            let z = Zipfian::new(1, theta);
+            for _ in 0..10_000 {
+                assert_eq!(z.sample(&mut rng), 0, "n=1 theta={theta}");
+            }
+        }
+    }
+
+    #[test]
+    fn two_element_domain_stays_in_range_and_hits_both() {
+        for theta in [0.0, 0.5, 0.99] {
+            let mut rng = StdRng::seed_from_u64(5);
+            let z = Zipfian::new(2, theta);
+            let mut seen = [0u64; 2];
+            for _ in 0..10_000 {
+                let v = z.sample(&mut rng);
+                assert!(v < 2, "n=2 theta={theta} sampled {v}");
+                seen[v as usize] += 1;
+            }
+            assert!(seen[0] > 0 && seen[1] > 0, "n=2 theta={theta}: {seen:?}");
+        }
+    }
+
+    #[test]
+    fn near_zero_theta_small_domains_stay_in_range() {
+        // theta ≈ 0 maximises the second early-return branch's width
+        // (0.5^theta → 1), the worst case for the clamp.
+        let theta = 1e-9;
+        for n in 1..=4u64 {
+            let mut rng = StdRng::seed_from_u64(7 + n);
+            let z = Zipfian::new(n, theta);
+            for _ in 0..5_000 {
+                assert!(z.sample(&mut rng) < n, "n={n}");
+            }
+        }
     }
 }
