@@ -1,5 +1,6 @@
 //! LeaFTL: a purely learned-index address mapping (Sun et al., ASPLOS'23).
 
+// simlint: allow(unordered-collection, reason = "import for the sorted-on-drain write buffer below")
 use std::collections::HashSet;
 
 use ftl_base::{DynamicDataPool, Ftl, FtlCore, FtlStats, GcMode, Lpn, LruCache, ReadClass};
@@ -31,6 +32,7 @@ pub struct LeaFtl {
     core: FtlCore,
     pool: DynamicDataPool,
     /// Buffered (not yet flushed) logical pages.
+    // simlint: allow(unordered-collection, reason = "membership tests are keyed; flush_buffer drains into a Vec and sorts by LPN before any order-dependent use")
     buffer: HashSet<Lpn>,
     buffer_capacity: usize,
     /// Authoritative learned segments per translation page (flash content).
@@ -62,6 +64,7 @@ impl LeaFtl {
         LeaFtl {
             core,
             pool,
+            // simlint: allow(unordered-collection, reason = "see the field declaration: drained and sorted before use")
             buffer: HashSet::new(),
             buffer_capacity,
             segments: vec![LogStructuredSegments::new(); entries],

@@ -30,9 +30,6 @@
 //! assert!(t > SimTime::ZERO);
 //! ```
 
-#![forbid(unsafe_code)]
-#![warn(missing_docs)]
-
 mod config;
 mod dftl;
 mod ideal;

@@ -5,7 +5,7 @@
 //! costs on the order of 50 µs and one prediction costs ~0.65 µs, i.e. the
 //! equivalent of a few flash reads per GC and a negligible cost per read.
 
-use std::time::Instant;
+use harness::wallclock::WallTimer;
 
 use bench::{print_header, BenchArgs};
 use learned_index::Point;
@@ -14,7 +14,7 @@ use rand::rngs::StdRng;
 use rand::{seq::SliceRandom, Rng, SeedableRng};
 
 fn measure<R>(iterations: u32, mut f: impl FnMut() -> R) -> f64 {
-    let start = Instant::now();
+    let start = WallTimer::start();
     for _ in 0..iterations {
         std::hint::black_box(f());
     }

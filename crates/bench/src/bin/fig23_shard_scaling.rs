@@ -112,11 +112,14 @@ fn main() {
             scaling_holds = false;
         }
     }
-    let dftl = kinds.iter().position(|&k| k == FtlKind::Dftl).unwrap();
+    let dftl = kinds
+        .iter()
+        .position(|&k| k == FtlKind::Dftl)
+        .expect("DFTL is always swept");
     let learned = kinds
         .iter()
         .position(|&k| k == FtlKind::LearnedFtl)
-        .unwrap();
+        .expect("LearnedFTL is always swept");
     println!("closed loop, QD sweep");
     print_table_with_verdict(
         &table,

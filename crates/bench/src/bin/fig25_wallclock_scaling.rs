@@ -27,7 +27,7 @@
 //! Run with `--quick` to force the smoke-test scale regardless of
 //! `LEARNEDFTL_SCALE` (what CI does).
 
-use std::time::Instant;
+use harness::wallclock::WallTimer;
 
 use bench::{print_header, print_table_with_verdict, shard_scaling_device, BenchArgs, Scale};
 use harness::experiments::{
@@ -152,7 +152,7 @@ fn main() {
             let mut measured = None;
             for _ in 0..TIMING_REPS {
                 let (mut ftl, mut wl) = setup(kind, device, experiment);
-                let clock = Instant::now();
+                let clock = WallTimer::start();
                 let run = match workers {
                     None => Runner::new().run_sharded_qd(&mut ftl, &mut wl, DEPTH),
                     Some(n) => Runner::new().run_threaded_qd(&mut ftl, &mut wl, DEPTH, n),
@@ -221,7 +221,7 @@ fn main() {
             let mut measured = None;
             for _ in 0..TIMING_REPS {
                 let (mut ftl, mut wl) = setup(kind, device, experiment);
-                let clock = Instant::now();
+                let clock = WallTimer::start();
                 let run = match workers {
                     None => Runner::new().run_open_loop(&mut ftl, &mut wl, open_gap, 0xA11CE),
                     Some(n) => Runner::new()

@@ -14,9 +14,6 @@
 //!   described in DESIGN.md; `paper` uses the full 32 GiB geometry (slow);
 //!   `quick` is a smoke-test size used by CI.
 
-#![forbid(unsafe_code)]
-#![warn(missing_docs)]
-
 use harness::experiments::ExperimentScale;
 use harness::RunResult;
 use metrics::Table;

@@ -1,12 +1,12 @@
 //! The LearnedFTL flash translation layer.
 
-use std::collections::{BTreeSet, HashMap};
-use std::time::Instant;
+use std::collections::{BTreeMap, BTreeSet};
 
 use ftl_base::{
     dirty_mappings, Ftl, FtlCore, FtlStats, GcMode, Lpn, PageNodeCmt, ReadClass, TransNode,
 };
 use learned_index::Point;
+use ssd_sim::wallclock::WallTimer;
 use ssd_sim::{vppn_to_ppn, Duration, FlashDevice, SimTime, SsdConfig};
 
 use crate::config::LearnedFtlConfig;
@@ -242,14 +242,14 @@ impl LearnedFtl {
             .into_iter()
             .filter(|&(lpn, _)| lpn < lpn_start || lpn >= lpn_end)
             .collect();
-        let sort_started = Instant::now();
+        let sort_started = WallTimer::start();
         own_pairs.sort_unstable_by_key(|&(lpn, _)| lpn);
         let sort_elapsed = sort_started.elapsed();
         self.core.stats.sort_wall_time += sort_elapsed;
 
         // Track how many valid pages remain in each detached row so rows can
         // be erased (and reused as GC destinations) as soon as they drain.
-        let mut remaining: HashMap<u32, u64> = HashMap::new();
+        let mut remaining: BTreeMap<u32, u64> = BTreeMap::new();
         for &row in &rows {
             remaining.insert(row, 0);
         }
@@ -292,7 +292,7 @@ impl LearnedFtl {
 
         // ③/④ Train every model in the group on the new placements and
         //       rebuild the bitmap filters.
-        let train_started = Instant::now();
+        let train_started = WallTimer::start();
         let mappings_per_page = u64::from(self.core.mappings_per_page());
         let mut idx = 0;
         for e in entry_start..entry_end {
@@ -348,7 +348,7 @@ impl LearnedFtl {
         &mut self,
         group: usize,
         pending_rows: &mut Vec<u32>,
-        remaining: &mut HashMap<u32, u64>,
+        remaining: &mut BTreeMap<u32, u64>,
         now: SimTime,
     ) -> GroupSlot {
         if let Some(slot) = self.alloc.allocate_for_gc(group) {
@@ -375,7 +375,7 @@ impl LearnedFtl {
     fn erase_drained_rows(
         &mut self,
         pending_rows: &mut Vec<u32>,
-        remaining: &HashMap<u32, u64>,
+        remaining: &BTreeMap<u32, u64>,
         now: SimTime,
         erase_all: bool,
     ) -> SimTime {

@@ -33,9 +33,6 @@
 //! assert!(ftl.stats().double_reads == 0);
 //! ```
 
-#![forbid(unsafe_code)]
-#![warn(missing_docs)]
-
 mod config;
 mod ftl;
 mod group;

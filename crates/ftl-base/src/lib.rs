@@ -31,9 +31,6 @@
 //! }
 //! ```
 
-#![forbid(unsafe_code)]
-#![warn(missing_docs)]
-
 mod alloc;
 mod cmt;
 mod core;

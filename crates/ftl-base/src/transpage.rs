@@ -8,6 +8,7 @@
 //! the device, and cleans up stale translation-page versions when the region
 //! runs out of space.
 
+// simlint: allow(unordered-collection, reason = "import for the keyed-only reverse map below")
 use std::collections::{HashMap, VecDeque};
 
 use crate::gtd::Gtd;
@@ -27,6 +28,7 @@ pub struct TransPageStore {
     free: VecDeque<u64>,
     active: Option<u64>,
     used: Vec<u64>,
+    // simlint: allow(unordered-collection, reason = "ppn->tpn reverse map is keyed get/insert/remove only; cleaning scans the `used` Vec and block pages in address order, never this map")
     tpn_of_ppn: HashMap<Ppn, usize>,
 }
 
@@ -37,6 +39,7 @@ impl TransPageStore {
             free: partition.translation_blocks().collect(),
             active: None,
             used: Vec::new(),
+            // simlint: allow(unordered-collection, reason = "see the field declaration: keyed access only")
             tpn_of_ppn: HashMap::new(),
         }
     }

@@ -37,9 +37,6 @@
 //!   bit-for-bit identical simulated-time results (the workspace
 //!   `threaded_equivalence` suite enforces this).
 
-#![forbid(unsafe_code)]
-#![warn(missing_docs)]
-
 mod map;
 mod par;
 mod sharded;

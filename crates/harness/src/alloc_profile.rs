@@ -8,8 +8,10 @@
 //!
 //! Without the feature (the default), the same API compiles to no-op stubs
 //! and no global allocator is installed: release builds are untouched, and
-//! the workspace-wide `forbid(unsafe_code)` stays in force (the allocator
-//! shim is the one place unsafe is conditionally permitted).
+//! no `unsafe` is compiled anywhere in the workspace (the allocator shim is
+//! the one place the workspace-level `deny(unsafe_code)` is locally
+//! allowed; simlint's `unsafe-without-safety-comment` rule keeps every
+//! block here justified).
 //!
 //! ```
 //! use harness::alloc_profile::{self, Phase};
@@ -62,7 +64,10 @@ pub struct PhaseAllocStats {
     pub bytes: u64,
 }
 
+// A `GlobalAlloc` impl is necessarily unsafe; this feature-gated module is
+// the one sanctioned exception to the workspace-wide `deny(unsafe_code)`.
 #[cfg(feature = "alloc-profile")]
+#[allow(unsafe_code)]
 mod imp {
     use super::{Phase, PhaseAllocStats};
     use std::alloc::{GlobalAlloc, Layout, System};
@@ -90,20 +95,31 @@ mod imp {
     // SAFETY: every method delegates directly to `System`, which upholds the
     // `GlobalAlloc` contract; the counter updates have no safety impact.
     unsafe impl GlobalAlloc for CountingAllocator {
+        // SAFETY: forwards `layout` unchanged to `System.alloc`, so the
+        // caller's obligations (non-zero size, valid layout) pass through;
+        // `charge` only touches relaxed atomics and cannot allocate.
         unsafe fn alloc(&self, layout: Layout) -> *mut u8 {
             charge(layout.size());
             System.alloc(layout)
         }
 
+        // SAFETY: forwards `ptr`/`layout` unchanged to `System.dealloc`;
+        // the caller guarantees `ptr` came from this allocator with the
+        // same layout, which holds because alloc/realloc also delegate.
         unsafe fn dealloc(&self, ptr: *mut u8, layout: Layout) {
             System.dealloc(ptr, layout)
         }
 
+        // SAFETY: forwards `layout` unchanged to `System.alloc_zeroed`;
+        // same pass-through argument as `alloc`.
         unsafe fn alloc_zeroed(&self, layout: Layout) -> *mut u8 {
             charge(layout.size());
             System.alloc_zeroed(layout)
         }
 
+        // SAFETY: forwards `ptr`, the old `layout` and `new_size` unchanged
+        // to `System.realloc`; the caller's contract (live ptr, matching
+        // layout, non-zero new size) is exactly `System`'s contract.
         unsafe fn realloc(&self, ptr: *mut u8, layout: Layout, new_size: usize) -> *mut u8 {
             charge(new_size);
             System.realloc(ptr, layout, new_size)

@@ -28,17 +28,12 @@
 //! assert!(result.throughput().mib_per_sec() > 0.0);
 //! ```
 
-// The opt-in `alloc-profile` feature installs a counting global allocator
-// (`alloc_profile`), whose `GlobalAlloc` impl is necessarily unsafe; every
-// other configuration keeps the workspace-wide forbid.
-#![cfg_attr(not(feature = "alloc-profile"), forbid(unsafe_code))]
-#![warn(missing_docs)]
-
 pub mod alloc_profile;
 pub mod experiments;
 mod kind;
 mod result;
 mod runner;
+pub mod wallclock;
 
 pub use kind::FtlKind;
 pub use result::{

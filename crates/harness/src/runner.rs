@@ -409,7 +409,7 @@ impl Runner {
         let page_size = ftl.device().geometry().page_size;
         let tracing = ftl.tracing();
         let mut host_spans: Vec<HostSpan> = Vec::new();
-        let wall = std::time::Instant::now();
+        let wall = crate::wallclock::WallTimer::start();
 
         let mut ready: BinaryHeap<Reverse<(SimTime, usize)>> = (0..workload.streams())
             .map(|s| Reverse((start, s)))
@@ -508,7 +508,7 @@ impl Runner {
         let page_size = ftl.device().geometry().page_size;
         let tracing = ftl.tracing();
         let mut host_spans: Vec<HostSpan> = Vec::new();
-        let wall = std::time::Instant::now();
+        let wall = crate::wallclock::WallTimer::start();
 
         let mut queue = ssd_sched::QueuePair::new(depth);
         let mut ready: BinaryHeap<Reverse<(SimTime, usize)>> = (0..workload.streams())
@@ -615,7 +615,7 @@ impl Runner {
         let page_size = ftl.device().geometry().page_size;
         let tracing = ftl.tracing();
         let mut host_spans: Vec<HostSpan> = Vec::new();
-        let wall = std::time::Instant::now();
+        let wall = crate::wallclock::WallTimer::start();
 
         let mut queue = ssd_sched::QueuePair::new(depth);
         let mut ready: BinaryHeap<Reverse<(SimTime, usize)>> = (0..workload.streams())
@@ -749,7 +749,7 @@ impl Runner {
         let shard_count = ftl.shard_count();
         let streams = workload.streams();
         let tracing = ftl.tracing();
-        let wall = std::time::Instant::now();
+        let wall = crate::wallclock::WallTimer::start();
 
         let mut requests = 0u64;
         let mut read_pages = 0u64;
@@ -1022,7 +1022,7 @@ impl Runner {
         let streams = workload.streams();
         let tracing = ftl.tracing();
         let mut host_spans: Vec<HostSpan> = Vec::new();
-        let wall = std::time::Instant::now();
+        let wall = crate::wallclock::WallTimer::start();
 
         let mut rng = StdRng::seed_from_u64(seed);
         let mut latencies = LatencyHistogram::new();
@@ -1132,7 +1132,7 @@ impl Runner {
         let page_size = ftl.device().geometry().page_size;
         let streams = workload.streams();
         let tracing = ftl.tracing();
-        let wall = std::time::Instant::now();
+        let wall = crate::wallclock::WallTimer::start();
 
         let mut requests = 0u64;
         let mut read_pages = 0u64;
@@ -1268,7 +1268,7 @@ impl Runner {
         let shards = ftl.map().shards();
         let policy = isolate.then(|| tenant_policy(tenants));
         let map = *ftl.map();
-        let wall = std::time::Instant::now();
+        let wall = crate::wallclock::WallTimer::start();
 
         let admission = run_tenant_admission(
             tenants,
@@ -1310,7 +1310,7 @@ impl Runner {
         let tracing = ftl.tracing();
         let shards = ftl.map().shards();
         let policy = isolate.then(|| tenant_policy(tenants));
-        let wall = std::time::Instant::now();
+        let wall = crate::wallclock::WallTimer::start();
 
         let admission = ftl.run_threaded(workers, |dispatcher| {
             let map = *dispatcher.map();

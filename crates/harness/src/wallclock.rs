@@ -1,0 +1,12 @@
+//! The harness's profiling seam over the host wall clock.
+//!
+//! `RunResult::profile` timing, the figure binaries' wall-clock loops and
+//! LearnedFTL's `charge_training_time` all measure host time through this
+//! one module instead of calling `Instant::now` inline — simlint's
+//! `wall-clock` rule denies direct host-clock reads everywhere else.
+//!
+//! The implementation lives in [`ssd_sim::wallclock`] (the one crate every
+//! sim-path crate can reach, so `learnedftl`'s trainer can share the same
+//! seam); this re-export is the name the harness and bench layers use.
+
+pub use ssd_sim::wallclock::WallTimer;

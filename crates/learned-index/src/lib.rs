@@ -24,9 +24,6 @@
 //! assert_eq!(segments[0].predict(42), Some(1042));
 //! ```
 
-#![forbid(unsafe_code)]
-#![warn(missing_docs)]
-
 mod bitmap;
 mod lsmt;
 mod plr;

@@ -20,9 +20,6 @@
 //! * [`bench_artifact`] — a schema checker for the machine-readable
 //!   `BENCH_*.json` wall-clock benchmark artifacts.
 
-#![forbid(unsafe_code)]
-#![warn(missing_docs)]
-
 pub mod analysis;
 pub mod bench_artifact;
 mod energy;

@@ -1,0 +1,264 @@
+//! Diagnostics: severities, rendering, and the machine-readable report.
+//!
+//! Output is deterministic by construction — diagnostics are sorted by
+//! (path, line, column, rule) and every formatter below is a pure function
+//! of that ordered list — so golden tests and CI can pin bytes.
+
+use std::fmt::Write as _;
+
+/// How a finding affects the exit code.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord)]
+pub enum Severity {
+    /// Reported, but does not fail the run.
+    Warn,
+    /// Fails the run unless suppressed with a justified allow.
+    Deny,
+}
+
+impl Severity {
+    /// The lowercase label used in rendered output and JSON.
+    pub fn label(self) -> &'static str {
+        match self {
+            Severity::Warn => "warn",
+            Severity::Deny => "deny",
+        }
+    }
+}
+
+/// One finding, attributed to a file position.
+#[derive(Debug, Clone)]
+pub struct Diagnostic {
+    /// Workspace-relative path with `/` separators.
+    pub path: String,
+    /// 1-based line number.
+    pub line: usize,
+    /// 1-based byte column of the matched token.
+    pub column: usize,
+    /// The rule that produced the finding.
+    pub rule: &'static str,
+    /// Whether the finding fails the run.
+    pub severity: Severity,
+    /// Human-readable explanation.
+    pub message: String,
+    /// When the finding was suppressed by an inline allow, the written
+    /// reason. Suppressed findings never fail the run.
+    pub suppressed: Option<String>,
+}
+
+/// A parsed inline suppression, reported for audit in the JSON report.
+#[derive(Debug, Clone)]
+pub struct SuppressionRecord {
+    /// Workspace-relative path with `/` separators.
+    pub path: String,
+    /// 1-based line of the `simlint:` comment.
+    pub line: usize,
+    /// The rule being allowed.
+    pub rule: String,
+    /// The mandatory written justification.
+    pub reason: String,
+    /// `"line"` or `"file"`.
+    pub scope: &'static str,
+    /// Whether any finding actually matched the suppression.
+    pub used: bool,
+}
+
+/// Aggregate counts for the report footer.
+#[derive(Debug, Default, Clone, Copy)]
+pub struct Summary {
+    /// Unsuppressed deny findings (nonzero fails the run).
+    pub deny: usize,
+    /// Unsuppressed warn findings.
+    pub warn: usize,
+    /// Findings silenced by a justified allow.
+    pub suppressed: usize,
+}
+
+/// Computes the summary counts of an ordered diagnostic list.
+pub fn summarize(diagnostics: &[Diagnostic]) -> Summary {
+    let mut s = Summary::default();
+    for d in diagnostics {
+        if d.suppressed.is_some() {
+            s.suppressed += 1;
+        } else {
+            match d.severity {
+                Severity::Deny => s.deny += 1,
+                Severity::Warn => s.warn += 1,
+            }
+        }
+    }
+    s
+}
+
+/// Sorts diagnostics into the canonical reporting order.
+pub fn sort_diagnostics(diagnostics: &mut [Diagnostic]) {
+    diagnostics.sort_by(|a, b| {
+        (&a.path, a.line, a.column, a.rule).cmp(&(&b.path, b.line, b.column, b.rule))
+    });
+}
+
+/// Renders one diagnostic as a single line.
+pub fn render_diagnostic(d: &Diagnostic) -> String {
+    match &d.suppressed {
+        Some(reason) => format!(
+            "allowed[{}] {}:{}:{}: {} (reason: {})",
+            d.rule, d.path, d.line, d.column, d.message, reason
+        ),
+        None => format!(
+            "{}[{}] {}:{}:{}: {}",
+            d.severity.label(),
+            d.rule,
+            d.path,
+            d.line,
+            d.column,
+            d.message
+        ),
+    }
+}
+
+/// Renders an ordered diagnostic list plus a summary footer. This is the
+/// byte format the golden fixture tests pin.
+pub fn render_report(diagnostics: &[Diagnostic]) -> String {
+    let mut out = String::new();
+    for d in diagnostics {
+        out.push_str(&render_diagnostic(d));
+        out.push('\n');
+    }
+    let s = summarize(diagnostics);
+    let _ = writeln!(
+        out,
+        "simlint: {} deny, {} warn, {} allowed",
+        s.deny, s.warn, s.suppressed
+    );
+    out
+}
+
+/// Escapes a string for inclusion in a JSON document.
+pub fn json_escape(s: &str) -> String {
+    let mut out = String::with_capacity(s.len() + 2);
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => {
+                let _ = write!(out, "\\u{:04x}", c as u32);
+            }
+            c => out.push(c),
+        }
+    }
+    out
+}
+
+/// Renders the machine-readable JSON report (`simlint-report-v1`).
+///
+/// The document is deterministic: object keys are emitted in a fixed order
+/// and the lists arrive pre-sorted, so repeated runs over an unchanged tree
+/// produce byte-identical reports (CI uploads this file as an artifact).
+pub fn render_json_report(
+    rules: &[(&'static str, Severity, &'static str)],
+    files_scanned: usize,
+    diagnostics: &[Diagnostic],
+    suppressions: &[SuppressionRecord],
+) -> String {
+    let s = summarize(diagnostics);
+    let mut out = String::new();
+    out.push_str("{\n  \"schema\": \"simlint-report-v1\",\n");
+    let _ = writeln!(out, "  \"files_scanned\": {files_scanned},");
+    let _ = writeln!(
+        out,
+        "  \"summary\": {{ \"deny\": {}, \"warn\": {}, \"allowed\": {} }},",
+        s.deny, s.warn, s.suppressed
+    );
+    out.push_str("  \"rules\": [\n");
+    for (i, (name, severity, description)) in rules.iter().enumerate() {
+        let _ = write!(
+            out,
+            "    {{ \"name\": \"{}\", \"severity\": \"{}\", \"description\": \"{}\" }}",
+            json_escape(name),
+            severity.label(),
+            json_escape(description)
+        );
+        out.push_str(if i + 1 == rules.len() { "\n" } else { ",\n" });
+    }
+    out.push_str("  ],\n  \"diagnostics\": [\n");
+    for (i, d) in diagnostics.iter().enumerate() {
+        let _ = write!(
+            out,
+            "    {{ \"path\": \"{}\", \"line\": {}, \"column\": {}, \"rule\": \"{}\", \
+             \"severity\": \"{}\", \"message\": \"{}\"",
+            json_escape(&d.path),
+            d.line,
+            d.column,
+            json_escape(d.rule),
+            d.severity.label(),
+            json_escape(&d.message)
+        );
+        if let Some(reason) = &d.suppressed {
+            let _ = write!(out, ", \"allowed_reason\": \"{}\"", json_escape(reason));
+        }
+        out.push_str(if i + 1 == diagnostics.len() {
+            " }\n"
+        } else {
+            " },\n"
+        });
+    }
+    out.push_str("  ],\n  \"suppressions\": [\n");
+    for (i, sup) in suppressions.iter().enumerate() {
+        let _ = write!(
+            out,
+            "    {{ \"path\": \"{}\", \"line\": {}, \"rule\": \"{}\", \"scope\": \"{}\", \
+             \"used\": {}, \"reason\": \"{}\" }}",
+            json_escape(&sup.path),
+            sup.line,
+            json_escape(&sup.rule),
+            sup.scope,
+            sup.used,
+            json_escape(&sup.reason)
+        );
+        out.push_str(if i + 1 == suppressions.len() {
+            "\n"
+        } else {
+            ",\n"
+        });
+    }
+    out.push_str("  ]\n}\n");
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn diag(rule: &'static str, line: usize) -> Diagnostic {
+        Diagnostic {
+            path: "crates/x/src/lib.rs".to_string(),
+            line,
+            column: 1,
+            rule,
+            severity: Severity::Deny,
+            message: "m".to_string(),
+            suppressed: None,
+        }
+    }
+
+    #[test]
+    fn summary_counts_split_by_suppression_and_severity() {
+        let mut warned = diag("b", 2);
+        warned.severity = Severity::Warn;
+        let mut allowed = diag("c", 3);
+        allowed.suppressed = Some("why".to_string());
+        let all = vec![diag("a", 1), warned, allowed];
+        let s = summarize(&all);
+        assert_eq!((s.deny, s.warn, s.suppressed), (1, 1, 1));
+    }
+
+    #[test]
+    fn json_report_is_well_escaped() {
+        let mut d = diag("a", 1);
+        d.message = "a \"quoted\"\npath\\seg".to_string();
+        let json = render_json_report(&[("a", Severity::Deny, "desc")], 1, &[d], &[]);
+        assert!(json.contains("a \\\"quoted\\\"\\npath\\\\seg"));
+    }
+}

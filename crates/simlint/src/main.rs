@@ -1,0 +1,112 @@
+//! The simlint CLI.
+//!
+//! ```text
+//! cargo run -p simlint -- check [--root DIR] [--json PATH]
+//! cargo run -p simlint -- list-rules
+//! ```
+//!
+//! `check` scans every workspace `.rs` file (skipping `target/`, `vendor/`
+//! and the rule fixtures), prints the deterministic diagnostic report, and
+//! exits nonzero when any deny-severity finding is not covered by a
+//! justified `// simlint: allow(...)`. `--json` additionally writes the
+//! machine-readable `simlint-report-v1` document (CI uploads it as an
+//! artifact).
+
+use std::path::PathBuf;
+use std::process::ExitCode;
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let mut command = None;
+    let mut root: Option<PathBuf> = None;
+    let mut json_out: Option<PathBuf> = None;
+
+    let mut it = args.iter();
+    while let Some(arg) = it.next() {
+        match arg.as_str() {
+            "check" | "list-rules" if command.is_none() => command = Some(arg.clone()),
+            "--root" => match it.next() {
+                Some(v) => root = Some(PathBuf::from(v)),
+                None => return usage("--root needs a directory argument"),
+            },
+            "--json" => match it.next() {
+                Some(v) => json_out = Some(PathBuf::from(v)),
+                None => return usage("--json needs a file argument"),
+            },
+            other => {
+                if let Some(v) = other.strip_prefix("--root=") {
+                    root = Some(PathBuf::from(v));
+                } else if let Some(v) = other.strip_prefix("--json=") {
+                    json_out = Some(PathBuf::from(v));
+                } else {
+                    return usage(&format!("unknown argument '{other}'"));
+                }
+            }
+        }
+    }
+
+    match command.as_deref() {
+        Some("list-rules") => {
+            for (name, severity, description) in simlint::rules::REGISTRY {
+                println!("{:<29} {:<5} {description}", name, severity.label());
+            }
+            ExitCode::SUCCESS
+        }
+        Some("check") | None => run_check(root, json_out),
+        Some(_) => unreachable!("only known commands are stored"),
+    }
+}
+
+fn run_check(root: Option<PathBuf>, json_out: Option<PathBuf>) -> ExitCode {
+    let root = match root {
+        Some(r) => r,
+        None => {
+            let cwd = match std::env::current_dir() {
+                Ok(d) => d,
+                Err(e) => return fail(&format!("cannot determine working directory: {e}")),
+            };
+            match simlint::find_workspace_root(&cwd) {
+                Some(r) => r,
+                None => {
+                    return fail(
+                        "no workspace Cargo.toml found above the working directory; \
+                         pass --root",
+                    )
+                }
+            }
+        }
+    };
+
+    let report = match simlint::lint_workspace(&root) {
+        Ok(r) => r,
+        Err(e) => return fail(&e),
+    };
+
+    print!("{}", report.render());
+    println!("simlint: scanned {} files", report.files_scanned);
+
+    if let Some(path) = json_out {
+        if let Err(e) = std::fs::write(&path, report.render_json()) {
+            return fail(&format!("writing {}: {e}", path.display()));
+        }
+        println!("simlint: wrote JSON report to {}", path.display());
+    }
+
+    if report.failed() {
+        eprintln!("simlint: FAILED (deny findings above; fix them or justify with a reason)");
+        ExitCode::FAILURE
+    } else {
+        ExitCode::SUCCESS
+    }
+}
+
+fn usage(why: &str) -> ExitCode {
+    eprintln!("simlint: {why}");
+    eprintln!("usage: simlint [check] [--root DIR] [--json PATH] | simlint list-rules");
+    ExitCode::from(2)
+}
+
+fn fail(why: &str) -> ExitCode {
+    eprintln!("simlint: {why}");
+    ExitCode::from(2)
+}

@@ -1,0 +1,347 @@
+//! Lexical scanner: splits Rust source into per-line code and comment views.
+//!
+//! The rules in this crate are token-level, not syntactic, so the only
+//! lexical structure they need is "which bytes are code and which are
+//! comments or literal contents". The scanner walks the source once with a
+//! small state machine that understands line comments, nested block
+//! comments, string/char/byte literals, raw strings, and the char-vs-
+//! lifetime ambiguity, and produces for every line
+//!
+//! * a *code* view — the original line with comments and literal bodies
+//!   replaced by spaces (columns are preserved, so token positions in the
+//!   code view are positions in the file), and
+//! * a *comment* view — the concatenated text of every comment that touches
+//!   the line (where `SAFETY:` justifications and `simlint:` suppressions
+//!   live).
+//!
+//! It also marks `#[cfg(test)]`-module regions by brace matching over the
+//! code view, so rules can skip test-only code.
+
+/// One scanned source line.
+#[derive(Debug, Default, Clone)]
+pub struct ScannedLine {
+    /// The line with comments and literal contents blanked to spaces.
+    /// Byte columns match the original line.
+    pub code: String,
+    /// Concatenated text of all comments touching this line.
+    pub comment: String,
+}
+
+impl ScannedLine {
+    /// Whether the line carries no code at all (blank or comment-only).
+    pub fn is_passive(&self) -> bool {
+        let t = self.code.trim();
+        t.is_empty() || (t.starts_with("#[") && t.ends_with(']'))
+    }
+}
+
+/// A whole scanned file.
+#[derive(Debug, Default)]
+pub struct ScannedFile {
+    /// Per-line code/comment views, in file order.
+    pub lines: Vec<ScannedLine>,
+    /// `test_region[i]` is true when line `i` sits inside a
+    /// `#[cfg(test)]` item (conventionally a `mod tests` block).
+    pub test_region: Vec<bool>,
+}
+
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum State {
+    Code,
+    LineComment,
+    BlockComment(u32),
+    Str,
+    RawStr(u32),
+    CharLit,
+}
+
+/// Scans `source` into per-line code and comment views.
+pub fn scan(source: &str) -> ScannedFile {
+    let bytes = source.as_bytes();
+    let mut lines = Vec::new();
+    let mut code = String::new();
+    let mut comment = String::new();
+    let mut state = State::Code;
+    let mut prev_code_byte = b' ';
+    let mut i = 0usize;
+
+    while i < bytes.len() {
+        let b = bytes[i];
+        if b == b'\n' {
+            // Line comments end at the newline; every other state carries
+            // over (multi-line strings and block comments).
+            if state == State::LineComment {
+                state = State::Code;
+            }
+            lines.push(ScannedLine {
+                code: std::mem::take(&mut code),
+                comment: std::mem::take(&mut comment),
+            });
+            i += 1;
+            continue;
+        }
+        match state {
+            State::Code => {
+                if b == b'/' && bytes.get(i + 1) == Some(&b'/') {
+                    state = State::LineComment;
+                    code.push_str("  ");
+                    i += 2;
+                } else if b == b'/' && bytes.get(i + 1) == Some(&b'*') {
+                    state = State::BlockComment(1);
+                    code.push_str("  ");
+                    i += 2;
+                } else if b == b'"' {
+                    state = State::Str;
+                    code.push('"');
+                    prev_code_byte = b'"';
+                    i += 1;
+                } else if (b == b'r' || b == b'b') && !is_ident_byte(prev_code_byte) {
+                    // Possible raw-string / byte-string openers: r", r#",
+                    // br", b" (plain byte strings land in State::Str).
+                    let mut j = i + 1;
+                    if b == b'b' && bytes.get(j) == Some(&b'r') {
+                        j += 1;
+                    }
+                    let mut hashes = 0u32;
+                    while bytes.get(j) == Some(&b'#') {
+                        hashes += 1;
+                        j += 1;
+                    }
+                    let raw = (b == b'r' || (b == b'b' && j > i + 1)) && hashes < u32::MAX;
+                    if bytes.get(j) == Some(&b'"') && (raw || b == b'b') {
+                        for _ in i..=j {
+                            code.push(' ');
+                        }
+                        code.pop();
+                        code.push('"');
+                        state = if j > i + 1 || b == b'r' {
+                            State::RawStr(hashes)
+                        } else {
+                            State::Str
+                        };
+                        prev_code_byte = b'"';
+                        i = j + 1;
+                    } else {
+                        code.push(b as char);
+                        prev_code_byte = b;
+                        i += 1;
+                    }
+                } else if b == b'\'' {
+                    // Char literal or lifetime. A char literal closes with a
+                    // quote within a few bytes (`'x'`, `'\n'`, `'\u{...}'`);
+                    // a lifetime never does before a non-ident byte.
+                    if is_char_literal(bytes, i) {
+                        state = State::CharLit;
+                        code.push('\'');
+                        prev_code_byte = b'\'';
+                        i += 1;
+                    } else {
+                        code.push('\'');
+                        prev_code_byte = b'\'';
+                        i += 1;
+                    }
+                } else {
+                    code.push(b as char);
+                    prev_code_byte = b;
+                    i += 1;
+                }
+            }
+            State::LineComment => {
+                code.push(' ');
+                comment.push(b as char);
+                i += 1;
+            }
+            State::BlockComment(depth) => {
+                if b == b'*' && bytes.get(i + 1) == Some(&b'/') {
+                    state = if depth == 1 {
+                        State::Code
+                    } else {
+                        State::BlockComment(depth - 1)
+                    };
+                    code.push_str("  ");
+                    comment.push(' ');
+                    i += 2;
+                } else if b == b'/' && bytes.get(i + 1) == Some(&b'*') {
+                    state = State::BlockComment(depth + 1);
+                    code.push_str("  ");
+                    comment.push(' ');
+                    i += 2;
+                } else {
+                    code.push(' ');
+                    comment.push(b as char);
+                    i += 1;
+                }
+            }
+            State::Str => {
+                if b == b'\\' && i + 1 < bytes.len() {
+                    code.push_str("  ");
+                    if bytes[i + 1] == b'\n' {
+                        code.pop();
+                        lines.push(ScannedLine {
+                            code: std::mem::take(&mut code),
+                            comment: std::mem::take(&mut comment),
+                        });
+                    }
+                    i += 2;
+                } else if b == b'"' {
+                    state = State::Code;
+                    code.push('"');
+                    prev_code_byte = b'"';
+                    i += 1;
+                } else {
+                    code.push(' ');
+                    i += 1;
+                }
+            }
+            State::RawStr(hashes) => {
+                if b == b'"' {
+                    let mut j = i + 1;
+                    let mut seen = 0u32;
+                    while seen < hashes && bytes.get(j) == Some(&b'#') {
+                        seen += 1;
+                        j += 1;
+                    }
+                    if seen == hashes {
+                        for _ in i..j {
+                            code.push(' ');
+                        }
+                        code.pop();
+                        code.push('"');
+                        state = State::Code;
+                        prev_code_byte = b'"';
+                        i = j;
+                    } else {
+                        code.push(' ');
+                        i += 1;
+                    }
+                } else {
+                    code.push(' ');
+                    i += 1;
+                }
+            }
+            State::CharLit => {
+                if b == b'\\' && i + 1 < bytes.len() {
+                    code.push_str("  ");
+                    i += 2;
+                } else if b == b'\'' {
+                    state = State::Code;
+                    code.push('\'');
+                    prev_code_byte = b'\'';
+                    i += 1;
+                } else {
+                    code.push(' ');
+                    i += 1;
+                }
+            }
+        }
+    }
+    if !code.is_empty() || !comment.is_empty() {
+        lines.push(ScannedLine { code, comment });
+    }
+
+    let test_region = mark_test_regions(&lines);
+    ScannedFile { lines, test_region }
+}
+
+fn is_ident_byte(b: u8) -> bool {
+    b.is_ascii_alphanumeric() || b == b'_'
+}
+
+/// Whether the `'` at `bytes[at]` opens a char literal (as opposed to a
+/// lifetime). A char literal is `'x'`, an escape `'\..'`, or `'\u{..}'`;
+/// lifetimes are `'ident` with no closing quote.
+fn is_char_literal(bytes: &[u8], at: usize) -> bool {
+    match bytes.get(at + 1) {
+        Some(b'\\') => true,
+        Some(_) => bytes.get(at + 2) == Some(&b'\''),
+        None => false,
+    }
+}
+
+/// Finds `#[cfg(test)]` attributes in the code view and marks the brace
+/// span of the item they introduce as a test region.
+fn mark_test_regions(lines: &[ScannedLine]) -> Vec<bool> {
+    let mut region = vec![false; lines.len()];
+    let mut idx = 0usize;
+    while idx < lines.len() {
+        let compact: String = lines[idx]
+            .code
+            .chars()
+            .filter(|c| !c.is_whitespace())
+            .collect();
+        if !compact.contains("#[cfg(test)]") {
+            idx += 1;
+            continue;
+        }
+        // Walk forward to the opening brace of the item, then match braces.
+        let mut depth = 0i64;
+        let mut opened = false;
+        let start = idx;
+        let mut end = lines.len() - 1;
+        'outer: for (li, line) in lines.iter().enumerate().skip(idx) {
+            for c in line.code.chars() {
+                match c {
+                    '{' => {
+                        depth += 1;
+                        opened = true;
+                    }
+                    '}' => {
+                        depth -= 1;
+                        if opened && depth == 0 {
+                            end = li;
+                            break 'outer;
+                        }
+                    }
+                    ';' if !opened && depth == 0 => {
+                        // `#[cfg(test)] use ...;` — a single-line item.
+                        end = li;
+                        break 'outer;
+                    }
+                    _ => {}
+                }
+            }
+        }
+        for slot in region.iter_mut().take(end + 1).skip(start) {
+            *slot = true;
+        }
+        idx = end + 1;
+    }
+    region
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn comments_and_strings_are_blanked_from_code() {
+        let f = scan("let x = \"HashMap\"; // HashMap here\nlet y = 1;\n");
+        assert!(!f.lines[0].code.contains("HashMap"));
+        assert!(f.lines[0].comment.contains("HashMap"));
+        assert!(f.lines[0].code.contains("let x ="));
+        assert_eq!(f.lines[1].code, "let y = 1;");
+    }
+
+    #[test]
+    fn raw_strings_and_chars_are_blanked() {
+        let f = scan("let p = r#\"Instant::now\"#;\nlet c = 'x';\nlet l: &'static str = s;\n");
+        assert!(!f.lines[0].code.contains("Instant"));
+        assert!(!f.lines[1].code.contains('x'));
+        // The lifetime must survive as code (it is not a char literal).
+        assert!(f.lines[2].code.contains("'static"));
+    }
+
+    #[test]
+    fn nested_block_comments_end_correctly() {
+        let f = scan("/* a /* b */ still */ let z = 2;\n");
+        assert!(f.lines[0].code.contains("let z = 2;"));
+        assert!(f.lines[0].comment.contains('b'));
+    }
+
+    #[test]
+    fn cfg_test_region_is_brace_matched() {
+        let src = "fn live() {}\n#[cfg(test)]\nmod tests {\n    fn t() {}\n}\nfn after() {}\n";
+        let f = scan(src);
+        assert_eq!(f.test_region, vec![false, true, true, true, true, false]);
+    }
+}

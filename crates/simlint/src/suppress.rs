@@ -1,0 +1,202 @@
+//! Inline suppression parsing.
+//!
+//! Syntax, always inside a comment:
+//!
+//! ```text
+//! // simlint: allow(<rule>, reason = "<why this is sound>")
+//! // simlint: allow-file(<rule>, reason = "<why this is sound>")
+//! ```
+//!
+//! `allow` targets the code on the same line (trailing comment) or, when the
+//! comment stands alone, the next line that carries code. `allow-file`
+//! covers the whole file for one rule. The reason is **mandatory** — an
+//! allow without one is itself a deny finding (`malformed-suppression`) and
+//! does not suppress anything.
+//!
+//! A directive must *lead* its comment: a comment is parsed as a directive
+//! only when `simlint:` is its first token. Mentions of `simlint:` in the
+//! middle of prose (like this module's own docs) are ignored.
+
+use crate::rules::{self, RawHit, MALFORMED_SUPPRESSION};
+use crate::scan::ScannedFile;
+
+/// The scope of one parsed allow.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Scope {
+    /// Applies to one target line.
+    Line,
+    /// Applies to the whole file.
+    File,
+}
+
+/// One successfully parsed suppression.
+#[derive(Debug, Clone)]
+pub struct Suppression {
+    /// 0-based line of the comment.
+    pub line: usize,
+    /// The rule being allowed.
+    pub rule: String,
+    /// The mandatory justification.
+    pub reason: String,
+    /// Line vs file scope.
+    pub scope: Scope,
+    /// 0-based line the allow targets (line scope only).
+    pub target: Option<usize>,
+    /// Set when a finding matched the allow.
+    pub used: bool,
+}
+
+/// Extracts suppressions from a scanned file's comments. Malformed allows
+/// are reported as `malformed-suppression` hits instead.
+pub fn parse_suppressions(file: &ScannedFile) -> (Vec<Suppression>, Vec<RawHit>) {
+    let mut sups = Vec::new();
+    let mut malformed = Vec::new();
+    for (li, line) in file.lines.iter().enumerate() {
+        // Only a comment that *starts* with the marker is a directive;
+        // `simlint:` mid-prose (docs talking about the tool) is not.
+        let Some(rest) = line.comment.trim_start().strip_prefix("simlint:") else {
+            continue;
+        };
+        match parse_allow(rest) {
+            Ok((rule, reason, scope)) => {
+                let target = match scope {
+                    Scope::File => None,
+                    Scope::Line => {
+                        if line.is_passive() {
+                            file.lines
+                                .iter()
+                                .enumerate()
+                                .skip(li + 1)
+                                .find(|(_, l)| !l.is_passive())
+                                .map(|(i, _)| i)
+                        } else {
+                            Some(li)
+                        }
+                    }
+                };
+                sups.push(Suppression {
+                    line: li,
+                    rule,
+                    reason,
+                    scope,
+                    target,
+                    used: false,
+                });
+            }
+            Err(why) => {
+                malformed.push(RawHit {
+                    line: li,
+                    column: 1,
+                    rule: MALFORMED_SUPPRESSION,
+                    message: format!("malformed simlint allow: {why}"),
+                });
+            }
+        }
+    }
+    (sups, malformed)
+}
+
+/// Parses the tail of a `simlint:` comment (everything after the marker).
+fn parse_allow(rest: &str) -> Result<(String, String, Scope), String> {
+    let rest = rest.trim_start();
+    let (scope, rest) = if let Some(r) = rest.strip_prefix("allow-file") {
+        (Scope::File, r)
+    } else if let Some(r) = rest.strip_prefix("allow") {
+        (Scope::Line, r)
+    } else {
+        return Err("expected allow(...) or allow-file(...)".to_string());
+    };
+    let rest = rest
+        .trim_start()
+        .strip_prefix('(')
+        .ok_or_else(|| "expected '(' after allow".to_string())?;
+    let rule_end = rest
+        .find(|c: char| !(c.is_ascii_lowercase() || c == '-'))
+        .unwrap_or(rest.len());
+    let rule = rest[..rule_end].to_string();
+    if rule.is_empty() {
+        return Err("missing rule name".to_string());
+    }
+    if !rules::is_known_rule(&rule) {
+        return Err(format!("unknown rule '{rule}'"));
+    }
+    let rest = rest[rule_end..].trim_start();
+    if let Some(rest) = rest.strip_prefix(')') {
+        let _ = rest;
+        return Err(format!(
+            "allow({rule}) carries no reason; a written justification is required"
+        ));
+    }
+    let rest = rest
+        .strip_prefix(',')
+        .ok_or_else(|| "expected ', reason = \"...\"' after the rule name".to_string())?
+        .trim_start();
+    let rest = rest
+        .strip_prefix("reason")
+        .ok_or_else(|| "expected 'reason = \"...\"'".to_string())?
+        .trim_start();
+    let rest = rest
+        .strip_prefix('=')
+        .ok_or_else(|| "expected '=' after 'reason'".to_string())?
+        .trim_start();
+    let rest = rest
+        .strip_prefix('"')
+        .ok_or_else(|| "reason must be a quoted string".to_string())?;
+    let close = rest
+        .find('"')
+        .ok_or_else(|| "unterminated reason string".to_string())?;
+    let reason = rest[..close].trim().to_string();
+    if reason.is_empty() {
+        return Err(format!(
+            "allow({rule}) has an empty reason; a written justification is required"
+        ));
+    }
+    if !rest[close + 1..].trim_start().starts_with(')') {
+        return Err("expected ')' after the reason".to_string());
+    }
+    Ok((rule, reason, scope))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::scan::scan;
+
+    #[test]
+    fn trailing_allow_targets_its_own_line() {
+        let f = scan(
+            "use std::collections::HashMap; // simlint: allow(unordered-collection, \
+             reason = \"keyed lookups only\")\n",
+        );
+        let (sups, bad) = parse_suppressions(&f);
+        assert!(bad.is_empty());
+        assert_eq!(sups.len(), 1);
+        assert_eq!(sups[0].target, Some(0));
+        assert_eq!(sups[0].reason, "keyed lookups only");
+    }
+
+    #[test]
+    fn standalone_allow_targets_the_next_code_line() {
+        let f = scan(
+            "// simlint: allow(wall-clock, reason = \"profiling only\")\n// more prose\n\
+             #[inline]\nlet t = Instant::now();\n",
+        );
+        let (sups, bad) = parse_suppressions(&f);
+        assert!(bad.is_empty());
+        assert_eq!(sups[0].target, Some(3));
+    }
+
+    #[test]
+    fn reasonless_unknown_and_garbled_allows_are_malformed() {
+        for src in [
+            "// simlint: allow(wall-clock)\n",
+            "// simlint: allow(wall-clock, reason = \"\")\n",
+            "// simlint: allow(no-such-rule, reason = \"x\")\n",
+            "// simlint: disable-everything\n",
+        ] {
+            let (sups, bad) = parse_suppressions(&scan(src));
+            assert!(sups.is_empty(), "{src:?} must not parse");
+            assert_eq!(bad.len(), 1, "{src:?} must be malformed");
+        }
+    }
+}

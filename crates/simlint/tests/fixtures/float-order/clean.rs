@@ -1,0 +1,11 @@
+//! Golden fixture: integer accumulation and total order are deterministic.
+
+/// Mean latency in microseconds over integer nanosecond samples.
+pub fn mean_us(samples: &[u64]) -> u64 {
+    samples.iter().sum::<u64>() / samples.len().max(1) as u64
+}
+
+/// Sorts latencies with the IEEE total order.
+pub fn sort_latencies(samples: &mut [f64]) {
+    samples.sort_by(|a, b| a.total_cmp(b));
+}

@@ -1,0 +1,7 @@
+//! Golden fixture: a reasonless float-order allow is rejected.
+
+/// Mean latency in microseconds.
+pub fn mean_us(samples: &[f64]) -> f64 {
+    // simlint: allow(float-order)
+    samples.iter().sum::<f64>() / samples.len() as f64
+}

@@ -1,0 +1,11 @@
+//! Golden fixture: order-dependent float reductions in a metrics path.
+
+/// Mean latency in microseconds.
+pub fn mean_us(samples: &[f64]) -> f64 {
+    samples.iter().sum::<f64>() / samples.len() as f64
+}
+
+/// Sorts latencies with a partial order.
+pub fn sort_latencies(samples: &mut [f64]) {
+    samples.sort_by(|a, b| a.partial_cmp(b).expect("no NaNs"));
+}

@@ -1,0 +1,13 @@
+//! Golden fixture: justified allows for deliberate float reductions.
+
+/// Mean latency in microseconds.
+pub fn mean_us(samples: &[f64]) -> f64 {
+    // simlint: allow(float-order, reason = "samples arrive in canonical trace order, identical on every backend")
+    samples.iter().sum::<f64>() / samples.len() as f64
+}
+
+/// Sorts latencies with a partial order.
+pub fn sort_latencies(samples: &mut [f64]) {
+    // simlint: allow(float-order, reason = "inputs are strictly finite percentiles; partial_cmp is total here")
+    samples.sort_by(|a, b| a.partial_cmp(b).expect("no NaNs"));
+}

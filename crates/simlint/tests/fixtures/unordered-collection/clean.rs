@@ -1,0 +1,7 @@
+//! Golden fixture: ordered collections need no justification.
+use std::collections::BTreeMap;
+
+/// Per-block erase counters keyed by block id.
+pub struct WearState {
+    counts: BTreeMap<u64, u32>,
+}

@@ -1,0 +1,8 @@
+//! Golden fixture: a reasonless allow is rejected and the finding survives.
+// simlint: allow(unordered-collection)
+use std::collections::HashMap;
+
+/// Per-block erase counters keyed by block id.
+pub struct WearState {
+    counts: HashMap<u64, u32>,
+}

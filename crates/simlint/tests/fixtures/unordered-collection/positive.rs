@@ -1,0 +1,7 @@
+//! Golden fixture: an unordered map in simulation state fires the rule.
+use std::collections::HashMap;
+
+/// Per-block erase counters keyed by block id.
+pub struct WearState {
+    counts: HashMap<u64, u32>,
+}

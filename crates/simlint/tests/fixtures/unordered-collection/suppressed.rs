@@ -1,0 +1,9 @@
+//! Golden fixture: the same map, silenced by justified allows.
+// simlint: allow(unordered-collection, reason = "import for the keyed-only counter map below")
+use std::collections::HashMap;
+
+/// Per-block erase counters keyed by block id.
+pub struct WearState {
+    // simlint: allow(unordered-collection, reason = "keyed-only lookups; wear stats are reported from a Vec sorted by block id")
+    counts: HashMap<u64, u32>,
+}

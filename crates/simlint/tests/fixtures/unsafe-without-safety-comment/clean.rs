@@ -1,0 +1,7 @@
+//! Golden fixture: a SAFETY comment directly above the unsafe item.
+
+/// Reads the first byte behind a raw pointer.
+pub fn first_byte(p: *const u8) -> u8 {
+    // SAFETY: callers pass a pointer to at least one readable byte.
+    unsafe { *p }
+}

@@ -1,0 +1,7 @@
+//! Golden fixture: a reasonless unsafe allow is rejected.
+
+/// Reads the first byte behind a raw pointer.
+pub fn first_byte(p: *const u8) -> u8 {
+    // simlint: allow(unsafe-without-safety-comment)
+    unsafe { *p }
+}

@@ -1,0 +1,6 @@
+//! Golden fixture: unsafe without a SAFETY justification.
+
+/// Reads the first byte behind a raw pointer.
+pub fn first_byte(p: *const u8) -> u8 {
+    unsafe { *p }
+}

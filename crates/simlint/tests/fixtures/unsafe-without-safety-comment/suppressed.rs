@@ -1,0 +1,6 @@
+//! Golden fixture: an explicit allow (normally a SAFETY comment is the fix).
+
+/// Reads the first byte behind a raw pointer.
+pub fn first_byte(p: *const u8) -> u8 {
+    unsafe { *p } // simlint: allow(unsafe-without-safety-comment, reason = "fixture exercising the allow path; real code should write a SAFETY comment instead")
+}

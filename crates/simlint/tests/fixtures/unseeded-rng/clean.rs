@@ -1,0 +1,8 @@
+//! Golden fixture: seeded RNGs replay bit-for-bit.
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+/// Builds the workload RNG from a fixed seed.
+pub fn workload_rng(seed: u64) -> StdRng {
+    StdRng::seed_from_u64(seed)
+}

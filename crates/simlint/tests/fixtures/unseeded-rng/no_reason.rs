@@ -1,0 +1,8 @@
+//! Golden fixture: a reasonless RNG allow is rejected.
+
+/// Draws a workload address from the thread-local OS-seeded RNG.
+pub fn draw(max: u64) -> u64 {
+    // simlint: allow(unseeded-rng)
+    let mut rng = rand::thread_rng();
+    rng.gen_range(0..max)
+}

@@ -1,0 +1,7 @@
+//! Golden fixture: OS-entropy randomness makes runs unreplayable.
+
+/// Draws a workload address from the thread-local OS-seeded RNG.
+pub fn draw(max: u64) -> u64 {
+    let mut rng = rand::thread_rng();
+    rng.gen_range(0..max)
+}

@@ -1,0 +1,7 @@
+//! Golden fixture: a justified allow for deliberate OS entropy.
+
+/// Draws a session nonce; never used inside a simulation.
+pub fn nonce() -> u64 {
+    let mut rng = rand::thread_rng(); // simlint: allow(unseeded-rng, reason = "session id for log file names only; no simulated state depends on it")
+    rng.gen()
+}

@@ -1,0 +1,8 @@
+//! Golden fixture: host-clock access goes through the wallclock seam.
+use ssd_sim::wallclock::WallTimer;
+
+/// Times a training pass through the seam.
+pub fn measure() -> std::time::Duration {
+    let started = WallTimer::start();
+    started.elapsed()
+}

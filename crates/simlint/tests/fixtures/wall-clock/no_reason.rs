@@ -1,0 +1,8 @@
+//! Golden fixture: a reasonless wall-clock allow is rejected.
+
+/// Times a training pass with the host clock.
+pub fn measure() -> std::time::Duration {
+    // simlint: allow(wall-clock)
+    let started = std::time::Instant::now();
+    started.elapsed()
+}

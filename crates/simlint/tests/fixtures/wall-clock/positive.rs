@@ -1,0 +1,7 @@
+//! Golden fixture: reading the host clock off the profiling seam.
+
+/// Times a training pass with the host clock.
+pub fn measure() -> std::time::Duration {
+    let started = std::time::Instant::now();
+    started.elapsed()
+}

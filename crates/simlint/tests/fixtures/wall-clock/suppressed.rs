@@ -1,0 +1,7 @@
+//! Golden fixture: a justified allow for a deliberate host-clock read.
+
+/// Times a training pass with the host clock.
+pub fn measure() -> std::time::Duration {
+    let started = std::time::Instant::now(); // simlint: allow(wall-clock, reason = "self-profiling of the profiler itself; never feeds simulated time")
+    started.elapsed()
+}

@@ -1,0 +1,133 @@
+//! Golden fixture tests: pin every rule's behaviour and byte format.
+//!
+//! Each rule directory under `tests/fixtures/` holds four variants:
+//!
+//! * `positive.rs` — the rule fires (unsuppressed deny),
+//! * `suppressed.rs` — a justified allow silences every hit,
+//! * `no_reason.rs` — a reasonless allow is rejected (`malformed-suppression`)
+//!   and the original finding survives,
+//! * `clean.rs` — idiomatic code produces no findings at all.
+//!
+//! Fixtures are linted under a *virtual* workspace path (third column of
+//! `CASES`) so crate-scoped rules fire; the files themselves live outside the
+//! workspace walk. The `.expected` files pin `render_report`'s output byte
+//! for byte — regenerate them after an intentional format change with
+//! `SIMLINT_BLESS=1 cargo test -p simlint --test golden`.
+
+use simlint::diag::{render_report, Severity};
+use simlint::lint_source;
+use simlint::FileOutcome;
+use std::path::{Path, PathBuf};
+
+const CASES: &[(&str, &str)] = &[
+    ("unordered-collection", "crates/ssd-sim/src/golden.rs"),
+    ("wall-clock", "crates/harness/src/golden.rs"),
+    ("unseeded-rng", "crates/core/src/golden.rs"),
+    (
+        "unsafe-without-safety-comment",
+        "crates/harness/src/golden.rs",
+    ),
+    ("float-order", "crates/metrics/src/golden.rs"),
+];
+
+fn fixture_dir(rule: &str) -> PathBuf {
+    Path::new(env!("CARGO_MANIFEST_DIR"))
+        .join("tests/fixtures")
+        .join(rule)
+}
+
+/// Lints one fixture variant and pins its rendered report against the
+/// checked-in `.expected` bytes (or rewrites them under `SIMLINT_BLESS`).
+fn check_golden(rule: &str, virtual_path: &str, variant: &str) -> FileOutcome {
+    let dir = fixture_dir(rule);
+    let src_path = dir.join(format!("{variant}.rs"));
+    let source = std::fs::read_to_string(&src_path)
+        .unwrap_or_else(|e| panic!("reading {}: {e}", src_path.display()));
+    let outcome = lint_source(virtual_path, &source);
+    let got = render_report(&outcome.diagnostics);
+
+    let expected_path = dir.join(format!("{variant}.expected"));
+    if std::env::var_os("SIMLINT_BLESS").is_some() {
+        std::fs::write(&expected_path, &got)
+            .unwrap_or_else(|e| panic!("blessing {}: {e}", expected_path.display()));
+        return outcome;
+    }
+    let expected = std::fs::read_to_string(&expected_path)
+        .unwrap_or_else(|e| panic!("reading {}: {e}", expected_path.display()));
+    assert_eq!(
+        got, expected,
+        "{rule}/{variant}.rs output drifted from {variant}.expected \
+         (re-bless with SIMLINT_BLESS=1 if the change is intentional)"
+    );
+    outcome
+}
+
+#[test]
+fn positive_fixtures_produce_unsuppressed_deny_findings() {
+    for (rule, virtual_path) in CASES {
+        let out = check_golden(rule, virtual_path, "positive");
+        assert!(
+            out.diagnostics
+                .iter()
+                .any(|d| d.rule == *rule && d.suppressed.is_none() && d.severity == Severity::Deny),
+            "{rule}: positive fixture must produce an unsuppressed deny finding"
+        );
+    }
+}
+
+#[test]
+fn suppressed_fixtures_are_fully_silenced_by_justified_allows() {
+    for (rule, virtual_path) in CASES {
+        let out = check_golden(rule, virtual_path, "suppressed");
+        let hits: Vec<_> = out.diagnostics.iter().filter(|d| d.rule == *rule).collect();
+        assert!(
+            !hits.is_empty(),
+            "{rule}: suppressed fixture must still detect the pattern"
+        );
+        assert!(
+            hits.iter().all(|d| d.suppressed.is_some()),
+            "{rule}: every hit must carry its allow reason"
+        );
+        assert!(
+            out.diagnostics
+                .iter()
+                .all(|d| d.suppressed.is_some() || d.severity != Severity::Deny),
+            "{rule}: a justified allow must leave no deny finding behind"
+        );
+        assert!(
+            out.suppressions.iter().all(|s| s.used),
+            "{rule}: every allow in the fixture must match a finding"
+        );
+    }
+}
+
+#[test]
+fn reasonless_allows_are_rejected_and_findings_survive() {
+    for (rule, virtual_path) in CASES {
+        let out = check_golden(rule, virtual_path, "no_reason");
+        assert!(
+            out.diagnostics
+                .iter()
+                .any(|d| d.rule == "malformed-suppression" && d.severity == Severity::Deny),
+            "{rule}: a reasonless allow must be a deny finding itself"
+        );
+        assert!(
+            out.diagnostics
+                .iter()
+                .any(|d| d.rule == *rule && d.suppressed.is_none()),
+            "{rule}: the original finding must survive a rejected allow"
+        );
+    }
+}
+
+#[test]
+fn clean_fixtures_produce_no_findings() {
+    for (rule, virtual_path) in CASES {
+        let out = check_golden(rule, virtual_path, "clean");
+        assert!(
+            out.diagnostics.is_empty(),
+            "{rule}: clean fixture must produce no findings, got:\n{}",
+            render_report(&out.diagnostics)
+        );
+    }
+}

@@ -1,0 +1,30 @@
+//! The workspace must lint clean.
+//!
+//! CI enforces `cargo run -p simlint -- check`; this test keeps plain
+//! `cargo test` equivalent to that gate, so a violation (or an unjustified /
+//! unused allow) fails locally before it reaches CI.
+
+use std::path::Path;
+
+#[test]
+fn workspace_has_no_unsuppressed_deny_findings() {
+    let root = Path::new(env!("CARGO_MANIFEST_DIR")).join("../..");
+    let report = simlint::lint_workspace(&root).expect("workspace walk must succeed");
+    assert!(report.files_scanned > 50, "walker must find the workspace");
+    assert!(
+        !report.failed(),
+        "workspace must be simlint-clean:\n{}",
+        report.render()
+    );
+    let warns = report
+        .diagnostics
+        .iter()
+        .filter(|d| d.suppressed.is_none() && d.severity == simlint::Severity::Warn)
+        .count();
+    assert_eq!(
+        warns,
+        0,
+        "no unused suppressions allowed:\n{}",
+        report.render()
+    );
+}

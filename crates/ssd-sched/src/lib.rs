@@ -58,9 +58,6 @@
 //! assert!(done.iter().all(|c| c.is_ok()));
 //! ```
 
-#![forbid(unsafe_code)]
-#![warn(missing_docs)]
-
 mod cmd;
 mod engine;
 mod event;

@@ -40,7 +40,9 @@ fn populated_device() -> (FlashDevice, SimTime) {
     let mut dev = FlashDevice::new(SsdConfig::tiny());
     let mut t = SimTime::ZERO;
     for ppn in 0..POPULATED {
-        t = dev.program_page(ppn, OobData::mapped(ppn), t).unwrap();
+        t = dev
+            .program_page(ppn, OobData::mapped(ppn), t)
+            .expect("fresh tiny device has room for the populated pages");
     }
     (dev, t)
 }

@@ -38,9 +38,6 @@
 //! assert_eq!(dev.oob(ppn).unwrap().lpn, Some(42));
 //! ```
 
-#![forbid(unsafe_code)]
-#![warn(missing_docs)]
-
 mod address;
 mod block;
 mod chip;
@@ -53,6 +50,7 @@ mod latency;
 mod oob;
 mod stats;
 pub mod trace;
+pub mod wallclock;
 
 pub use address::{ppn_to_vppn, vppn_to_ppn, PhysAddr, Ppn, Vppn};
 pub use block::{Block, BlockState};

@@ -30,9 +30,6 @@
 //! assert!(req.lpn < 10_000);
 //! ```
 
-#![forbid(unsafe_code)]
-#![warn(missing_docs)]
-
 mod filebench;
 mod fio;
 mod rocksdb;
